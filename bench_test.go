@@ -1,0 +1,149 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each BenchmarkFig*/BenchmarkTable* executes the corresponding experiment
+// runner end to end (placement + capacity solving + schedule simulation);
+// the reported ns/op is the cost of regenerating that artifact, and the
+// run's outputs are checked against the paper's shapes by the test suite in
+// internal/experiments.
+//
+//	go test -bench=. -benchmem
+package helmsim_test
+
+import (
+	"testing"
+
+	"helmsim"
+	"helmsim/internal/experiments"
+	"helmsim/internal/quant"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFig3BandwidthSweep(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig4EndToEndMetrics(b *testing.B)     { benchExperiment(b, "fig4") }
+func BenchmarkFig5OverlapUncompressed(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig6CompressionTradeoff(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFig7aSawtooth(b *testing.B)           { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bcDistributions(b *testing.B)     { benchExperiment(b, "fig7bc") }
+func BenchmarkFig8PairedOverlap(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig10HeLMDistribution(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11HeLMLatency(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkFig12AllCPUThroughput(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13CXLProjections(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkTable1SystemConfig(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2ModelMemoryMatrix(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3CXLConfigs(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkTable4OverlapRatios(b *testing.B)     { benchExperiment(b, "table4") }
+func BenchmarkSectionClaimsPaperVsSim(b *testing.B) { benchExperiment(b, "claims") }
+
+// Extension experiments (DESIGN.md "beyond the paper").
+
+func BenchmarkExtBalancePlacement(b *testing.B) { benchExperiment(b, "balance") }
+func BenchmarkExtEnergyPerToken(b *testing.B)   { benchExperiment(b, "energy") }
+func BenchmarkExtParetoTuning(b *testing.B)     { benchExperiment(b, "pareto") }
+func BenchmarkExtMLCMatrix(b *testing.B)        { benchExperiment(b, "mlc") }
+func BenchmarkExtSeqLenSweep(b *testing.B)      { benchExperiment(b, "seqlen") }
+func BenchmarkAblationDequant(b *testing.B)     { benchExperiment(b, "ablation-dequant") }
+func BenchmarkAblationHeLMPct(b *testing.B)     { benchExperiment(b, "ablation-helm-pct") }
+func BenchmarkAblationKVOffload(b *testing.B)   { benchExperiment(b, "ablation-kvoffload") }
+func BenchmarkAblationBatchSweep(b *testing.B)  { benchExperiment(b, "ablation-batch") }
+func BenchmarkAblationMicroBatch(b *testing.B)  { benchExperiment(b, "ablation-microbatch") }
+
+// Micro-benchmarks of the core substrates.
+
+// BenchmarkScheduleOPT175B measures one full generation simulation (194
+// layers x 21 tokens) — the inner loop of every figure.
+func BenchmarkScheduleOPT175B(b *testing.B) {
+	cfg := helmsim.Config{
+		Model: helmsim.OPT175B(), Memory: helmsim.MemNVDRAM, Batch: 8, Compress: true,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := helmsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleOPT30B measures the smaller model's simulation.
+func BenchmarkScheduleOPT30B(b *testing.B) {
+	cfg := helmsim.Config{Model: helmsim.OPT30B(), Memory: helmsim.MemDRAM, Batch: 32}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := helmsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacementOPT175B measures the weight allocator over all 194
+// layers.
+func BenchmarkPlacementOPT175B(b *testing.B) {
+	cfg := helmsim.Config{Model: helmsim.OPT175B(), Memory: helmsim.MemNVDRAM, Batch: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := helmsim.MaxBatch(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuantize4Bit measures the real group-wise quantizer on a 1M
+// element tensor (throughput in elements/sec via b.SetBytes).
+func BenchmarkQuantize4Bit(b *testing.B) {
+	x := make([]float32, 1<<20)
+	for i := range x {
+		x[i] = float32(i%257)/257 - 0.5
+	}
+	cfg := quant.Default()
+	b.SetBytes(int64(len(x) * 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := quant.Quantize(x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDequantize4Bit measures decode throughput.
+func BenchmarkDequantize4Bit(b *testing.B) {
+	x := make([]float32, 1<<20)
+	for i := range x {
+		x[i] = float32(i%509)/509 - 0.5
+	}
+	tensor, err := quant.Quantize(x, quant.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(x) * 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := tensor.Dequantize(); len(got) != len(x) {
+			b.Fatal("bad length")
+		}
+	}
+}
+
+// BenchmarkExtPagedKV measures the paged-vs-contiguous KV comparison.
+func BenchmarkExtPagedKV(b *testing.B) { benchExperiment(b, "paged") }
+
+// BenchmarkExtRoofline measures the §II-A boundness classification.
+func BenchmarkExtRoofline(b *testing.B) { benchExperiment(b, "roofline") }

@@ -1,0 +1,134 @@
+// Command flexsim runs a single out-of-core inference simulation: pick a
+// model, memory configuration, placement policy, batch size and compression
+// setting, and print the paper's three metrics (TTFT, TBT, throughput) plus
+// the compute/communication overlap analysis.
+//
+// Usage:
+//
+//	flexsim -model OPT-175B -mem NVDRAM -policy helm -batch 1 -compress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"helmsim/internal/core"
+	"helmsim/internal/gpu"
+	"helmsim/internal/model"
+	"helmsim/internal/placement"
+	"helmsim/internal/quant"
+	"helmsim/internal/sched"
+	"helmsim/internal/trace"
+	"helmsim/internal/xfer"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "OPT-175B", "model name (OPT-1.3B ... OPT-175B)")
+		memName   = flag.String("mem", "NVDRAM", "memory config: DRAM, NVDRAM, MemoryMode, SSD, FSDAX, CXL-FPGA, CXL-ASIC")
+		polName   = flag.String("policy", "baseline", "placement policy: baseline, helm, all-cpu, all-gpu")
+		batch     = flag.Int("batch", 1, "batch size")
+		compress  = flag.Bool("compress", false, "4-bit group-wise weight quantization")
+		prompt    = flag.Int("prompt", 0, "prompt length (default 128)")
+		gen       = flag.Int("gen", 0, "generated tokens (default 21)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the pipeline to this file")
+	)
+	flag.Parse()
+
+	if err := run(*modelName, *memName, *polName, *batch, *compress, *prompt, *gen, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "flexsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, memName, polName string, batch int, compress bool, prompt, gen int, traceOut string) error {
+	cfg, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	mem, err := core.ParseMemoryConfig(memName)
+	if err != nil {
+		return err
+	}
+	var pol placement.Policy
+	switch polName {
+	case "baseline":
+		pol = nil // model/config default
+	case "helm":
+		def := core.DefaultPolicy(cfg, mem).(placement.Baseline)
+		pol = placement.HeLM{Default: def}
+	case "all-cpu":
+		pol = placement.AllCPU{}
+	case "all-gpu":
+		pol = placement.AllGPU{}
+	default:
+		return fmt.Errorf("unknown policy %q", polName)
+	}
+
+	res, err := core.Run(core.RunConfig{
+		Model: cfg, Memory: mem, Policy: pol, Batch: batch,
+		PromptLen: prompt, GenLen: gen, Compress: compress,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %s, policy %s, batch %d, compress=%v\n",
+		cfg.Name, mem, res.Placement.PolicyName, batch, compress)
+	fmt.Printf("  placement achieved (disk, cpu, gpu): %v\n", res.Placement.AchievedDistribution(placement.RawSizer))
+	fmt.Printf("  GPU weights: %v, staging: %v, max batch: %d\n", res.GPUWeightBytes, res.StagingBytes, res.MaxBatch)
+	fmt.Printf("  TTFT: %v   TBT: %v   throughput: %.3f tok/s\n", res.TTFT, res.TBT, res.Throughput)
+	fmt.Printf("  prefill: avg load %v, avg compute %v\n", res.Prefill.AvgLoad(), res.Prefill.AvgCompute())
+	if len(res.Decode) > 0 {
+		d := res.Decode[len(res.Decode)-1]
+		fmt.Printf("  decode:  avg load %v, avg compute %v\n", d.AvgLoad(), d.AvgCompute())
+		m, f := d.OverlapRatios()
+		fmt.Printf("  decode overlap: MHA compute/FFN load %.2f, FFN compute/MHA load %.2f\n", m, f)
+	}
+	pm, pf := res.Prefill.OverlapRatios()
+	fmt.Printf("  prefill overlap: MHA compute/FFN load %.2f, FFN compute/MHA load %.2f\n", pm, pf)
+
+	if traceOut != "" {
+		if err := writeTrace(cfg, res.Placement, mem, batch, compress, prompt, gen, traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("  pipeline trace written to %s\n", traceOut)
+	}
+	return nil
+}
+
+// writeTrace re-runs the schedule with tracing enabled and writes a Chrome
+// trace of the copy/compute streams.
+func writeTrace(cfg model.Config, mp *placement.ModelPlacement, mem core.MemoryConfig, batch int, compress bool, prompt, gen int, path string) error {
+	devs, err := mem.Devices()
+	if err != nil {
+		return err
+	}
+	if prompt == 0 {
+		prompt = 128
+	}
+	if gen == 0 {
+		gen = 21
+	}
+	var tl trace.Timeline
+	o := sched.Options{
+		Model: cfg, Placement: mp, Devices: devs,
+		GPU: gpu.NewA100(), Engine: xfer.New(),
+		Batch: batch, PromptLen: prompt, GenLen: gen,
+		Trace: &tl,
+	}
+	if compress {
+		qc := quant.Default()
+		o.Compression = &qc
+	}
+	if _, err := sched.Run(o); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tl.WriteChromeTrace(f)
+}

@@ -1,0 +1,68 @@
+// Command helmbench regenerates the paper's tables and figures on the
+// simulated platform.
+//
+// Usage:
+//
+//	helmbench              # run everything
+//	helmbench -run fig11   # one experiment
+//	helmbench -list        # list experiment ids
+//	helmbench -csv         # CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"helmsim/internal/experiments"
+)
+
+func main() {
+	var (
+		runID = flag.String("run", "", "experiment id to run (default: all)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []experiments.Experiment
+	if *runID == "" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "helmbench:", err)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		tables, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "helmbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			var err error
+			if *csv {
+				err = t.RenderCSV(os.Stdout)
+			} else {
+				err = t.Render(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "helmbench: render %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+}

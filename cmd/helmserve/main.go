@@ -1,0 +1,93 @@
+// Command helmserve simulates online serving: Poisson request arrivals
+// against the engine's cost model, with wave batching up to the
+// configured cap. It answers the operational question behind §V-C: what
+// request rate can each placement sustain, and at what tail latency?
+//
+// Usage:
+//
+//	helmserve -mem NVDRAM -policy all-cpu -cap 44 -rate 2 -n 200 -slo 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"helmsim/internal/core"
+	"helmsim/internal/model"
+	"helmsim/internal/placement"
+	"helmsim/internal/report"
+	"helmsim/internal/serve"
+	"helmsim/internal/units"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "OPT-175B", "model name")
+		memName   = flag.String("mem", "NVDRAM", "memory config")
+		polName   = flag.String("policy", "all-cpu", "placement: baseline, helm, all-cpu")
+		compress  = flag.Bool("compress", true, "4-bit weight quantization")
+		capSize   = flag.Int("cap", 44, "wave-size cap (batch)")
+		rate      = flag.Float64("rate", 1.0, "arrival rate, prompts/sec")
+		n         = flag.Int("n", 200, "arrivals to simulate")
+		seed      = flag.Int64("seed", 1, "arrival seed")
+		slo       = flag.Duration("slo", 0, "end-to-end latency SLO (0 = off)")
+	)
+	flag.Parse()
+	if err := run(*modelName, *memName, *polName, *compress, *capSize, *rate, *n, *seed, *slo); err != nil {
+		fmt.Fprintln(os.Stderr, "helmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, memName, polName string, compress bool, capSize int, rate float64, n int, seed int64, slo time.Duration) error {
+	cfg, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	mem, err := core.ParseMemoryConfig(memName)
+	if err != nil {
+		return err
+	}
+	var pol placement.Policy
+	switch polName {
+	case "baseline":
+		pol = nil
+	case "helm":
+		pol = placement.HeLM{Default: placement.Baseline{CPUPct: 80, GPUPct: 20}}
+	case "all-cpu":
+		pol = placement.AllCPU{}
+	default:
+		return fmt.Errorf("unknown policy %q", polName)
+	}
+
+	m, err := serve.SimulateQueue(serve.QueueConfig{
+		Run: core.RunConfig{
+			Model: cfg, Memory: mem, Policy: pol, Batch: capSize, Compress: compress,
+		},
+		ArrivalRate: rate,
+		NumPrompts:  n,
+		Seed:        seed,
+		SLO:         units.Duration(slo.Seconds()),
+	})
+	if err != nil {
+		return err
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("online serving: %s on %s, %s, cap %d, %.2f req/s", cfg.Name, mem, polName, capSize, rate),
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("waves", m.Waves)
+	t.AddRow("mean wave occupancy", fmt.Sprintf("%.1f", m.MeanBatch))
+	t.AddRow("server utilization", fmt.Sprintf("%.1f%%", m.Utilization*100))
+	t.AddRow("throughput", fmt.Sprintf("%.3f prompts/s", m.Throughput))
+	t.AddRow("queue delay mean / p99", fmt.Sprintf("%.1fs / %.1fs", m.MeanQueueDelay.Seconds(), m.P99QueueDelay.Seconds()))
+	t.AddRow("E2E latency mean / p99", fmt.Sprintf("%.1fs / %.1fs", m.MeanE2E.Seconds(), m.P99E2E.Seconds()))
+	if !math.IsNaN(m.SLOAttainment) {
+		t.AddRow(fmt.Sprintf("SLO (%v) attainment", slo), fmt.Sprintf("%.1f%%", m.SLOAttainment*100))
+	}
+	return t.Render(os.Stdout)
+}

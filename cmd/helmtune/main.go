@@ -1,0 +1,87 @@
+// Command helmtune runs the QoS-driven placement autotuner (the paper's
+// §VII future-work direction): pick the policy and batch size that best
+// meet a latency or throughput goal on a given memory configuration.
+//
+// Usage:
+//
+//	helmtune -model OPT-175B -mem NVDRAM -objective min-tbt
+//	helmtune -mem NVDRAM -objective qos -tbt 6.5s
+//	helmtune -mem CXL-ASIC -objective max-throughput
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"helmsim/internal/autotune"
+	"helmsim/internal/core"
+	"helmsim/internal/model"
+	"helmsim/internal/report"
+	"helmsim/internal/units"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "OPT-175B", "model name")
+		memName   = flag.String("mem", "NVDRAM", "memory config")
+		objective = flag.String("objective", "min-tbt", "min-tbt, max-throughput, qos")
+		tbtBound  = flag.Duration("tbt", 0, "TBT bound for -objective qos, e.g. 6.5s")
+		compress  = flag.Bool("compress", true, "4-bit weight quantization")
+	)
+	flag.Parse()
+	if err := run(*modelName, *memName, *objective, *tbtBound, *compress); err != nil {
+		fmt.Fprintln(os.Stderr, "helmtune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, memName, objective string, tbtBound time.Duration, compress bool) error {
+	cfg, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	mem, err := core.ParseMemoryConfig(memName)
+	if err != nil {
+		return err
+	}
+	req := autotune.Request{Model: cfg, Memory: mem, Compress: compress}
+	switch objective {
+	case "min-tbt":
+		req.Objective = autotune.MinTBT
+	case "max-throughput":
+		req.Objective = autotune.MaxThroughput
+	case "qos":
+		req.Objective = autotune.MaxThroughputUnderTBT
+		req.TBTBound = units.Duration(tbtBound.Seconds())
+	default:
+		return fmt.Errorf("unknown objective %q", objective)
+	}
+
+	res, err := autotune.Tune(req)
+	if res != nil && len(res.Trials) > 0 {
+		t := &report.Table{
+			Title:   fmt.Sprintf("trials (%s on %s, objective %s)", cfg.Name, mem, req.Objective),
+			Headers: []string{"policy", "batch", "TTFT(s)", "TBT(s)", "tok/s", "feasible"},
+		}
+		for _, tr := range res.Trials {
+			t.AddRow(tr.PolicyName, tr.Batch,
+				fmt.Sprintf("%.3f", tr.TTFT.Seconds()),
+				fmt.Sprintf("%.3f", tr.TBT.Seconds()),
+				fmt.Sprintf("%.3f", tr.Throughput),
+				tr.Feasible)
+		}
+		if rerr := t.Render(os.Stdout); rerr != nil {
+			return rerr
+		}
+		fmt.Println()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("winner: %s at batch %d — TTFT %.3fs, TBT %.3fs, %.3f tok/s\n",
+		res.Best.PolicyName, res.Best.Batch,
+		res.Best.TTFT.Seconds(), res.Best.TBT.Seconds(), res.Best.Throughput)
+	return nil
+}

@@ -1,0 +1,99 @@
+// Command nvbandwidth reproduces the paper's Fig. 3 characterization: one-
+// shot host->GPU and GPU->host copy bandwidth over buffer sizes from 256 MB
+// to 32 GB for DRAM, Optane (NVDRAM) and Memory Mode on both NUMA nodes.
+//
+// Usage:
+//
+//	nvbandwidth            # both directions, table + chart
+//	nvbandwidth -dir h2d   # host-to-gpu only
+//	nvbandwidth -csv       # CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"helmsim/internal/bwbench"
+	"helmsim/internal/report"
+)
+
+func main() {
+	var (
+		dir = flag.String("dir", "both", "direction: h2d, d2h, both")
+		csv = flag.Bool("csv", false, "CSV output")
+	)
+	flag.Parse()
+	if err := run(*dir, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "nvbandwidth:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, csv bool) error {
+	var dirs []bwbench.Direction
+	switch dir {
+	case "h2d":
+		dirs = []bwbench.Direction{bwbench.HostToGPU}
+	case "d2h":
+		dirs = []bwbench.Direction{bwbench.GPUToHost}
+	case "both":
+		dirs = []bwbench.Direction{bwbench.HostToGPU, bwbench.GPUToHost}
+	default:
+		return fmt.Errorf("unknown direction %q (want h2d, d2h, both)", dir)
+	}
+
+	series, err := bwbench.RunFig3()
+	if err != nil {
+		return err
+	}
+	sizes := bwbench.SweepSizes()
+
+	for _, d := range dirs {
+		var sel []bwbench.Series
+		maxBW := 0.0
+		for _, s := range series {
+			if s.Dir != d {
+				continue
+			}
+			sel = append(sel, s)
+			for _, p := range s.Points {
+				if bw := p.BW.GBpsf(); bw > maxBW {
+					maxBW = bw
+				}
+			}
+		}
+		t := &report.Table{
+			Title:   fmt.Sprintf("Fig. 3 %s copy bandwidth (GB/s)", d),
+			Headers: []string{"buffer"},
+		}
+		for _, s := range sel {
+			t.Headers = append(t.Headers, s.Device)
+		}
+		for i, size := range sizes {
+			row := []any{size.String()}
+			for _, s := range sel {
+				row = append(row, fmt.Sprintf("%.2f", s.Points[i].BW.GBpsf()))
+			}
+			t.AddRow(row...)
+		}
+		if csv {
+			if err := t.RenderCSV(os.Stdout); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		// Chart the 1 GB point across devices.
+		fmt.Printf("at 1 GiB (%s):\n", d)
+		for _, s := range sel {
+			bw := s.Points[2].BW.GBpsf() // 1024 MB
+			fmt.Println(report.Bar(s.Device, bw, maxBW, 40, fmt.Sprintf("%.2f GB/s", bw)))
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command placementviz inspects weight placements: the achieved
+// distribution of any policy over any model, per layer type and per weight
+// tensor (the views of Figs. 7b, 7c, 9 and 10).
+//
+// Usage:
+//
+//	placementviz -model OPT-175B -policy baseline -disk 0 -cpu 80 -gpu 20
+//	placementviz -model OPT-175B -policy helm
+//	placementviz -model OPT-175B -policy all-cpu -weights
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"helmsim/internal/model"
+	"helmsim/internal/placement"
+	"helmsim/internal/quant"
+	"helmsim/internal/report"
+	"helmsim/internal/units"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "OPT-175B", "model name")
+		polName   = flag.String("policy", "baseline", "policy: baseline, helm, all-cpu, all-gpu")
+		disk      = flag.Float64("disk", 0, "baseline disk percent")
+		cpu       = flag.Float64("cpu", 80, "baseline cpu percent")
+		gpu       = flag.Float64("gpu", 20, "baseline gpu percent")
+		weights   = flag.Bool("weights", false, "also print the per-weight placement of one decoder block")
+		compress  = flag.Bool("compress", false, "report compressed (4-bit) sizes")
+	)
+	flag.Parse()
+	if err := run(*modelName, *polName, *disk, *cpu, *gpu, *weights, *compress); err != nil {
+		fmt.Fprintln(os.Stderr, "placementviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, polName string, disk, cpu, gpu float64, weights, compress bool) error {
+	cfg, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	var pol placement.Policy
+	switch polName {
+	case "baseline":
+		pol = placement.Baseline{DiskPct: disk, CPUPct: cpu, GPUPct: gpu}
+	case "helm":
+		pol = placement.HeLM{Default: placement.Baseline{DiskPct: disk, CPUPct: cpu, GPUPct: gpu}}
+	case "all-cpu":
+		pol = placement.AllCPU{}
+	case "all-gpu":
+		pol = placement.AllGPU{}
+	default:
+		return fmt.Errorf("unknown policy %q", polName)
+	}
+	mp, err := placement.PlaceModel(pol, cfg)
+	if err != nil {
+		return err
+	}
+	sizer := placement.RawSizer
+	if compress {
+		qc := quant.Default()
+		sizer = func(s model.WeightSpec) units.Bytes { return qc.CompressedBytes(s.Elems) }
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s under %s: achieved distribution (storage, host, GPU)", cfg.Name, mp.PolicyName),
+		Headers: []string{"scope", "storage %", "host %", "GPU %", "bytes"},
+	}
+	for _, lt := range []model.LayerType{model.LayerInputEmbed, model.LayerMHA, model.LayerFFN, model.LayerOutputEmbed} {
+		d := mp.DistributionByType(lt, sizer)
+		t.AddRow(lt.String(), fmt.Sprintf("%.1f", d.DiskPct), fmt.Sprintf("%.1f", d.CPUPct), fmt.Sprintf("%.1f", d.GPUPct), "")
+	}
+	overall := mp.AchievedDistribution(sizer)
+	total := mp.TotalOn(placement.TierDisk, sizer) + mp.TotalOn(placement.TierCPU, sizer) + mp.TotalOn(placement.TierGPU, sizer)
+	t.AddRow("overall", fmt.Sprintf("%.1f", overall.DiskPct), fmt.Sprintf("%.1f", overall.CPUPct),
+		fmt.Sprintf("%.1f", overall.GPUPct), total.String())
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if weights {
+		fmt.Println()
+		w := &report.Table{
+			Title:   "per-weight placement (first decoder block)",
+			Headers: []string{"layer", "weight", "size", "tier"},
+		}
+		seen := map[model.LayerType]bool{}
+		for _, lp := range mp.Layers {
+			if lp.Layer.Type != model.LayerMHA && lp.Layer.Type != model.LayerFFN {
+				continue
+			}
+			if seen[lp.Layer.Type] {
+				continue
+			}
+			seen[lp.Layer.Type] = true
+			for _, a := range lp.Assignments {
+				w.AddRow(lp.Layer.Type.String(), a.Spec.Name, sizer(a.Spec).String(), a.Tier.String())
+			}
+		}
+		if err := w.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Checkpoint I/O: build a small synthetic model checkpoint, store it raw
+// (FP16) and 4-bit quantized, and stream it back — demonstrating the
+// on-disk artifact an out-of-core server loads layers from and the ~3.6x
+// size reduction compression buys (§IV-B) with its measured reconstruction
+// error.
+//
+//	go run ./examples/checkpoint_io
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+
+	"helmsim/internal/checkpoint"
+	"helmsim/internal/model"
+	"helmsim/internal/quant"
+)
+
+func main() {
+	// A scaled-down OPT-style model so the demo runs in milliseconds.
+	cfg := model.Config{
+		Name: "OPT-mini", Hidden: 256, Heads: 8, Blocks: 2,
+		Vocab: 1024, MaxSeq: 512, DTypeBytes: 2,
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	// Count tensors and synthesize weights per spec.
+	var specs []model.WeightSpec
+	for _, l := range cfg.Layers() {
+		specs = append(specs, l.Weights...)
+	}
+	weights := make(map[string][]float32, len(specs))
+	names := make([]string, 0, len(specs))
+	for i, s := range specs {
+		key := fmt.Sprintf("%03d/%s", i, s.Name)
+		names = append(names, key)
+		data := make([]float32, s.Elems)
+		for j := range data {
+			data[j] = float32(rng.NormFloat64() * 0.02)
+		}
+		weights[key] = data
+	}
+
+	write := func(quantize bool) *bytes.Buffer {
+		var buf bytes.Buffer
+		w, err := checkpoint.NewWriter(&buf, cfg.Name, len(names))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, key := range names {
+			if quantize {
+				qt, err := quant.Quantize(weights[key], quant.Default())
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := w.WriteQuantized(key, qt); err != nil {
+					log.Fatal(err)
+				}
+				continue
+			}
+			if err := w.WriteRaw(key, weights[key]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return &buf
+	}
+
+	rawBuf := write(false)
+	qBuf := write(true)
+	fmt.Printf("%s checkpoint: %d tensors, %d params\n", cfg.Name, len(names), cfg.ParamCount())
+	fmt.Printf("  raw FP16:       %8d bytes\n", rawBuf.Len())
+	fmt.Printf("  4-bit GWQ:      %8d bytes (%.2fx smaller)\n",
+		qBuf.Len(), float64(rawBuf.Len())/float64(qBuf.Len()))
+
+	// Stream the quantized checkpoint back and measure reconstruction
+	// error against the originals.
+	r, err := checkpoint.NewReader(bytes.NewReader(qBuf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var se, ss float64
+	tensors := 0
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		orig := weights[e.Name]
+		for i := range orig {
+			d := float64(e.Data[i] - orig[i])
+			se += d * d
+			ss += float64(orig[i]) * float64(orig[i])
+		}
+		tensors++
+	}
+	fmt.Printf("  streamed back:  %d tensors, relative RMS error %.3f%%\n",
+		tensors, math.Sqrt(se/ss)*100)
+	fmt.Println()
+	fmt.Println("Group-wise 4-bit quantization keeps the reconstruction error in the")
+	fmt.Println("single-digit percent range — \"a negligible loss in accuracy\" for the")
+	fmt.Println("networks (§IV-B) — while quartering every transfer the server makes.")
+}

@@ -1,0 +1,83 @@
+// CXL what-if analysis (§V-D): sweep the host-tier bandwidth across the
+// published CXL device spectrum — from the FPGA-controller expander
+// (5.12 GB/s) past Optane to the ASIC expander (28 GB/s) — and show how
+// the baseline, HeLM and All-CPU placements respond. This is the decision
+// chart a deployment would use to pick a placement policy for a given
+// memory device.
+//
+//	go run ./examples/cxl_projection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"helmsim"
+	"helmsim/internal/core"
+	"helmsim/internal/cxl"
+	"helmsim/internal/memdev"
+	"helmsim/internal/sched"
+	"helmsim/internal/units"
+
+	// The sweep drives the scheduler directly with synthetic expanders.
+	"helmsim/internal/gpu"
+	"helmsim/internal/placement"
+	"helmsim/internal/quant"
+	"helmsim/internal/xfer"
+)
+
+func main() {
+	fmt.Println("Table III devices:")
+	for _, c := range cxl.Configs() {
+		fmt.Printf("  %-9s %-13s %8s   (%s)\n", c.Name, c.MemTech, c.BW.String(), c.Source)
+	}
+	fmt.Println()
+
+	// Named-device projections through the engine.
+	fmt.Println("OPT-175B(c), batch 1 — TBT per device and policy:")
+	for _, mem := range []helmsim.MemoryConfig{helmsim.MemCXLFPGA, helmsim.MemNVDRAM, helmsim.MemCXLASIC} {
+		base, err := helmsim.Run(helmsim.Config{Model: helmsim.OPT175B(), Memory: mem, Batch: 1, Compress: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		helm, err := helmsim.Run(helmsim.Config{Model: helmsim.OPT175B(), Memory: mem, Policy: helmsim.HeLMPolicy(), Batch: 1, Compress: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s baseline %7.3fs   HeLM %7.3fs   (%.1f%% better)\n",
+			mem, base.TBT.Seconds(), helm.TBT.Seconds(), (1-helm.TBT.Seconds()/base.TBT.Seconds())*100)
+	}
+	fmt.Println()
+
+	// Continuous sweep: synthetic expanders from 4 to 32 GB/s.
+	fmt.Println("bandwidth sweep (synthetic CXL expander as host tier), TBT in seconds:")
+	fmt.Printf("  %8s  %10s  %10s  %10s\n", "GB/s", "baseline", "HeLM", "HeLM gain")
+	cfg := helmsim.OPT175B()
+	qc := quant.Default()
+	for _, gbps := range []float64{4, 5.12, 8, 12, 16, 19.91, 24, 28, 32} {
+		dev := memdev.NewCXL(fmt.Sprintf("CXL-%.0f", gbps), units.GBps(gbps), units.TiB)
+		tbt := func(pol helmsim.Policy) float64 {
+			mp, err := placement.PlaceModel(pol, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sched.Run(sched.Options{
+				Model: cfg, Placement: mp,
+				Devices: sched.TierDevices{CPU: dev},
+				GPU:     gpu.NewA100(), Engine: xfer.New(),
+				Batch: 1, PromptLen: 128, GenLen: 21, Compression: &qc,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res.TBT.Seconds()
+		}
+		b := tbt(core.DefaultPolicy(cfg, helmsim.MemCXLASIC))
+		h := tbt(helmsim.HeLMPolicy())
+		fmt.Printf("  %8.2f  %9.3fs  %9.3fs  %9.1f%%\n", gbps, b, h, (1-h/b)*100)
+	}
+	fmt.Println()
+	fmt.Println("HeLM's advantage holds across the whole CXL performance spectrum; it")
+	fmt.Println("shrinks only when the link is fast enough that transfers hide entirely")
+	fmt.Println("behind compute (§V-D).")
+}

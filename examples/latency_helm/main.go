@@ -1,0 +1,86 @@
+// Latency tuning with HeLM (§V-B): serve the compressed OPT-175B on Optane
+// and compare FlexGen's baseline weight placement against HeLM, which
+// equalizes layer i's compute with layer i+1's weight transfer. The example
+// prints the per-layer-type overlap that explains the win and the resulting
+// TTFT/TBT against an all-DRAM system.
+//
+//	go run ./examples/latency_helm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"helmsim"
+	"helmsim/internal/model"
+	"helmsim/internal/report"
+	"helmsim/internal/sched"
+	"helmsim/internal/units"
+)
+
+func main() {
+	type point struct {
+		label  string
+		mem    helmsim.MemoryConfig
+		policy helmsim.Policy
+	}
+	points := []point{
+		{"NVDRAM baseline", helmsim.MemNVDRAM, nil},
+		{"NVDRAM HeLM", helmsim.MemNVDRAM, helmsim.HeLMPolicy()},
+		{"DRAM HeLM", helmsim.MemDRAM, helmsim.HeLMPolicy()},
+	}
+
+	fmt.Println("OPT-175B, 4-bit compressed, batch 1 — decode overlap per layer type")
+	fmt.Println()
+	results := map[string]*helmsim.Result{}
+	var maxMs float64
+	type bars struct{ mhaC, ffnL, ffnC, mhaL float64 }
+	rows := map[string]bars{}
+	for _, p := range points {
+		res, err := helmsim.Run(helmsim.Config{
+			Model: helmsim.OPT175B(), Memory: p.mem, Policy: p.policy, Batch: 1, Compress: true,
+		})
+		if err != nil {
+			log.Fatalf("latency_helm: %v", err)
+		}
+		results[p.label] = res
+		d := res.Decode[len(res.Decode)-1]
+		compute := func(lt sched.LayerTiming) units.Duration { return lt.Compute }
+		load := func(lt sched.LayerTiming) units.Duration { return lt.Load }
+		b := bars{
+			mhaC: d.AvgByType(model.LayerMHA, compute).Milliseconds(),
+			ffnL: d.AvgByType(model.LayerFFN, load).Milliseconds(),
+			ffnC: d.AvgByType(model.LayerFFN, compute).Milliseconds(),
+			mhaL: d.AvgByType(model.LayerMHA, load).Milliseconds(),
+		}
+		rows[p.label] = b
+		for _, v := range []float64{b.mhaC, b.ffnL, b.ffnC, b.mhaL} {
+			if v > maxMs {
+				maxMs = v
+			}
+		}
+	}
+
+	for _, p := range points {
+		b := rows[p.label]
+		fmt.Printf("%s:\n", p.label)
+		fmt.Println(report.Bar("  MHA compute", b.mhaC, maxMs, 36, fmt.Sprintf("%.1f ms", b.mhaC)))
+		fmt.Println(report.Bar("  FFN load", b.ffnL, maxMs, 36, fmt.Sprintf("%.1f ms (overlapped pair)", b.ffnL)))
+		fmt.Println(report.Bar("  FFN compute", b.ffnC, maxMs, 36, fmt.Sprintf("%.1f ms", b.ffnC)))
+		fmt.Println(report.Bar("  MHA load", b.mhaL, maxMs, 36, fmt.Sprintf("%.1f ms (overlapped pair)", b.mhaL)))
+		fmt.Println()
+	}
+
+	base := results["NVDRAM baseline"]
+	helm := results["NVDRAM HeLM"]
+	dram := results["DRAM HeLM"]
+	fmt.Printf("TTFT: baseline %.3fs -> HeLM %.3fs (%.1f%% better; DRAM %.3fs)\n",
+		base.TTFT.Seconds(), helm.TTFT.Seconds(),
+		(1-helm.TTFT.Seconds()/base.TTFT.Seconds())*100, dram.TTFT.Seconds())
+	fmt.Printf("TBT:  baseline %.3fs -> HeLM %.3fs (%.1f%% better; DRAM %.3fs)\n",
+		base.TBT.Seconds(), helm.TBT.Seconds(),
+		(1-helm.TBT.Seconds()/base.TBT.Seconds())*100, dram.TBT.Seconds())
+	fmt.Println()
+	fmt.Println("HeLM halves the FFN transfer (fc1 moves on-GPU) and lets the larger FFN")
+	fmt.Println("compute hide the grown MHA transfer — Optane lands within ~9% of DRAM.")
+}

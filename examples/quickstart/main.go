@@ -1,0 +1,33 @@
+// Quickstart: serve OPT-30B out-of-core on Optane (NVDRAM) host memory and
+// print the paper's three metrics — time to first token, time between
+// tokens, and throughput — alongside an all-DRAM reference.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"helmsim"
+)
+
+func main() {
+	for _, mem := range []helmsim.MemoryConfig{helmsim.MemDRAM, helmsim.MemNVDRAM, helmsim.MemMemoryMode} {
+		res, err := helmsim.Run(helmsim.Config{
+			Model:  helmsim.OPT30B(),
+			Memory: mem,
+			Batch:  32, // the paper's OPT-30B maximum (§IV-B)
+		})
+		if err != nil {
+			log.Fatalf("quickstart: %v", err)
+		}
+		fmt.Printf("%-11s  TTFT %8.3fs   TBT %8.3fs   %7.2f tok/s   (max batch %d)\n",
+			mem, res.TTFT.Seconds(), res.TBT.Seconds(), res.Throughput, res.MaxBatch)
+	}
+
+	fmt.Println()
+	fmt.Println("Out-of-core OPT-30B streams half its weights from host memory every")
+	fmt.Println("token; replacing DRAM with Optane costs ~25-30% latency (§IV-B), and")
+	fmt.Println("Memory Mode hides the gap while the weights fit its DRAM cache.")
+}

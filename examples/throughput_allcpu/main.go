@@ -1,0 +1,73 @@
+// Throughput serving with All-CPU (§V-C): push every weight to host memory,
+// hand the whole GPU to the KV cache, and sweep the batch size up to the
+// budget's cap. The example prints the capacity analysis (why the baseline
+// stops at a small batch while All-CPU reaches 44+) and the throughput
+// curve.
+//
+//	go run ./examples/throughput_allcpu
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"helmsim"
+	"helmsim/internal/report"
+)
+
+func main() {
+	base := helmsim.Config{Model: helmsim.OPT175B(), Memory: helmsim.MemNVDRAM, Batch: 1, Compress: true}
+
+	allCPU := base
+	allCPU.Policy = helmsim.AllCPUPolicy()
+
+	baseCapUncompressed := base
+	baseCapUncompressed.Compress = false
+	capBase, err := helmsim.MaxBatch(baseCapUncompressed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capAll, err := helmsim.MaxBatch(allCPU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GPU batch caps on the 40 GB A100 (OPT-175B):\n")
+	fmt.Printf("  baseline placement (uncompressed, ~29 GB weights on GPU): %d\n", capBase)
+	fmt.Printf("  All-CPU placement  (0 GB weights on GPU):                 %d\n", capAll)
+	fmt.Println()
+
+	// Throughput scaling: baseline at its cap vs All-CPU sweeping upward.
+	ref, err := helmsim.Run(func() helmsim.Config { c := base; c.Batch = 8; return c }())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline batch 8: %.3f tok/s (reference)\n\n", ref.Throughput)
+
+	var maxThr float64
+	type row struct {
+		batch int
+		thr   float64
+	}
+	var rows []row
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 44} {
+		cfg := allCPU
+		cfg.Batch = b
+		res, err := helmsim.Run(cfg)
+		if err != nil {
+			log.Fatalf("batch %d: %v", b, err)
+		}
+		rows = append(rows, row{b, res.Throughput})
+		if res.Throughput > maxThr {
+			maxThr = res.Throughput
+		}
+	}
+	fmt.Println("All-CPU throughput vs batch size:")
+	for _, r := range rows {
+		fmt.Println(report.Bar(fmt.Sprintf("  batch %d", r.batch), r.thr, maxThr, 40,
+			fmt.Sprintf("%6.3f tok/s (%.2fx baseline b8)", r.thr, r.thr/ref.Throughput)))
+	}
+	fmt.Println()
+	fmt.Println("Weight transfer time is the same at any batch — decode compute stays")
+	fmt.Println("flat (dequantization-dominated) — so every extra prompt rides along for")
+	fmt.Println("free until the KV cache fills the GPU: a ~5x throughput win (§V-C).")
+}

@@ -1,0 +1,66 @@
+package helmsim
+
+import (
+	"helmsim/internal/autotune"
+	"helmsim/internal/energy"
+	"helmsim/internal/serve"
+	"helmsim/internal/units"
+)
+
+// This file re-exports the extension surfaces built on top of the paper's
+// reproduction: the QoS autotuner (§VII future work), energy accounting
+// (the abstract's DRAM-substitution argument), and online serving.
+
+// Duration is the simulator's time unit (seconds as float64).
+type Duration = units.Duration
+
+// Bytes is the simulator's size unit.
+type Bytes = units.Bytes
+
+// Tuning objectives.
+const (
+	// MinTBT minimizes time between tokens.
+	MinTBT = autotune.MinTBT
+	// MaxThroughput maximizes tokens per second.
+	MaxThroughput = autotune.MaxThroughput
+	// MaxThroughputUnderTBT maximizes throughput under a TBT bound.
+	MaxThroughputUnderTBT = autotune.MaxThroughputUnderTBT
+)
+
+// TuneRequest describes a QoS tuning problem.
+type TuneRequest = autotune.Request
+
+// TuneResult is a tuning outcome with the trial history.
+type TuneResult = autotune.Result
+
+// Tune searches placement policies and batch sizes for a QoS objective —
+// the paper's §VII future-work direction made executable.
+var Tune = autotune.Tune
+
+// BalancePlacement builds a compute-aware placement for the configuration
+// with the given GPU byte budget, generalizing HeLM's balancing idea to
+// any layer structure.
+var BalancePlacement = autotune.Balance
+
+// EnergyBreakdown decomposes a run's energy cost.
+type EnergyBreakdown = energy.Breakdown
+
+// EstimateEnergy computes the energy breakdown of a completed run,
+// quantifying the abstract's claim that careful placement lets
+// high-capacity low-standby-power memory substitute for DRAM.
+var EstimateEnergy = energy.Estimate
+
+// QueueConfig describes an online-serving simulation (Poisson arrivals,
+// wave batching).
+type QueueConfig = serve.QueueConfig
+
+// QueueMetrics aggregates an online-serving simulation.
+type QueueMetrics = serve.QueueMetrics
+
+// SimulateQueue runs the online-serving simulation on the engine's cost
+// model.
+var SimulateQueue = serve.SimulateQueue
+
+// PaperProtocol serves the §III-B workload (128-token prompts repeated 10
+// times, metrics averaged with the first run discarded).
+var PaperProtocol = serve.PaperProtocol

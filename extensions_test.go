@@ -1,0 +1,69 @@
+package helmsim_test
+
+import (
+	"math"
+	"testing"
+
+	"helmsim"
+)
+
+func TestPublicTune(t *testing.T) {
+	res, err := helmsim.Tune(helmsim.TuneRequest{
+		Model:     helmsim.OPT175B(),
+		Memory:    helmsim.MemNVDRAM,
+		Compress:  true,
+		Objective: helmsim.MinTBT,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.TBT <= 0 {
+		t.Fatalf("no tuning winner: %+v", res)
+	}
+}
+
+func TestPublicBalanceAndEnergy(t *testing.T) {
+	rc := helmsim.Config{Model: helmsim.OPT175B(), Memory: helmsim.MemNVDRAM, Batch: 1, Compress: true}
+	pol, err := helmsim.BalancePlacement(rc, 20e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Policy = pol
+	run, err := helmsim.Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := helmsim.EstimateEnergy(rc, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PerTokenJ <= 0 || math.IsNaN(b.PerTokenJ) {
+		t.Errorf("energy breakdown broken: %+v", b)
+	}
+}
+
+func TestPublicQueueAndProtocol(t *testing.T) {
+	m, err := helmsim.SimulateQueue(helmsim.QueueConfig{
+		Run: helmsim.Config{
+			Model: helmsim.OPT30B(), Memory: helmsim.MemNVDRAM, Batch: 8,
+		},
+		ArrivalRate: 2,
+		NumPrompts:  40,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Waves == 0 || m.Throughput <= 0 {
+		t.Fatalf("queue metrics broken: %+v", m)
+	}
+	p, err := helmsim.PaperProtocol(helmsim.Config{
+		Model: helmsim.OPT30B(), Memory: helmsim.MemDRAM, Batch: 4,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Runs != 2 {
+		t.Errorf("protocol runs = %d", p.Runs)
+	}
+}

@@ -1,0 +1,3 @@
+module helmsim
+
+go 1.24

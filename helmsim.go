@@ -1,0 +1,122 @@
+// Package helmsim is a simulation framework for out-of-core LLM inference
+// on heterogeneous host memory, reproducing "Improving the Performance of
+// Out-of-Core LLM Inference Using Heterogeneous Host Memory" (Gupta &
+// Dwarkadas, IISWC 2025).
+//
+// The package models a dual-socket Optane + NVIDIA A100 platform (memory
+// device bandwidth curves, PCIe transfer engine, roofline GPU kernels),
+// re-implements FlexGen's zig-zag schedule and weight-placement allocator,
+// and provides the paper's two proposed placement schemes — HeLM
+// (latency-optimizing) and All-CPU (throughput-optimizing) — plus CXL
+// memory-expander projections.
+//
+// Quick start:
+//
+//	res, err := helmsim.Run(helmsim.Config{
+//	    Model:    helmsim.OPT175B(),
+//	    Memory:   helmsim.MemNVDRAM,
+//	    Policy:   helmsim.HeLMPolicy(),
+//	    Batch:    1,
+//	    Compress: true,
+//	})
+//	fmt.Println(res.TTFT, res.TBT, res.Throughput)
+//
+// The internal packages expose the substrates (memdev, xfer, gpu, sched,
+// placement, quant, kvcache, experiments); this package re-exports the
+// surface a downstream user needs.
+package helmsim
+
+import (
+	"helmsim/internal/core"
+	"helmsim/internal/model"
+	"helmsim/internal/placement"
+)
+
+// Model describes a decoder-only transformer (the OPT family).
+type Model = model.Config
+
+// Model constructors for the OPT family (Zhang et al. [18]).
+var (
+	OPT1B3  = model.OPT1B3
+	OPT6B7  = model.OPT6B7
+	OPT13B  = model.OPT13B
+	OPT30B  = model.OPT30B
+	OPT66B  = model.OPT66B
+	OPT175B = model.OPT175B
+)
+
+// ModelByName looks a model up by name, e.g. "OPT-175B".
+var ModelByName = model.ByName
+
+// MemoryConfig selects a host memory configuration (paper Table II) or a
+// projected CXL expander (Table III).
+type MemoryConfig = core.MemoryConfig
+
+// Memory configurations.
+const (
+	MemDRAM       = core.MemDRAM
+	MemNVDRAM     = core.MemNVDRAM
+	MemMemoryMode = core.MemMemoryMode
+	MemSSD        = core.MemSSD
+	MemFSDAX      = core.MemFSDAX
+	MemCXLFPGA    = core.MemCXLFPGA
+	MemCXLASIC    = core.MemCXLASIC
+)
+
+// ParseMemoryConfig resolves a configuration label like "NVDRAM".
+var ParseMemoryConfig = core.ParseMemoryConfig
+
+// Policy decides where each layer's weights live; see BaselinePolicy,
+// HeLMPolicy, AllCPUPolicy and AllGPUPolicy.
+type Policy = placement.Policy
+
+// Baseline is FlexGen's percent-driven allocator (paper Listing 2); the
+// fields are the requested (disk, cpu, gpu) percentage split.
+type Baseline = placement.Baseline
+
+// HeLM is the paper's latency-optimizing allocator (§V-B, Listing 3).
+type HeLM = placement.HeLM
+
+// AllCPU is the paper's throughput-optimizing allocator (§V-C).
+type AllCPU = placement.AllCPU
+
+// AllGPU pins every weight on the accelerator.
+type AllGPU = placement.AllGPU
+
+// BaselinePolicy builds the default FlexGen placement with a requested
+// (disk, cpu, gpu) percentage split.
+func BaselinePolicy(diskPct, cpuPct, gpuPct float64) Policy {
+	return placement.Baseline{DiskPct: diskPct, CPUPct: cpuPct, GPUPct: gpuPct}
+}
+
+// HeLMPolicy builds the paper's HeLM placement with its published per-layer
+// splits and the (0, 80, 20) fallback for embedding layers.
+func HeLMPolicy() Policy {
+	return placement.HeLM{Default: placement.Baseline{DiskPct: 0, CPUPct: 80, GPUPct: 20}}
+}
+
+// AllCPUPolicy builds the paper's All-CPU placement.
+func AllCPUPolicy() Policy { return placement.AllCPU{} }
+
+// AllGPUPolicy pins all weights on the GPU (models that fit).
+func AllGPUPolicy() Policy { return placement.AllGPU{} }
+
+// Config is one simulation point.
+type Config = core.RunConfig
+
+// Result is a completed simulation with placement and capacity analysis.
+type Result = core.RunResult
+
+// Run executes one configuration end to end: place weights, verify
+// capacities, solve the GPU batch budget, and simulate FlexGen's zig-zag
+// schedule. See Config for the knobs.
+var Run = core.Run
+
+// MaxBatch solves the largest batch size the GPU memory budget admits for
+// a configuration without running it — the mechanism behind the paper's
+// batch caps (8 baseline vs 44 All-CPU for OPT-175B, §V-C).
+var MaxBatch = core.MaxBatchFor
+
+// DefaultPolicy returns the paper's placement defaults for a model/memory
+// pair (§V-A).
+var DefaultPolicy = core.DefaultPolicy

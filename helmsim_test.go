@@ -1,0 +1,72 @@
+package helmsim_test
+
+import (
+	"testing"
+
+	"helmsim"
+)
+
+// The public facade supports the documented quick-start flow.
+func TestPublicAPIQuickstart(t *testing.T) {
+	res, err := helmsim.Run(helmsim.Config{
+		Model:    helmsim.OPT175B(),
+		Memory:   helmsim.MemNVDRAM,
+		Policy:   helmsim.HeLMPolicy(),
+		Batch:    1,
+		Compress: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TTFT <= 0 || res.TBT <= 0 || res.Throughput <= 0 {
+		t.Fatalf("bad metrics: %+v", res.Result)
+	}
+}
+
+func TestPublicPolicyConstructors(t *testing.T) {
+	for _, p := range []helmsim.Policy{
+		helmsim.BaselinePolicy(0, 80, 20),
+		helmsim.HeLMPolicy(),
+		helmsim.AllCPUPolicy(),
+		helmsim.AllGPUPolicy(),
+	} {
+		if p.Name() == "" {
+			t.Errorf("policy without a name: %T", p)
+		}
+	}
+}
+
+func TestPublicModelLookup(t *testing.T) {
+	m, err := helmsim.ModelByName("OPT-30B")
+	if err != nil || m.Hidden != 7168 {
+		t.Fatalf("ModelByName: %v, %v", m, err)
+	}
+	mem, err := helmsim.ParseMemoryConfig("MemoryMode")
+	if err != nil || mem != helmsim.MemMemoryMode {
+		t.Fatalf("ParseMemoryConfig: %v, %v", mem, err)
+	}
+}
+
+func TestPublicMaxBatch(t *testing.T) {
+	cap44, err := helmsim.MaxBatch(helmsim.Config{
+		Model:    helmsim.OPT175B(),
+		Memory:   helmsim.MemNVDRAM,
+		Policy:   helmsim.AllCPUPolicy(),
+		Batch:    1,
+		Compress: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap44 < 44 {
+		t.Errorf("All-CPU cap = %d, want >= 44 (§V-C)", cap44)
+	}
+}
+
+func TestDefaultPolicyExported(t *testing.T) {
+	p := helmsim.DefaultPolicy(helmsim.OPT175B(), helmsim.MemSSD)
+	b, ok := p.(helmsim.Baseline)
+	if !ok || b.DiskPct != 65 {
+		t.Errorf("DefaultPolicy = %#v", p)
+	}
+}

@@ -1,0 +1,57 @@
+package helmsim
+
+import (
+	"io"
+
+	"helmsim/internal/infer"
+	"helmsim/internal/quant"
+)
+
+// This file re-exports the executable inference engine: real forward
+// passes over float32 tensors with KV-cached incremental decoding, for
+// laptop-scale models. The simulator answers the paper's performance
+// questions; this engine grounds the same computation in executable
+// numerics, including serving weights out-of-core from a checkpoint file.
+
+// InferenceEngine executes a decoder-only transformer (OPT or LLaMA
+// architecture) incrementally.
+type InferenceEngine = infer.Engine
+
+// WeightStore provides a layer's named tensors on demand.
+type WeightStore = infer.WeightStore
+
+// NewInferenceEngine builds an engine over a model and weight store.
+var NewInferenceEngine = infer.New
+
+// RandomWeights synthesizes a complete seeded weight set for a model.
+var RandomWeights = infer.RandomWeights
+
+// QuantizeWeights compresses a raw weight store to 4-bit group-wise
+// tensors that are dequantized per use (FlexGen's serving mode).
+func QuantizeWeights(m Model, src *infer.MemStore) (*infer.QuantStore, error) {
+	return infer.Quantize(m, src, quant.Default())
+}
+
+// BatchEngine decodes several sequences in lockstep, fetching (and
+// dequantizing) each layer's weights once per step regardless of batch
+// size — the executable counterpart of the zig-zag schedule's weight
+// reuse (§II-B).
+type BatchEngine = infer.BatchEngine
+
+// NewBatchEngine builds a lockstep batch engine.
+var NewBatchEngine = infer.NewBatch
+
+// OpenWeightFile serves weights straight from an indexed checkpoint file —
+// genuine out-of-core operation.
+var OpenWeightFile = infer.OpenFileStore
+
+// WriteWeightFile serializes a model's weights into a checkpoint,
+// optionally 4-bit quantized.
+func WriteWeightFile(w io.Writer, m Model, src *infer.MemStore, quantized bool) error {
+	var qc *quant.Config
+	if quantized {
+		c := quant.Default()
+		qc = &c
+	}
+	return infer.WriteCheckpoint(w, m, src, qc)
+}

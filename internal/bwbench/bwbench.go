@@ -1,0 +1,100 @@
+// Package bwbench reproduces the paper's nvbandwidth characterization
+// (§IV-A, Fig. 3): one-shot host->GPU and GPU->host copy bandwidth for
+// buffer sizes between 256 MB and 32 GB, for every memory device on both
+// NUMA nodes.
+package bwbench
+
+import (
+	"fmt"
+
+	"helmsim/internal/memdev"
+	"helmsim/internal/numa"
+	"helmsim/internal/units"
+	"helmsim/internal/xfer"
+)
+
+// Direction is the copy direction.
+type Direction int
+
+// Copy directions.
+const (
+	HostToGPU Direction = iota
+	GPUToHost
+)
+
+// String names the direction as the paper's figure captions do.
+func (d Direction) String() string {
+	if d == HostToGPU {
+		return "host-to-gpu"
+	}
+	return "gpu-to-host"
+}
+
+// Point is one measurement.
+type Point struct {
+	// Size is the buffer size.
+	Size units.Bytes
+	// BW is the measured copy bandwidth.
+	BW units.Bandwidth
+}
+
+// Series is one device's sweep in one direction.
+type Series struct {
+	// Device is the device label, e.g. "NVDRAM-0".
+	Device string
+	// Dir is the copy direction.
+	Dir Direction
+	// Points holds one measurement per swept size, ascending.
+	Points []Point
+}
+
+// SweepSizes returns the Fig. 3 buffer sizes: eight power-of-two steps
+// from 256 MB up to the 32 GB end of the sweep.
+func SweepSizes() []units.Bytes {
+	out := make([]units.Bytes, 0, 8)
+	for s, i := 256*units.MB, 0; i < 8; s, i = s*2, i+1 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// RunDevice sweeps one device in one direction.
+func RunDevice(dev memdev.Device, dir Direction, sizes []units.Bytes) (Series, error) {
+	eng := xfer.New()
+	s := Series{Device: dev.Name(), Dir: dir}
+	for _, size := range sizes {
+		if size <= 0 {
+			return Series{}, fmt.Errorf("bwbench: non-positive size %d", size)
+		}
+		var bw units.Bandwidth
+		var err error
+		if dir == HostToGPU {
+			bw, err = eng.MeasureHostToGPU(dev, size)
+		} else {
+			bw, err = eng.MeasureGPUToHost(dev, size)
+		}
+		if err != nil {
+			return Series{}, fmt.Errorf("bwbench: %s %v at %v: %w", dev.Name(), dir, size, err)
+		}
+		s.Points = append(s.Points, Point{Size: size, BW: bw})
+	}
+	return s, nil
+}
+
+// RunFig3 sweeps every memory device of both NUMA nodes in both directions
+// — the full Fig. 3 dataset.
+func RunFig3() ([]Series, error) {
+	top := numa.System()
+	sizes := SweepSizes()
+	var out []Series
+	for _, dir := range []Direction{HostToGPU, GPUToHost} {
+		for _, dev := range top.AllMemoryDevices() {
+			s, err := RunDevice(dev, dir, sizes)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package bwbench
+
+import (
+	"math"
+	"testing"
+
+	"helmsim/internal/memdev"
+	"helmsim/internal/units"
+)
+
+func TestSweepSizes(t *testing.T) {
+	sizes := SweepSizes()
+	if len(sizes) != 8 {
+		t.Fatalf("got %d sizes, want 8 (256 MB .. 32 GB doubling)", len(sizes))
+	}
+	if sizes[0] != 256*units.MB || sizes[len(sizes)-1] < 32*units.GB {
+		t.Errorf("range = [%v, %v]", sizes[0], sizes[len(sizes)-1])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != 2*sizes[i-1] {
+			t.Errorf("sizes not doubling at %d", i)
+		}
+	}
+}
+
+func TestRunDevice(t *testing.T) {
+	s, err := RunDevice(memdev.NewOptane(0), HostToGPU, SweepSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Device != "NVDRAM-0" || s.Dir != HostToGPU {
+		t.Errorf("series identity: %s %v", s.Device, s.Dir)
+	}
+	if len(s.Points) != 8 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// Fig. 3a anchors.
+	if got := s.Points[0].BW.GBpsf(); math.Abs(got-19.91) > 0.2 {
+		t.Errorf("256MB = %.2f, want ~19.91", got)
+	}
+	if got := s.Points[7].BW.GBpsf(); math.Abs(got-15.52) > 0.2 {
+		t.Errorf("32GB = %.2f, want ~15.52", got)
+	}
+	if _, err := RunDevice(memdev.NewOptane(0), HostToGPU, []units.Bytes{0}); err == nil {
+		t.Errorf("zero size accepted")
+	}
+}
+
+// Fig. 3a caption: "DRAM-0, DRAM-1, MM-0, and MM-1 overlap perfectly" for
+// host->GPU; Fig. 3b: "DRAM-0, DRAM-1, and MM-1 overlap perfectly" but not
+// MM-0 for GPU->host.
+func TestFig3CaptionOverlaps(t *testing.T) {
+	series, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(dev string, dir Direction) Series {
+		for _, s := range series {
+			if s.Device == dev && s.Dir == dir {
+				return s
+			}
+		}
+		t.Fatalf("missing series %s %v", dev, dir)
+		return Series{}
+	}
+	close := func(a, b Series, tol float64) bool {
+		for i := range a.Points {
+			if math.Abs(a.Points[i].BW.GBpsf()-b.Points[i].BW.GBpsf()) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	// Host->GPU: DRAM-0 == MM-0 and DRAM-1 == MM-1.
+	if !close(get("DRAM-0", HostToGPU), get("MM-0", HostToGPU), 0.01) {
+		t.Errorf("MM-0 should overlap DRAM-0 host->GPU (Fig. 3a)")
+	}
+	if !close(get("DRAM-1", HostToGPU), get("MM-1", HostToGPU), 0.01) {
+		t.Errorf("MM-1 should overlap DRAM-1 host->GPU (Fig. 3a)")
+	}
+	// NVDRAM sits below DRAM at every size.
+	dram := get("DRAM-0", HostToGPU)
+	nv := get("NVDRAM-0", HostToGPU)
+	for i := range dram.Points {
+		if nv.Points[i].BW >= dram.Points[i].BW {
+			t.Errorf("NVDRAM should trail DRAM at %v", dram.Points[i].Size)
+		}
+	}
+	// GPU->host: MM-1 == DRAM-1 but MM-0 < DRAM-0.
+	if !close(get("DRAM-1", GPUToHost), get("MM-1", GPUToHost), 0.01) {
+		t.Errorf("MM-1 should overlap DRAM-1 gpu->host (Fig. 3b)")
+	}
+	mm0 := get("MM-0", GPUToHost)
+	d0 := get("DRAM-0", GPUToHost)
+	for i := range mm0.Points {
+		if mm0.Points[i].BW >= d0.Points[i].BW {
+			t.Errorf("MM-0 should trail DRAM-0 gpu->host at %v (Fig. 3b)", mm0.Points[i].Size)
+		}
+	}
+	// GPU->host Optane: node 1 above node 0 (§IV-A).
+	nv0 := get("NVDRAM-0", GPUToHost)
+	nv1 := get("NVDRAM-1", GPUToHost)
+	for i := range nv0.Points {
+		if nv1.Points[i].BW <= nv0.Points[i].BW {
+			t.Errorf("NVDRAM-1 writes should beat NVDRAM-0 at %v", nv0.Points[i].Size)
+		}
+	}
+	// Optane writes are ~an order of magnitude below reads.
+	readPeak := nv.Points[0].BW.GBpsf()
+	writePeak := 0.0
+	for _, p := range nv1.Points {
+		if bw := p.BW.GBpsf(); bw > writePeak {
+			writePeak = bw
+		}
+	}
+	if writePeak > readPeak/4 {
+		t.Errorf("Optane write peak %.2f too close to read %.2f", writePeak, readPeak)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if HostToGPU.String() != "host-to-gpu" || GPUToHost.String() != "gpu-to-host" {
+		t.Errorf("direction names broken")
+	}
+}
+
+func TestRunFig3SeriesCount(t *testing.T) {
+	series, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 devices x 2 directions.
+	if len(series) != 12 {
+		t.Errorf("series = %d, want 12", len(series))
+	}
+}

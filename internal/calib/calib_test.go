@@ -1,0 +1,156 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"helmsim/internal/units"
+)
+
+// The calibration constants must stay internally consistent with the
+// paper's anchors; these tests fail loudly if a tuning pass breaks one of
+// the documented relationships.
+
+func TestFig3Anchors(t *testing.T) {
+	// "near constant loss of 20%": 19.91 vs DRAM.
+	smallDeficit := 1 - HostToGPUOptaneSmall.GBpsf()/HostToGPUDRAM.GBpsf()
+	if smallDeficit < 0.18 || smallDeficit > 0.22 {
+		t.Errorf("small-buffer Optane deficit = %.3f, want ~0.20", smallDeficit)
+	}
+	// "increasing the performance deficit to 37%".
+	largeDeficit := 1 - HostToGPUOptaneLarge.GBpsf()/HostToGPUDRAM.GBpsf()
+	if largeDeficit < 0.35 || largeDeficit > 0.40 {
+		t.Errorf("large-buffer Optane deficit = %.3f, want ~0.37", largeDeficit)
+	}
+	// "88% lower with NVDRAM ... maxing out at 3.26 GB/s".
+	writeDeficit := 1 - GPUToHostOptanePeakNode1.GBpsf()/GPUToHostDRAM.GBpsf()
+	if writeDeficit < 0.85 || writeDeficit > 0.91 {
+		t.Errorf("write deficit = %.3f, want ~0.88", writeDeficit)
+	}
+	if GPUToHostOptanePeakNode0 >= GPUToHostOptanePeakNode1 {
+		t.Errorf("node-0 write peak must trail node 1 (Fig. 3b)")
+	}
+	if OptaneReadKneeSize >= OptaneReadFloorSize {
+		t.Errorf("knee %v must precede floor %v", OptaneReadKneeSize, OptaneReadFloorSize)
+	}
+}
+
+func TestTableIAnchors(t *testing.T) {
+	if got := 2 * DRAMCapacityPerNode; got != 256*units.GiB {
+		t.Errorf("system DRAM = %v, want 256 GiB", got)
+	}
+	if got := 2 * OptaneCapacityPerNode; got != units.TiB {
+		t.Errorf("system Optane = %v, want 1 TiB", got)
+	}
+	if GPUMemoryCapacity != 40*units.GB {
+		t.Errorf("GPU capacity = %v", units.Bytes(GPUMemoryCapacity))
+	}
+	if math.Abs(GPUHBMBandwidth.GBpsf()-1555) > 1e-9 {
+		t.Errorf("HBM bandwidth = %v", GPUHBMBandwidth)
+	}
+	if math.Abs(PCIeTheoretical.GBpsf()-32) > 1e-9 {
+		t.Errorf("PCIe = %v", PCIeTheoretical)
+	}
+}
+
+func TestTableIIIAnchors(t *testing.T) {
+	if math.Abs(CXLFPGABandwidth.GBpsf()-5.12) > 1e-9 {
+		t.Errorf("CXL-FPGA = %v, want 5.12 (Table III)", CXLFPGABandwidth)
+	}
+	if math.Abs(CXLASICBandwidth.GBpsf()-28) > 1e-9 {
+		t.Errorf("CXL-ASIC = %v, want 28 (Table III)", CXLASICBandwidth)
+	}
+}
+
+func TestEveryCopyPathUnderPCIe(t *testing.T) {
+	for name, bw := range map[string]units.Bandwidth{
+		"h2d DRAM":      HostToGPUDRAM,
+		"h2d Optane sm": HostToGPUOptaneSmall,
+		"h2d Optane lg": HostToGPUOptaneLarge,
+		"d2h DRAM":      GPUToHostDRAM,
+		"d2h Optane n1": GPUToHostOptanePeakNode1,
+		"d2h Optane n0": GPUToHostOptanePeakNode0,
+		"SSD read":      SSDReadBW,
+		"FSDAX read":    FSDAXReadBW,
+	} {
+		if bw > PCIeTheoretical {
+			t.Errorf("%s = %v exceeds the PCIe ceiling %v", name, bw, PCIeTheoretical)
+		}
+		if bw <= 0 {
+			t.Errorf("%s non-positive", name)
+		}
+	}
+}
+
+func TestStoragePathOrdering(t *testing.T) {
+	// §IV-B: SSD < FSDAX < NVDRAM in read performance.
+	if !(SSDReadBW < FSDAXReadBW && FSDAXReadBW < HostToGPUOptaneLarge) {
+		t.Errorf("storage ordering broken: SSD %v, FSDAX %v, Optane %v",
+			SSDReadBW, FSDAXReadBW, HostToGPUOptaneLarge)
+	}
+	if BounceBufferPenalty < 1 {
+		t.Errorf("bounce penalty %v must not speed transfers up", BounceBufferPenalty)
+	}
+}
+
+func TestDerateFactorsInRange(t *testing.T) {
+	for name, f := range map[string]float64{
+		"NUMARemoteReadFactor":   NUMARemoteReadFactor,
+		"MemoryModeMissFactor":   MemoryModeMissFactor,
+		"MemoryModeThrashFactor": MemoryModeThrashFactor,
+		"GPUToHostMMNode0Factor": GPUToHostMMNode0Factor,
+		"OptaneWriteLargeDecay":  OptaneWriteLargeDecay,
+		"GEMMUtilMax":            GEMMUtilMax,
+		"GPUHBMEfficiency":       GPUHBMEfficiency,
+		"MLCRemoteFactor":        MLCRemoteFactor,
+		"MLCOptaneRemoteWrite":   MLCOptaneRemoteWriteFactor,
+		"MLCMemoryModeRemote":    MLCMemoryModeRemoteFactor,
+	} {
+		if f <= 0 || f > 1 {
+			t.Errorf("%s = %v outside (0, 1]", name, f)
+		}
+	}
+	if AITWindowFactor < 1 {
+		t.Errorf("AIT window factor %v below 1", AITWindowFactor)
+	}
+}
+
+func TestWorkloadProtocol(t *testing.T) {
+	// §III-B: 128 in, 21 out, 10 repeats, context 2048.
+	if PromptLen != 128 || GenLen != 21 || PromptRepeats != 10 || MaxContextLen != 2048 {
+		t.Errorf("workload constants drifted: %d/%d/%d/%d", PromptLen, GenLen, PromptRepeats, MaxContextLen)
+	}
+}
+
+func TestEnergyConstantsOrdering(t *testing.T) {
+	// Optane dynamic energy above DRAM, writes above reads; Optane standby
+	// far below DRAM standby (the density argument).
+	if !(EnergyOptaneReadPerByte > EnergyDRAMReadPerByte) {
+		t.Errorf("Optane read energy should exceed DRAM")
+	}
+	if !(EnergyOptaneWritePerByte > EnergyOptaneReadPerByte) {
+		t.Errorf("PCM writes should cost more than reads")
+	}
+	if !(PowerOptaneStandbyPerGiB < PowerDRAMStandbyPerGiB/3) {
+		t.Errorf("Optane standby %v should be far below DRAM %v",
+			PowerOptaneStandbyPerGiB, PowerDRAMStandbyPerGiB)
+	}
+	if PowerGPUBusy <= PowerGPUIdle {
+		t.Errorf("GPU busy power must exceed idle")
+	}
+}
+
+func TestMLCConstantsOrdering(t *testing.T) {
+	if !(MLCOptaneReadLocal < MLCDRAMReadLocal) {
+		t.Errorf("Optane CPU reads should trail DRAM")
+	}
+	if !(MLCOptaneWriteLocal < MLCOptaneReadLocal) {
+		t.Errorf("Optane writes should trail reads")
+	}
+	if !(MLCDRAMLatencyLocal < MLCDRAMLatencyRemote && MLCOptaneLatencyLocal < MLCOptaneLatencyRemote) {
+		t.Errorf("remote latencies should exceed local")
+	}
+	if !(MLCDRAMLatencyLocal < MLCOptaneLatencyLocal) {
+		t.Errorf("Optane latency should exceed DRAM")
+	}
+}

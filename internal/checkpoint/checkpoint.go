@@ -1,0 +1,230 @@
+// Package checkpoint implements a streaming binary format for model
+// weights — the on-disk artifact an out-of-core server loads its layers
+// from. Tensors are stored either as raw FP16 or group-wise 4-bit
+// quantized (the compression FlexGen applies before serving, §IV-B), and
+// the reader streams one tensor at a time so a 300 GB checkpoint never
+// needs to fit in memory.
+//
+// Layout (little-endian):
+//
+//	magic "HLMC" | version u32 | name length u16 | model name
+//	tensor count u32
+//	per tensor: name length u16 | name | kind u8 | payload length u64 | payload
+//
+// Raw payloads are IEEE-754 binary16 element streams; quantized payloads
+// are quant.Tensor.MarshalBinary blobs.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"helmsim/internal/quant"
+)
+
+// Format constants.
+const (
+	magic   = uint32(0x484c4d43) // "HLMC"
+	version = uint32(1)
+)
+
+// Kind tags a tensor's encoding.
+type Kind uint8
+
+// Tensor encodings.
+const (
+	KindRawFP16 Kind = iota
+	KindGWQ
+)
+
+// Writer emits a checkpoint. Close must be called to flush.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	count   uint32
+	name    string
+	// countPatch remembers where the tensor count lives; streaming output
+	// cannot seek, so the count is declared up front via NewWriter's
+	// tensors argument.
+	declared uint32
+}
+
+// NewWriter starts a checkpoint for the named model holding exactly
+// tensors entries.
+func NewWriter(w io.Writer, modelName string, tensors int) (*Writer, error) {
+	if tensors < 0 || tensors > math.MaxUint32 {
+		return nil, fmt.Errorf("checkpoint: bad tensor count %d", tensors)
+	}
+	if len(modelName) > math.MaxUint16 {
+		return nil, fmt.Errorf("checkpoint: model name too long")
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr []byte
+	le := binary.LittleEndian
+	hdr = le.AppendUint32(hdr, magic)
+	hdr = le.AppendUint32(hdr, version)
+	hdr = le.AppendUint16(hdr, uint16(len(modelName)))
+	hdr = append(hdr, modelName...)
+	hdr = le.AppendUint32(hdr, uint32(tensors))
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, name: modelName, declared: uint32(tensors)}, nil
+}
+
+// writeEntry emits one tensor record.
+func (w *Writer) writeEntry(name string, kind Kind, payload []byte) error {
+	if w.count >= w.declared {
+		return fmt.Errorf("checkpoint: writing tensor %q beyond the declared %d", name, w.declared)
+	}
+	if len(name) > math.MaxUint16 {
+		return fmt.Errorf("checkpoint: tensor name too long")
+	}
+	le := binary.LittleEndian
+	var hdr []byte
+	hdr = le.AppendUint16(hdr, uint16(len(name)))
+	hdr = append(hdr, name...)
+	hdr = append(hdr, byte(kind))
+	hdr = le.AppendUint64(hdr, uint64(len(payload)))
+	if _, err := w.w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// WriteRaw stores a tensor as FP16.
+func (w *Writer) WriteRaw(name string, data []float32) error {
+	payload := make([]byte, 2*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint16(payload[2*i:], uint16(quant.ToFloat16(v)))
+	}
+	return w.writeEntry(name, KindRawFP16, payload)
+}
+
+// WriteQuantized stores a group-wise quantized tensor.
+func (w *Writer) WriteQuantized(name string, t *quant.Tensor) error {
+	payload, err := t.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return w.writeEntry(name, KindGWQ, payload)
+}
+
+// Close flushes the checkpoint and verifies the declared tensor count was
+// met.
+func (w *Writer) Close() error {
+	if w.count != w.declared {
+		return fmt.Errorf("checkpoint: wrote %d tensors, declared %d", w.count, w.declared)
+	}
+	return w.w.Flush()
+}
+
+// Entry is one streamed tensor.
+type Entry struct {
+	// Name identifies the tensor.
+	Name string
+	// Kind is the stored encoding.
+	Kind Kind
+	// Data is the decoded float32 content.
+	Data []float32
+	// StoredBytes is the on-disk payload size.
+	StoredBytes int
+}
+
+// Reader streams a checkpoint.
+type Reader struct {
+	r         *bufio.Reader
+	modelName string
+	remaining uint32
+}
+
+// NewReader opens a checkpoint and parses its header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [10]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: header: %w", err)
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(hdr[0:]); got != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", got)
+	}
+	if got := le.Uint32(hdr[4:]); got != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", got)
+	}
+	nameLen := int(le.Uint16(hdr[8:]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("checkpoint: model name: %w", err)
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: tensor count: %w", err)
+	}
+	return &Reader{r: br, modelName: string(name), remaining: le.Uint32(cnt[:])}, nil
+}
+
+// ModelName reports the checkpoint's model.
+func (r *Reader) ModelName() string { return r.modelName }
+
+// Remaining reports how many tensors are left to stream.
+func (r *Reader) Remaining() int { return int(r.remaining) }
+
+// Next streams the next tensor, decoding it to float32. It returns io.EOF
+// after the last tensor.
+func (r *Reader) Next() (*Entry, error) {
+	if r.remaining == 0 {
+		return nil, io.EOF
+	}
+	le := binary.LittleEndian
+	var nl [2]byte
+	if _, err := io.ReadFull(r.r, nl[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: tensor header: %w", err)
+	}
+	name := make([]byte, le.Uint16(nl[:]))
+	if _, err := io.ReadFull(r.r, name); err != nil {
+		return nil, fmt.Errorf("checkpoint: tensor name: %w", err)
+	}
+	var kp [9]byte
+	if _, err := io.ReadFull(r.r, kp[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: tensor %q meta: %w", name, err)
+	}
+	kind := Kind(kp[0])
+	payloadLen := le.Uint64(kp[1:])
+	if payloadLen > 1<<40 {
+		return nil, fmt.Errorf("checkpoint: tensor %q payload unreasonably large (%d)", name, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return nil, fmt.Errorf("checkpoint: tensor %q payload: %w", name, err)
+	}
+	r.remaining--
+
+	e := &Entry{Name: string(name), Kind: kind, StoredBytes: len(payload)}
+	switch kind {
+	case KindRawFP16:
+		if len(payload)%2 != 0 {
+			return nil, fmt.Errorf("checkpoint: tensor %q has odd fp16 payload", name)
+		}
+		e.Data = make([]float32, len(payload)/2)
+		for i := range e.Data {
+			e.Data[i] = quant.Float16(le.Uint16(payload[2*i:])).Float32()
+		}
+	case KindGWQ:
+		var t quant.Tensor
+		if err := t.UnmarshalBinary(payload); err != nil {
+			return nil, fmt.Errorf("checkpoint: tensor %q: %w", name, err)
+		}
+		e.Data = t.Dequantize()
+	default:
+		return nil, fmt.Errorf("checkpoint: tensor %q has unknown kind %d", name, kind)
+	}
+	return e, nil
+}

@@ -1,0 +1,57 @@
+package checkpoint
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader hardens the streaming checkpoint parser: arbitrary bytes must
+// either parse into consistent entries or be rejected with an error —
+// never panic, never allocate unbounded memory from a length field.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "fuzz-model", 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteRaw("a", []float32{1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteRaw("b", []float32{4}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	corrupted := bytes.Clone(valid)
+	corrupted[6] ^= 0x7f
+	f.Add(corrupted)
+	f.Add([]byte("HLMC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			e, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // corruption detected mid-stream is fine
+			}
+			if e.Name == "" && len(e.Data) == 0 && e.StoredBytes != 0 {
+				t.Fatalf("inconsistent empty entry: %+v", e)
+			}
+			if e.Kind == KindRawFP16 && len(e.Data)*2 != e.StoredBytes {
+				t.Fatalf("fp16 size mismatch: %d elems, %d bytes", len(e.Data), e.StoredBytes)
+			}
+		}
+	})
+}

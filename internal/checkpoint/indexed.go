@@ -1,0 +1,146 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"helmsim/internal/quant"
+)
+
+// entryMeta locates one tensor inside the file.
+type entryMeta struct {
+	kind   Kind
+	offset int64
+	length int64
+}
+
+// Indexed is a random-access view of a checkpoint file: the header and
+// tensor directory are scanned once, payloads stay on disk and are read
+// and decoded per request — the out-of-core weight access pattern, where
+// a 300 GB checkpoint serves layer by layer from storage.
+type Indexed struct {
+	f         *os.File
+	modelName string
+	entries   map[string]entryMeta
+	order     []string
+}
+
+// OpenIndexed opens and indexes a checkpoint file.
+func OpenIndexed(path string) (*Indexed, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Indexed{f: f, entries: make(map[string]entryMeta)}
+	if err := ix.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// scan reads the header and walks the tensor directory without loading
+// payloads.
+func (ix *Indexed) scan() error {
+	le := binary.LittleEndian
+	var hdr [10]byte
+	if _, err := io.ReadFull(ix.f, hdr[:]); err != nil {
+		return fmt.Errorf("checkpoint: header: %w", err)
+	}
+	if got := le.Uint32(hdr[0:]); got != magic {
+		return fmt.Errorf("checkpoint: bad magic %#x", got)
+	}
+	if got := le.Uint32(hdr[4:]); got != version {
+		return fmt.Errorf("checkpoint: unsupported version %d", got)
+	}
+	nameLen := int64(le.Uint16(hdr[8:]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(ix.f, name); err != nil {
+		return fmt.Errorf("checkpoint: model name: %w", err)
+	}
+	ix.modelName = string(name)
+	var cnt [4]byte
+	if _, err := io.ReadFull(ix.f, cnt[:]); err != nil {
+		return fmt.Errorf("checkpoint: count: %w", err)
+	}
+	n := le.Uint32(cnt[:])
+
+	off := int64(10) + nameLen + 4
+	for i := uint32(0); i < n; i++ {
+		var nl [2]byte
+		if _, err := ix.f.ReadAt(nl[:], off); err != nil {
+			return fmt.Errorf("checkpoint: tensor %d header: %w", i, err)
+		}
+		tn := make([]byte, le.Uint16(nl[:]))
+		if _, err := ix.f.ReadAt(tn, off+2); err != nil {
+			return fmt.Errorf("checkpoint: tensor %d name: %w", i, err)
+		}
+		var kp [9]byte
+		metaOff := off + 2 + int64(len(tn))
+		if _, err := ix.f.ReadAt(kp[:], metaOff); err != nil {
+			return fmt.Errorf("checkpoint: tensor %q meta: %w", tn, err)
+		}
+		payloadLen := int64(le.Uint64(kp[1:]))
+		if payloadLen < 0 || payloadLen > 1<<40 {
+			return fmt.Errorf("checkpoint: tensor %q has bad payload length %d", tn, payloadLen)
+		}
+		key := string(tn)
+		if _, dup := ix.entries[key]; dup {
+			return fmt.Errorf("checkpoint: duplicate tensor %q", key)
+		}
+		ix.entries[key] = entryMeta{kind: Kind(kp[0]), offset: metaOff + 9, length: payloadLen}
+		ix.order = append(ix.order, key)
+		off = metaOff + 9 + payloadLen
+	}
+	return nil
+}
+
+// ModelName reports the checkpoint's model.
+func (ix *Indexed) ModelName() string { return ix.modelName }
+
+// Names lists the tensor names in file order.
+func (ix *Indexed) Names() []string { return append([]string(nil), ix.order...) }
+
+// Has reports whether the tensor exists.
+func (ix *Indexed) Has(name string) bool {
+	_, ok := ix.entries[name]
+	return ok
+}
+
+// ReadTensor fetches and decodes one tensor from disk.
+func (ix *Indexed) ReadTensor(name string) (*Entry, error) {
+	m, ok := ix.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: no tensor %q", name)
+	}
+	payload := make([]byte, m.length)
+	if _, err := ix.f.ReadAt(payload, m.offset); err != nil {
+		return nil, fmt.Errorf("checkpoint: tensor %q payload: %w", name, err)
+	}
+	e := &Entry{Name: name, Kind: m.kind, StoredBytes: len(payload)}
+	le := binary.LittleEndian
+	switch m.kind {
+	case KindRawFP16:
+		if len(payload)%2 != 0 {
+			return nil, fmt.Errorf("checkpoint: tensor %q has odd fp16 payload", name)
+		}
+		e.Data = make([]float32, len(payload)/2)
+		for i := range e.Data {
+			e.Data[i] = quant.Float16(le.Uint16(payload[2*i:])).Float32()
+		}
+	case KindGWQ:
+		var t quant.Tensor
+		if err := t.UnmarshalBinary(payload); err != nil {
+			return nil, fmt.Errorf("checkpoint: tensor %q: %w", name, err)
+		}
+		e.Data = t.Dequantize()
+	default:
+		return nil, fmt.Errorf("checkpoint: tensor %q has unknown kind %d", name, m.kind)
+	}
+	return e, nil
+}
+
+// Close releases the file.
+func (ix *Indexed) Close() error { return ix.f.Close() }

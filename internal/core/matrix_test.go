@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"helmsim/internal/model"
+	"helmsim/internal/placement"
+)
+
+// The full configuration matrix: every model x memory x policy x
+// compression combination either runs to sane metrics or fails with a
+// capacity explanation — never panics, never returns garbage.
+func TestConfigurationMatrix(t *testing.T) {
+	models := []model.Config{model.OPT6B7(), model.OPT30B(), model.OPT175B(), model.Llama2_70B()}
+	memories := []MemoryConfig{MemDRAM, MemNVDRAM, MemMemoryMode, MemSSD, MemFSDAX, MemCXLFPGA, MemCXLASIC}
+	policies := []placement.Policy{
+		nil, // per-config default
+		placement.HeLM{Default: placement.Baseline{CPUPct: 80, GPUPct: 20}},
+		placement.AllCPU{},
+	}
+	ran, rejected := 0, 0
+	for _, m := range models {
+		for _, mem := range memories {
+			for _, pol := range policies {
+				for _, compress := range []bool{false, true} {
+					rc := RunConfig{Model: m, Memory: mem, Policy: pol, Batch: 1, Compress: compress}
+					res, err := Run(rc)
+					if err != nil {
+						rejected++
+						continue
+					}
+					ran++
+					if res.TTFT <= 0 || res.TBT <= 0 || res.Throughput <= 0 {
+						t.Fatalf("%s/%s/%v compress=%v: bad metrics %+v",
+							m.Name, mem, pol, compress, res.Result)
+					}
+					if res.TotalTime < res.TTFT {
+						t.Fatalf("%s/%s: total %v below TTFT %v", m.Name, mem, res.TotalTime, res.TTFT)
+					}
+				}
+			}
+		}
+	}
+	if ran < 100 {
+		t.Errorf("only %d matrix points ran (%d rejected) — matrix too thin", ran, rejected)
+	}
+	// At least the documented capacity rejection must occur.
+	if rejected == 0 {
+		t.Errorf("no capacity rejections — uncompressed OPT-175B on DRAM should fail")
+	}
+}
+
+// Property: with everything else fixed, a faster host tier never increases
+// TTFT or TBT (DRAM <= MemoryMode <= NVDRAM <= CXL-FPGA in time for the
+// compressed OPT-175B).
+func TestFasterTierNeverSlower(t *testing.T) {
+	order := []MemoryConfig{MemDRAM, MemMemoryMode, MemNVDRAM, MemCXLFPGA}
+	var prevTTFT, prevTBT float64
+	for i, mem := range order {
+		res, err := Run(RunConfig{Model: model.OPT175B(), Memory: mem, Batch: 1, Compress: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if res.TTFT.Seconds() < prevTTFT-1e-9 || res.TBT.Seconds() < prevTBT-1e-9 {
+				t.Errorf("%v faster than the preceding tier", mem)
+			}
+		}
+		prevTTFT, prevTBT = res.TTFT.Seconds(), res.TBT.Seconds()
+	}
+}
+
+// Property: throughput is non-decreasing in batch size for the All-CPU
+// placement (weight transfer amortizes; nothing else grows superlinearly).
+func TestThroughputMonotoneInBatchProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		b1 := int(a%40) + 1
+		b2 := b1 + int(b%10) + 1
+		r1, err1 := Run(RunConfig{Model: model.OPT175B(), Memory: MemNVDRAM, Policy: placement.AllCPU{}, Batch: b1, Compress: true})
+		r2, err2 := Run(RunConfig{Model: model.OPT175B(), Memory: MemNVDRAM, Policy: placement.AllCPU{}, Batch: b2, Compress: true})
+		if err1 != nil || err2 != nil {
+			return err2 != nil // larger batch may hit the cap; smaller must not
+		}
+		return r2.Throughput >= r1.Throughput-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compression never hurts TTFT on bandwidth-starved tiers (the
+// 3.6x transfer cut always beats the added dequant on SSD/FSDAX/CXL-FPGA).
+func TestCompressionHelpsSlowTiers(t *testing.T) {
+	for _, mem := range []MemoryConfig{MemSSD, MemFSDAX, MemCXLFPGA} {
+		raw, err := Run(RunConfig{Model: model.OPT175B(), Memory: mem, Batch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := Run(RunConfig{Model: model.OPT175B(), Memory: mem, Batch: 1, Compress: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if comp.TTFT >= raw.TTFT {
+			t.Errorf("%v: compression worsened TTFT (%v -> %v)", mem, raw.TTFT, comp.TTFT)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package cxl carries the CXL projection study of §V-D: the two published
+// device configurations of Table III and the projection method — substitute
+// the expander's bandwidth for the host-memory bandwidth and re-derive
+// weight-transfer times, overlap ratios, and end-to-end metrics.
+//
+// The paper scales its measured NVDIMM transfer times by the bandwidth
+// ratio; the simulator can do that (ScaleTransfer) and can also simply
+// re-run the full engine with the CXL expander as the host tier
+// (core.MemCXLFPGA / core.MemCXLASIC), which is the same computation
+// carried through the schedule.
+package cxl
+
+import (
+	"fmt"
+
+	"helmsim/internal/calib"
+	"helmsim/internal/core"
+	"helmsim/internal/units"
+)
+
+// DeviceConfig is one row of Table III.
+type DeviceConfig struct {
+	// Name is the paper's label.
+	Name string
+	// MemTech is the backing memory technology.
+	MemTech string
+	// BW is the published device bandwidth.
+	BW units.Bandwidth
+	// Source cites the measurement.
+	Source string
+}
+
+// Configs returns Table III.
+func Configs() []DeviceConfig {
+	return []DeviceConfig{
+		{Name: "CXL-FPGA", MemTech: "DDR4-3200 x1", BW: calib.CXLFPGABandwidth, Source: "Sun et al. [17] (CXL-C)"},
+		{Name: "CXL-ASIC", MemTech: "DDR5-4800 x1", BW: calib.CXLASICBandwidth, Source: "Wang et al. [54] (System A)"},
+	}
+}
+
+// MemoryConfigFor resolves a Table III name to the engine's memory config.
+func MemoryConfigFor(name string) (core.MemoryConfig, error) {
+	switch name {
+	case "CXL-FPGA":
+		return core.MemCXLFPGA, nil
+	case "CXL-ASIC":
+		return core.MemCXLASIC, nil
+	default:
+		return 0, fmt.Errorf("cxl: unknown device %q", name)
+	}
+}
+
+// ScaleTransfer projects a transfer time measured at bandwidth `from` onto
+// a device with bandwidth `to` — the paper's §V-D method ("we utilize the
+// bandwidth numbers ... to project weight transfer times for each layer").
+func ScaleTransfer(t units.Duration, from, to units.Bandwidth) (units.Duration, error) {
+	if from <= 0 || to <= 0 {
+		return 0, fmt.Errorf("cxl: non-positive bandwidth (from=%v, to=%v)", from, to)
+	}
+	if t < 0 {
+		return 0, fmt.Errorf("cxl: negative transfer time %v", t)
+	}
+	return units.Duration(t.Seconds() * float64(from) / float64(to)), nil
+}
+
+// ScaleRatio projects a compute/communication overlap ratio (Table IV)
+// measured against transfers at `from` onto a device at `to`: transfer time
+// scales inversely with bandwidth, so the ratio scales proportionally.
+func ScaleRatio(ratio float64, from, to units.Bandwidth) (float64, error) {
+	if from <= 0 || to <= 0 {
+		return 0, fmt.Errorf("cxl: non-positive bandwidth (from=%v, to=%v)", from, to)
+	}
+	if ratio < 0 {
+		return 0, fmt.Errorf("cxl: negative ratio %v", ratio)
+	}
+	return ratio * float64(to) / float64(from), nil
+}

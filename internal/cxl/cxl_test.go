@@ -1,0 +1,87 @@
+package cxl
+
+import (
+	"math"
+	"testing"
+
+	"helmsim/internal/core"
+	"helmsim/internal/units"
+)
+
+func TestConfigsMatchTable3(t *testing.T) {
+	cs := Configs()
+	if len(cs) != 2 {
+		t.Fatalf("got %d configs, want 2", len(cs))
+	}
+	if cs[0].Name != "CXL-FPGA" || math.Abs(cs[0].BW.GBpsf()-5.12) > 1e-9 {
+		t.Errorf("CXL-FPGA = %+v", cs[0])
+	}
+	if cs[1].Name != "CXL-ASIC" || math.Abs(cs[1].BW.GBpsf()-28) > 1e-9 {
+		t.Errorf("CXL-ASIC = %+v", cs[1])
+	}
+	for _, c := range cs {
+		if c.MemTech == "" || c.Source == "" {
+			t.Errorf("%s missing provenance", c.Name)
+		}
+	}
+}
+
+func TestMemoryConfigFor(t *testing.T) {
+	m, err := MemoryConfigFor("CXL-FPGA")
+	if err != nil || m != core.MemCXLFPGA {
+		t.Errorf("CXL-FPGA -> %v, %v", m, err)
+	}
+	m, err = MemoryConfigFor("CXL-ASIC")
+	if err != nil || m != core.MemCXLASIC {
+		t.Errorf("CXL-ASIC -> %v, %v", m, err)
+	}
+	if _, err := MemoryConfigFor("CXL-3000"); err == nil {
+		t.Errorf("unknown device accepted")
+	}
+}
+
+func TestScaleTransfer(t *testing.T) {
+	// Halving the bandwidth doubles the transfer time.
+	got, err := ScaleTransfer(units.Duration(0.1), units.GBps(20), units.GBps(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Seconds()-0.2) > 1e-12 {
+		t.Errorf("ScaleTransfer = %v, want 0.2s", got)
+	}
+	if _, err := ScaleTransfer(units.Duration(1), 0, units.GBps(1)); err == nil {
+		t.Errorf("zero from-bandwidth accepted")
+	}
+	if _, err := ScaleTransfer(units.Duration(1), units.GBps(1), -1); err == nil {
+		t.Errorf("negative to-bandwidth accepted")
+	}
+	if _, err := ScaleTransfer(units.Duration(-1), units.GBps(1), units.GBps(1)); err == nil {
+		t.Errorf("negative time accepted")
+	}
+}
+
+// The paper's own consistency check: Table IV's CXL-FPGA ratios are the
+// NVDRAM ratios scaled by the bandwidth ratio (e.g. 0.36 -> 0.10).
+func TestScaleRatioReproducesTable4Scaling(t *testing.T) {
+	nvEff := units.GBps(18.4) // effective NVDRAM streaming bandwidth
+	got, err := ScaleRatio(0.36, nvEff, units.GBps(5.12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.10) > 0.02 {
+		t.Errorf("scaled FPGA ratio = %.3f, want ~0.10 (Table IV)", got)
+	}
+	got, err = ScaleRatio(0.36, nvEff, units.GBps(28))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.55) > 0.04 {
+		t.Errorf("scaled ASIC ratio = %.3f, want ~0.55 (Table IV)", got)
+	}
+	if _, err := ScaleRatio(-1, units.GBps(1), units.GBps(1)); err == nil {
+		t.Errorf("negative ratio accepted")
+	}
+	if _, err := ScaleRatio(1, 0, units.GBps(1)); err == nil {
+		t.Errorf("zero bandwidth accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helmsim/internal/core"
+	"helmsim/internal/model"
+	"helmsim/internal/report"
+	"helmsim/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Fig. 11: HeLM's impact on compute/communication overlap and TTFT/TBT (OPT-175B compressed, batch 1)",
+		Run:   runFig11,
+	})
+}
+
+// runFig11 compares the baseline allocator against HeLM on NVDRAM,
+// MemoryMode and DRAM, reporting per-type load deltas (Fig. 11a) and
+// TTFT/TBT with improvement percentages (Fig. 11b).
+func runFig11() ([]*report.Table, error) {
+	overlap := &report.Table{
+		Title:   "Fig. 11a: decode overlap, OPT-175B(c) batch 1",
+		Headers: []string{"config", "policy", "MHA comp (ms)", "FFN load (ms)", "FFN comp (ms)", "MHA load (ms)"},
+	}
+	latency := &report.Table{
+		Title:   "Fig. 11b: TTFT and TBT, OPT-175B(c) batch 1",
+		Headers: []string{"config", "policy", "TTFT(s)", "TBT(s)", "TTFT vs base (%)", "TBT vs base (%)"},
+	}
+
+	type key struct {
+		mem  core.MemoryConfig
+		helm bool
+	}
+	results := map[key]*core.RunResult{}
+	for _, mem := range []core.MemoryConfig{core.MemNVDRAM, core.MemMemoryMode, core.MemDRAM} {
+		for _, useHelm := range []bool{false, true} {
+			rc := core.RunConfig{Model: model.OPT175B(), Memory: mem, Batch: 1, Compress: true}
+			if useHelm {
+				rc.Policy = helmPolicy()
+			}
+			res, err := run(rc)
+			if err != nil {
+				return nil, err
+			}
+			results[key{mem, useHelm}] = res
+			polName := "baseline"
+			if useHelm {
+				polName = "HeLM"
+			}
+			d := res.Decode[len(res.Decode)-1]
+			pairRow2(overlap, mem.String(), polName, d)
+			base := results[key{mem, false}]
+			latency.AddRow(mem.String(), polName,
+				fmt.Sprintf("%.3f", res.TTFT.Seconds()),
+				fmt.Sprintf("%.3f", res.TBT.Seconds()),
+				fmt.Sprintf("%.2f", stats.PctChange(base.TTFT.Seconds(), res.TTFT.Seconds())),
+				fmt.Sprintf("%.2f", stats.PctChange(base.TBT.Seconds(), res.TBT.Seconds())))
+		}
+	}
+
+	// Derived: the §V-B distances from DRAM.
+	derived := &report.Table{
+		Title:   "Fig. 11 derived: HeLM vs DRAM (§V-B: NVDRAM within 8.75%/8.91%, MemoryMode within 1.73%/1.64%)",
+		Headers: []string{"config", "TTFT vs DRAM-HeLM (%)", "TBT vs DRAM-HeLM (%)"},
+	}
+	dram := results[key{core.MemDRAM, true}]
+	for _, mem := range []core.MemoryConfig{core.MemNVDRAM, core.MemMemoryMode} {
+		r := results[key{mem, true}]
+		derived.AddRow(mem.String(),
+			fmt.Sprintf("%.2f", stats.PctChange(dram.TTFT.Seconds(), r.TTFT.Seconds())),
+			fmt.Sprintf("%.2f", stats.PctChange(dram.TBT.Seconds(), r.TBT.Seconds())))
+	}
+	return []*report.Table{overlap, latency, derived}, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helmsim/internal/core"
+	"helmsim/internal/model"
+	"helmsim/internal/placement"
+	"helmsim/internal/report"
+	"helmsim/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Fig. 13: projected HeLM and All-CPU performance on CXL memory (OPT-175B compressed)",
+		Run:   runFig13,
+	})
+}
+
+// runFig13 projects the two placement schemes onto the Table III CXL
+// devices by running the engine with the expander as the host tier, the
+// same computation as the paper's bandwidth-scaling projection (§V-D).
+func runFig13() ([]*report.Table, error) {
+	mems := []core.MemoryConfig{core.MemNVDRAM, core.MemCXLFPGA, core.MemCXLASIC}
+
+	helm := &report.Table{
+		Title:   "Fig. 13a: HeLM TTFT/TBT at batch 1 (§V-D: -27% CXL-FPGA, -21% CXL-ASIC)",
+		Headers: []string{"device", "policy", "TTFT(s)", "TBT(s)", "TBT vs baseline (%)"},
+	}
+	for _, mem := range mems {
+		base, err := run(core.RunConfig{Model: model.OPT175B(), Memory: mem, Batch: 1, Compress: true})
+		if err != nil {
+			return nil, err
+		}
+		h, err := run(core.RunConfig{Model: model.OPT175B(), Memory: mem, Batch: 1, Compress: true, Policy: helmPolicy()})
+		if err != nil {
+			return nil, err
+		}
+		helm.AddRow(mem.String(), "baseline",
+			fmt.Sprintf("%.3f", base.TTFT.Seconds()), fmt.Sprintf("%.3f", base.TBT.Seconds()), "-")
+		helm.AddRow(mem.String(), "HeLM",
+			fmt.Sprintf("%.3f", h.TTFT.Seconds()), fmt.Sprintf("%.3f", h.TBT.Seconds()),
+			fmt.Sprintf("%.2f", stats.PctChange(base.TBT.Seconds(), h.TBT.Seconds())))
+	}
+
+	all := &report.Table{
+		Title:   "Fig. 13b: All-CPU throughput (§V-D: x4.74 CXL-FPGA, x5.04 CXL-ASIC going b8->b44)",
+		Headers: []string{"device", "baseline b8 tok/s", "All-CPU b8 tok/s", "All-CPU b44 tok/s", "b8->b44 gain (x)"},
+	}
+	for _, mem := range mems {
+		base8, err := run(core.RunConfig{Model: model.OPT175B(), Memory: mem, Batch: 8, Compress: true})
+		if err != nil {
+			return nil, err
+		}
+		all8, err := run(core.RunConfig{Model: model.OPT175B(), Memory: mem, Batch: 8, Compress: true, Policy: placement.AllCPU{}})
+		if err != nil {
+			return nil, err
+		}
+		all44, err := run(core.RunConfig{Model: model.OPT175B(), Memory: mem, Batch: 44, Compress: true, Policy: placement.AllCPU{}})
+		if err != nil {
+			return nil, err
+		}
+		all.AddRow(mem.String(),
+			fmt.Sprintf("%.3f", base8.Throughput),
+			fmt.Sprintf("%.3f", all8.Throughput),
+			fmt.Sprintf("%.3f", all44.Throughput),
+			fmt.Sprintf("%.2f", all44.Throughput/base8.Throughput))
+	}
+	return []*report.Table{helm, all}, nil
+}

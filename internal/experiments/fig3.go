@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helmsim/internal/bwbench"
+	"helmsim/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Fig. 3: host/GPU memory copy bandwidth vs buffer size (256 MB - 32 GB), both NUMA nodes",
+		Run:   runFig3,
+	})
+}
+
+// runFig3 reproduces the nvbandwidth sweep: one table per direction, one
+// column per device/node, one row per buffer size.
+func runFig3() ([]*report.Table, error) {
+	series, err := bwbench.RunFig3()
+	if err != nil {
+		return nil, err
+	}
+	sizes := bwbench.SweepSizes()
+
+	tables := make([]*report.Table, 0, 2)
+	for _, dir := range []bwbench.Direction{bwbench.HostToGPU, bwbench.GPUToHost} {
+		var sel []bwbench.Series
+		for _, s := range series {
+			if s.Dir == dir {
+				sel = append(sel, s)
+			}
+		}
+		t := &report.Table{
+			Title:   fmt.Sprintf("Fig. 3 %s bandwidth (GB/s)", dir),
+			Headers: []string{"buffer"},
+		}
+		for _, s := range sel {
+			t.Headers = append(t.Headers, s.Device)
+		}
+		for i, size := range sizes {
+			row := []any{size.String()}
+			for _, s := range sel {
+				row = append(row, fmt.Sprintf("%.2f", s.Points[i].BW.GBpsf()))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

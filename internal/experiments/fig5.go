@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"helmsim/internal/core"
+	"helmsim/internal/model"
+	"helmsim/internal/report"
+	"helmsim/internal/sched"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Fig. 5: compute/communication overlap during prefill and decode (uncompressed)",
+		Run:   runFig5,
+	})
+}
+
+// overlapRow renders one stage's average weight-transfer (bars in the
+// paper) and compute time (line in the paper).
+func overlapRow(t *report.Table, label string, step sched.StepTiming) {
+	t.AddRow(label, step.Stage.String(), ms(step.AvgLoad().Seconds()), ms(step.AvgCompute().Seconds()))
+}
+
+// runFig5 regenerates the four panels: OPT-30B prefill/decode under
+// DRAM/NVDRAM/MemoryMode at batches 1 and 32, and OPT-175B prefill/decode
+// under SSD/FSDAX/NVDRAM/MemoryMode at batches 1 and 8, plus the ideal
+// all-DRAM weight-transfer reference measured on the 8-block model.
+func runFig5() ([]*report.Table, error) {
+	t30 := &report.Table{
+		Title:   "Fig. 5a/5c: OPT-30B avg weight transfer vs avg compute per layer (ms)",
+		Headers: []string{"config", "stage", "avg load (ms)", "avg compute (ms)"},
+	}
+	for _, mem := range []core.MemoryConfig{core.MemDRAM, core.MemNVDRAM, core.MemMemoryMode} {
+		for _, b := range []int{1, 32} {
+			res, err := run(core.RunConfig{Model: model.OPT30B(), Memory: mem, Batch: b})
+			if err != nil {
+				return nil, err
+			}
+			label := mem.String() + labelBatch(b)
+			overlapRow(t30, label, res.Prefill)
+			overlapRow(t30, label, res.Decode[len(res.Decode)-1])
+		}
+	}
+
+	t175 := &report.Table{
+		Title:   "Fig. 5b/5d: OPT-175B avg weight transfer vs avg compute per layer (ms)",
+		Headers: []string{"config", "stage", "avg load (ms)", "avg compute (ms)"},
+	}
+	for _, mem := range []core.MemoryConfig{core.MemSSD, core.MemFSDAX, core.MemNVDRAM, core.MemMemoryMode} {
+		for _, b := range []int{1, 8} {
+			res, err := run(core.RunConfig{Model: model.OPT175B(), Memory: mem, Batch: b})
+			if err != nil {
+				return nil, err
+			}
+			label := mem.String() + labelBatch(b)
+			overlapRow(t175, label, res.Prefill)
+			overlapRow(t175, label, res.Decode[len(res.Decode)-1])
+		}
+	}
+
+	// The dashed "ideal" line: all-DRAM weight transfer measured on the
+	// 8-decoder-block OPT-175B (§IV-B).
+	ideal, err := dramIdealRun()
+	if err != nil {
+		return nil, err
+	}
+	t175.AddRow("DRAM-ideal(8blk)", "prefill", ms(ideal.Prefill.AvgLoad().Seconds()), "-")
+
+	return []*report.Table{t30, t175}, nil
+}
+
+// labelBatch suffixes a config label with its batch size.
+func labelBatch(b int) string {
+	if b == 1 {
+		return " b1"
+	}
+	switch b {
+	case 8:
+		return " b8"
+	case 32:
+		return " b32"
+	case 44:
+		return " b44"
+	}
+	return ""
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helmsim/internal/core"
+	"helmsim/internal/model"
+	"helmsim/internal/report"
+	"helmsim/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Fig. 6: compute/communication overlap with 4-bit group-wise compression, OPT-175B",
+		Run:   runFig6,
+	})
+}
+
+// runFig6 compares compressed NVDIMM/MemoryMode/DRAM against the
+// uncompressed baselines: compression cuts weight transfer ~72-74% at the
+// cost of 2.5x-13x more compute (§IV-B).
+func runFig6() ([]*report.Table, error) {
+	t := &report.Table{
+		Title:   "Fig. 6: OPT-175B(c) avg weight transfer vs avg compute per layer (ms), batch 1",
+		Headers: []string{"config", "stage", "avg load (ms)", "avg compute (ms)"},
+	}
+	type cell struct{ load, comp float64 }
+	byMem := map[core.MemoryConfig]map[bool]cell{}
+	for _, mem := range []core.MemoryConfig{core.MemNVDRAM, core.MemMemoryMode, core.MemDRAM} {
+		byMem[mem] = map[bool]cell{}
+		for _, compress := range []bool{false, true} {
+			if mem == core.MemDRAM && !compress {
+				continue // uncompressed OPT-175B exceeds DRAM (§IV-B)
+			}
+			res, err := run(core.RunConfig{Model: model.OPT175B(), Memory: mem, Batch: 1, Compress: compress})
+			if err != nil {
+				return nil, err
+			}
+			label := mem.String()
+			if compress {
+				label += " (c)"
+			}
+			overlapRow(t, label, res.Prefill)
+			overlapRow(t, label, res.Decode[len(res.Decode)-1])
+			byMem[mem][compress] = cell{
+				load: res.Prefill.AvgLoad().Seconds(),
+				comp: res.Prefill.AvgCompute().Seconds(),
+			}
+		}
+	}
+
+	// Derived claims table: transfer reduction and compute growth.
+	d := &report.Table{
+		Title:   "Fig. 6 derived: compression impact (§IV-B: transfer -72%/-74%, compute x2.5-13)",
+		Headers: []string{"config", "transfer reduction (%)", "compute growth (x)", "load vs DRAM(c) (%)"},
+	}
+	dram := byMem[core.MemDRAM][true]
+	for _, mem := range []core.MemoryConfig{core.MemNVDRAM, core.MemMemoryMode} {
+		raw := byMem[mem][false]
+		comp := byMem[mem][true]
+		d.AddRow(mem.String(),
+			fmt.Sprintf("%.1f", (1-comp.load/raw.load)*100),
+			fmt.Sprintf("%.1f", comp.comp/raw.comp),
+			fmt.Sprintf("%.1f", stats.PctChange(dram.load, comp.load)))
+	}
+	return []*report.Table{t, d}, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helmsim/internal/core"
+	"helmsim/internal/mlc"
+	"helmsim/internal/model"
+	"helmsim/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "mlc",
+		Title: "§IV-A cross-check: CPU-side bandwidth/latency matrix (Intel MLC equivalent)",
+		Run:   runMLC,
+	})
+	register(Experiment{
+		ID:    "seqlen",
+		Title: "Extension: sequence-length scaling of TTFT/TBT (context pressure on the KV budget)",
+		Run:   runSeqLen,
+	})
+}
+
+// runMLC prints the local/remote bandwidth and latency matrix for DRAM,
+// Optane and Memory Mode.
+func runMLC() ([]*report.Table, error) {
+	m, err := mlc.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "CPU-side memory matrix (per-socket)",
+		Headers: []string{"from", "to", "memory", "read", "write", "latency"},
+	}
+	for _, a := range m {
+		t.AddRow(fmt.Sprintf("node %d", a.FromNode), fmt.Sprintf("node %d", a.TargetNode),
+			a.Target.String(), a.ReadBW.String(), a.WriteBW.String(), a.Latency.String())
+	}
+	return []*report.Table{t}, nil
+}
+
+// runSeqLen sweeps the prompt length for OPT-175B(c) on NVDRAM with HeLM,
+// showing TTFT's growth with prefill work and the max-batch squeeze as the
+// KV cache claims more GPU memory per prompt.
+func runSeqLen() ([]*report.Table, error) {
+	t := &report.Table{
+		Title:   "Prompt-length sweep, OPT-175B(c) NVDRAM HeLM batch 1 (gen 21)",
+		Headers: []string{"prompt tokens", "TTFT(s)", "TBT(s)", "max batch"},
+	}
+	for _, p := range []int{32, 128, 512, 1024, 2027} {
+		rc := core.RunConfig{
+			Model: model.OPT175B(), Memory: core.MemNVDRAM,
+			Policy: helmPolicy(), Batch: 1, Compress: true,
+			PromptLen: p, GenLen: 21,
+		}
+		res, err := core.Run(rc)
+		if err != nil {
+			// At full context even batch 1 no longer fits beside HeLM's
+			// 30 GiB of GPU-resident weights — the latency placement
+			// trades context capacity for speed.
+			t.AddRow(p, "over GPU budget", "-", 0)
+			continue
+		}
+		t.AddRow(p,
+			fmt.Sprintf("%.3f", res.TTFT.Seconds()),
+			fmt.Sprintf("%.3f", res.TBT.Seconds()),
+			res.MaxBatch)
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"helmsim/internal/calib"
+	"helmsim/internal/model"
+	"helmsim/internal/report"
+	"helmsim/internal/roofline"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "roofline",
+		Title: "§II-A quantified: operational intensity and boundness per kernel, stage and batch",
+		Run:   runRoofline,
+	})
+}
+
+// runRoofline classifies the FFN and attention kernels of both evaluated
+// models against two machines: weights resident in HBM and weights
+// streamed from Optane — Fig. 1's prefill/decode dichotomy with numbers.
+func runRoofline() ([]*report.Table, error) {
+	t := &report.Table{
+		Title:   "Roofline classification (balance: HBM vs Optane-streamed weights)",
+		Headers: []string{"model", "kernel", "stage", "batch", "flops/byte", "vs HBM", "vs Optane stream"},
+	}
+	hbm := roofline.A100HBM()
+	link := roofline.A100OverLink(calib.HostToGPUOptaneSmall)
+
+	type point struct {
+		cfg   model.Config
+		stage string
+		batch int
+	}
+	points := []point{
+		{model.OPT30B(), "prefill", 1}, {model.OPT30B(), "prefill", 32},
+		{model.OPT30B(), "decode", 1}, {model.OPT30B(), "decode", 32},
+		{model.OPT175B(), "prefill", 1}, {model.OPT175B(), "prefill", 8},
+		{model.OPT175B(), "decode", 8}, {model.OPT175B(), "decode", 44},
+	}
+	for _, p := range points {
+		f, b, err := roofline.LayerKernel(p.cfg, model.LayerFFN, p.stage, p.batch, 128)
+		if err != nil {
+			return nil, err
+		}
+		ah, err := hbm.Classify(model.LayerFFN, p.stage, f, b)
+		if err != nil {
+			return nil, err
+		}
+		al, err := link.Classify(model.LayerFFN, p.stage, f, b)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.cfg.Name, "FFN", p.stage, p.batch,
+			fmt.Sprintf("%.1f", ah.Intensity), ah.Bound.String(), al.Bound.String())
+	}
+	// Attention over the KV cache: fixed intensity regardless of batch.
+	for _, batch := range []int{1, 44} {
+		f, b, err := roofline.AttentionKernel(model.OPT175B(), batch, 2048)
+		if err != nil {
+			return nil, err
+		}
+		a, err := hbm.Classify(model.LayerMHA, "decode", f, b)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("OPT-175B", "attention(KV)", "decode", batch,
+			fmt.Sprintf("%.1f", a.Intensity), a.Bound.String(), "memory-bound")
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,124 @@
+// Package gpu models the NVIDIA A100-40GB used in the evaluation (Table I)
+// as a roofline machine: kernels take the maximum of their compute time
+// (peak FP16 throughput scaled by a batch-dependent utilization curve) and
+// their HBM streaming time, floored by a fixed launch overhead. A separate
+// dequantization kernel models FlexGen's group-wise 4-bit decompression,
+// whose cost is proportional to the compressed bytes and independent of
+// batch size — the property behind the paper's Fig. 6 and Table IV.
+package gpu
+
+import (
+	"fmt"
+
+	"helmsim/internal/calib"
+	"helmsim/internal/units"
+)
+
+// GPU is an accelerator cost model. Construct with NewA100.
+type GPU struct {
+	// MemCapacity is the onboard HBM capacity.
+	MemCapacity units.Bytes
+	// HBM is the peak HBM bandwidth.
+	HBM units.Bandwidth
+	// HBMEff is the achievable fraction of HBM peak for streaming kernels.
+	HBMEff float64
+	// PeakFP16 is the dense FP16 tensor-core peak.
+	PeakFP16 units.FLOPS
+	// UtilMax caps GEMM efficiency.
+	UtilMax float64
+	// UtilHalfRows is the GEMM row count at half utilization.
+	UtilHalfRows float64
+	// Launch is the fixed per-kernel overhead.
+	Launch units.Duration
+	// Dequant is the group-wise dequantization rate over compressed bytes.
+	Dequant units.Bandwidth
+}
+
+// NewA100 returns the A100-PCIe-40GB model with the calibrated constants.
+func NewA100() *GPU {
+	return &GPU{
+		MemCapacity:  calib.GPUMemoryCapacity,
+		HBM:          calib.GPUHBMBandwidth,
+		HBMEff:       calib.GPUHBMEfficiency,
+		PeakFP16:     calib.GPUPeakFP16,
+		UtilMax:      calib.GEMMUtilMax,
+		UtilHalfRows: calib.GEMMUtilHalfRows,
+		Launch:       calib.KernelLaunchOverhead,
+		Dequant:      calib.DequantBandwidth,
+	}
+}
+
+// Utilization is the achievable fraction of FP16 peak for a GEMM with the
+// given row count (batch x tokens). The saturating curve
+// u(m) = UtilMax * m / (m + UtilHalfRows) captures how small batches leave
+// tensor cores idle: at m=128 (one 128-token prompt) utilization is half of
+// UtilMax, so growing the batch 32x shrinks per-row time ~2x — together
+// yielding the ~15x prefill-compute growth of §IV-B.
+func (g *GPU) Utilization(rows int) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	m := float64(rows)
+	return g.UtilMax * m / (m + g.UtilHalfRows)
+}
+
+// effHBM is the achievable HBM streaming bandwidth.
+func (g *GPU) effHBM() units.Bandwidth {
+	return units.Bandwidth(float64(g.HBM) * g.HBMEff)
+}
+
+// MatmulTime is the roofline time of one projection/FFN matmul touching
+// weightBytes of HBM-resident weights with the given total flops and GEMM
+// row count. It is max(compute, memory) + launch: prefill GEMMs are
+// compute-bound, decode GEMVs are bound by streaming the weights.
+func (g *GPU) MatmulTime(rows int, flops float64, weightBytes units.Bytes) (units.Duration, error) {
+	if rows < 0 || flops < 0 || weightBytes < 0 {
+		return 0, fmt.Errorf("gpu: negative matmul argument (rows=%d flops=%g bytes=%d)", rows, flops, weightBytes)
+	}
+	if rows == 0 || flops == 0 {
+		return 0, nil
+	}
+	u := g.Utilization(rows)
+	compute := units.FLOPS(float64(g.PeakFP16) * u).TimeFor(flops)
+	memory := g.effHBM().TimeFor(weightBytes)
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	return t + g.Launch, nil
+}
+
+// AttentionTime is the roofline time of the batched attention kernel over
+// the KV cache: each prompt streams its own K/V blocks (kvBytes per prompt)
+// and performs flopsPerPrompt operations; batching does not amortize the KV
+// reads (§IV-B: "each prompt must still perform a series of GEMV operations
+// ... with its own local KV cache").
+func (g *GPU) AttentionTime(batch int, kvBytesPerPrompt units.Bytes, flopsPerPrompt float64) (units.Duration, error) {
+	if batch < 0 || kvBytesPerPrompt < 0 || flopsPerPrompt < 0 {
+		return 0, fmt.Errorf("gpu: negative attention argument")
+	}
+	if batch == 0 {
+		return 0, nil
+	}
+	memory := g.effHBM().TimeFor(kvBytesPerPrompt * units.Bytes(batch))
+	compute := units.FLOPS(float64(g.PeakFP16) * g.Utilization(batch)).TimeFor(flopsPerPrompt * float64(batch))
+	t := memory
+	if compute > t {
+		t = compute
+	}
+	return t + g.Launch, nil
+}
+
+// DequantTime is the cost of decompressing compressedBytes of group-wise
+// quantized weights before use. FlexGen decompresses every streamed-in or
+// GPU-resident compressed weight on the fly each time it is used, so this
+// cost recurs per layer per token step and does not depend on batch size.
+func (g *GPU) DequantTime(compressedBytes units.Bytes) (units.Duration, error) {
+	if compressedBytes < 0 {
+		return 0, fmt.Errorf("gpu: negative dequant size %d", compressedBytes)
+	}
+	if compressedBytes == 0 {
+		return 0, nil
+	}
+	return g.Dequant.TimeFor(compressedBytes) + g.Launch, nil
+}

@@ -1,0 +1,159 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"helmsim/internal/calib"
+	"helmsim/internal/units"
+)
+
+func TestUtilizationCurve(t *testing.T) {
+	g := NewA100()
+	if got := g.Utilization(0); got != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", got)
+	}
+	// At m = UtilHalfRows the curve is at half of UtilMax by construction.
+	half := g.Utilization(int(calib.GEMMUtilHalfRows))
+	if math.Abs(half-calib.GEMMUtilMax/2) > 1e-12 {
+		t.Errorf("Utilization(half) = %v, want %v", half, calib.GEMMUtilMax/2)
+	}
+	// Monotone increasing, bounded by UtilMax.
+	prev := 0.0
+	for _, m := range []int{1, 8, 64, 128, 1024, 4096, 1 << 20} {
+		u := g.Utilization(m)
+		if u <= prev || u >= calib.GEMMUtilMax {
+			t.Errorf("Utilization(%d) = %v not in (%v, %v)", m, u, prev, calib.GEMMUtilMax)
+		}
+		prev = u
+	}
+}
+
+// §IV-B: prefill compute grows ~15x when the batch goes 1 -> 32 at a
+// 128-token prompt, not 32x, because utilization rises with batch.
+func TestPrefillComputeGrowth(t *testing.T) {
+	g := NewA100()
+	const promptLen = 128
+	flopsPerRow := 2.0 * 12 * 7168 * 7168 // one OPT-30B decoder block per token
+	t1, err := g.MatmulTime(promptLen, flopsPerRow*promptLen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t32, err := g.MatmulTime(32*promptLen, flopsPerRow*32*promptLen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := t32.Seconds() / t1.Seconds()
+	if ratio < 12 || ratio > 19 {
+		t.Errorf("batch 1->32 prefill compute ratio = %.1f, want ~15 (§IV-B)", ratio)
+	}
+}
+
+func TestMatmulRoofline(t *testing.T) {
+	g := NewA100()
+	// Compute-bound: huge flops, no weights.
+	c, err := g.MatmulTime(4096, 1e12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC := 1e12/(float64(g.PeakFP16)*g.Utilization(4096)) + g.Launch.Seconds()
+	if math.Abs(c.Seconds()-wantC) > 1e-9 {
+		t.Errorf("compute-bound = %v, want %.6fs", c, wantC)
+	}
+	// Memory-bound: decode GEMV streaming 2.4 GB of FFN weights.
+	m, err := g.MatmulTime(1, 2.4e9, 2400*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM := 2.4e9/(float64(g.HBM)*g.HBMEff) + g.Launch.Seconds()
+	if math.Abs(m.Seconds()-wantM) > 1e-7 {
+		t.Errorf("memory-bound = %v, want %.6fs", m, wantM)
+	}
+	// Degenerate inputs.
+	if d, err := g.MatmulTime(0, 100, 10); err != nil || d != 0 {
+		t.Errorf("zero rows = (%v, %v)", d, err)
+	}
+	if _, err := g.MatmulTime(-1, 1, 1); err == nil {
+		t.Errorf("negative rows should fail")
+	}
+	if _, err := g.MatmulTime(1, -1, 1); err == nil {
+		t.Errorf("negative flops should fail")
+	}
+	if _, err := g.MatmulTime(1, 1, -1); err == nil {
+		t.Errorf("negative bytes should fail")
+	}
+}
+
+// Attention streams each prompt's own KV cache: time scales linearly with
+// batch (no reuse across prompts, §IV-B).
+func TestAttentionScalesWithBatch(t *testing.T) {
+	g := NewA100()
+	kv := 48 * units.MB // one OPT-175B block at full context
+	t1, err := g.AttentionTime(1, kv, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := g.AttentionTime(8, kv, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow := (t8.Seconds() - g.Launch.Seconds()) / (t1.Seconds() - g.Launch.Seconds())
+	if math.Abs(grow-8) > 0.2 {
+		t.Errorf("attention batch scaling = %.2f, want ~8", grow)
+	}
+	if d, err := g.AttentionTime(0, kv, 1e7); err != nil || d != 0 {
+		t.Errorf("zero batch = (%v, %v)", d, err)
+	}
+	if _, err := g.AttentionTime(-1, kv, 1); err == nil {
+		t.Errorf("negative batch should fail")
+	}
+	if _, err := g.AttentionTime(1, -1, 1); err == nil {
+		t.Errorf("negative kv bytes should fail")
+	}
+}
+
+// Dequantization cost is proportional to compressed bytes and independent
+// of batch — the signature behind Fig. 6 and Table IV's flat decode compute.
+func TestDequantProportionalToBytes(t *testing.T) {
+	g := NewA100()
+	t1, err := g.DequantTime(300 * units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := g.DequantTime(600 * units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := (t2.Seconds() - g.Launch.Seconds()) / (t1.Seconds() - g.Launch.Seconds())
+	if math.Abs(r-2) > 1e-6 {
+		t.Errorf("dequant scaling = %v, want 2", r)
+	}
+	if d, err := g.DequantTime(0); err != nil || d != 0 {
+		t.Errorf("zero dequant = (%v, %v)", d, err)
+	}
+	if _, err := g.DequantTime(-1); err == nil {
+		t.Errorf("negative dequant should fail")
+	}
+}
+
+// Property: matmul time is monotone in flops and in weight bytes.
+func TestMatmulMonotoneProperty(t *testing.T) {
+	g := NewA100()
+	f := func(rows uint16, fl, fl2, wb, wb2 uint32) bool {
+		r := int(rows)%8192 + 1
+		f1 := float64(fl)
+		f2 := f1 + float64(fl2)
+		b1 := units.Bytes(wb)
+		b2 := b1 + units.Bytes(wb2)
+		t11, e1 := g.MatmulTime(r, f1, b1)
+		t22, e2 := g.MatmulTime(r, f2, b2)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		return t22 >= t11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

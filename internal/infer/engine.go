@@ -1,0 +1,412 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"helmsim/internal/model"
+	"helmsim/internal/tensor"
+)
+
+// normEps is the normalization epsilon.
+const normEps = 1e-5
+
+// blockCache is one decoder block's KV cache: rows are cached positions,
+// columns the (possibly grouped-query) KV width.
+type blockCache struct {
+	k, v [][]float32
+}
+
+// Engine executes a decoder-only transformer incrementally.
+type Engine struct {
+	cfg     model.Config
+	weights WeightStore
+	layers  []model.Layer
+	cache   []blockCache
+	pos     int // positions already cached
+}
+
+// New builds an engine over the model and weight store.
+func New(cfg model.Config, w WeightStore) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if w == nil {
+		return nil, fmt.Errorf("infer: nil weight store")
+	}
+	return &Engine{
+		cfg:     cfg,
+		weights: w,
+		layers:  cfg.Layers(),
+		cache:   make([]blockCache, cfg.Blocks),
+	}, nil
+}
+
+// Reset clears the KV cache and position counter.
+func (e *Engine) Reset() {
+	e.cache = make([]blockCache, e.cfg.Blocks)
+	e.pos = 0
+}
+
+// Pos reports the number of cached positions.
+func (e *Engine) Pos() int { return e.pos }
+
+// mat fetches a tensor as an r x c matrix.
+func (e *Engine) mat(layer int, name string, r, c int) (tensor.Mat, error) {
+	data, err := e.weights.Tensor(layer, name)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	m, err := tensor.FromSlice(r, c, data)
+	if err != nil {
+		return tensor.Mat{}, fmt.Errorf("infer: L%d/%s: %w", layer, name, err)
+	}
+	return m, nil
+}
+
+// vec fetches a tensor as a length-n vector.
+func (e *Engine) vec(layer int, name string, n int) ([]float32, error) {
+	data, err := e.weights.Tensor(layer, name)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != n {
+		return nil, fmt.Errorf("infer: L%d/%s has %d elems, want %d", layer, name, len(data), n)
+	}
+	return data, nil
+}
+
+// Forward appends tokens to the context and returns the logits of the last
+// position (1 x vocab).
+func (e *Engine) Forward(tokens []int) (tensor.Mat, error) {
+	if len(tokens) == 0 {
+		return tensor.Mat{}, fmt.Errorf("infer: empty token batch")
+	}
+	if e.pos+len(tokens) > e.cfg.MaxSeq {
+		return tensor.Mat{}, fmt.Errorf("infer: context overflow (%d + %d > %d)", e.pos, len(tokens), e.cfg.MaxSeq)
+	}
+	x, err := e.embed(tokens, e.pos)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	for b := 0; b < e.cfg.Blocks; b++ {
+		mha := e.layers[1+2*b]
+		ffn := e.layers[2+2*b]
+		if x, err = e.attentionBlock(mha, &e.cache[b], e.pos, x); err != nil {
+			return tensor.Mat{}, err
+		}
+		if x, err = e.ffnBlock(ffn, x); err != nil {
+			return tensor.Mat{}, err
+		}
+	}
+	logits, err := e.output(x)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	e.pos += len(tokens)
+	return logits, nil
+}
+
+// embed builds the hidden states of the new tokens starting at the given
+// absolute position.
+func (e *Engine) embed(tokens []int, pos int) (tensor.Mat, error) {
+	l := e.layers[0]
+	h := e.cfg.Hidden
+	table, err := e.mat(l.Index, "w_token", e.cfg.Vocab, h)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	var posTable tensor.Mat
+	if e.cfg.Arch == model.ArchOPT {
+		if posTable, err = e.mat(l.Index, "w_pos", e.cfg.MaxSeq+2, h); err != nil {
+			return tensor.Mat{}, err
+		}
+	}
+	x := tensor.New(len(tokens), h)
+	for i, tok := range tokens {
+		if tok < 0 || tok >= e.cfg.Vocab {
+			return tensor.Mat{}, fmt.Errorf("infer: token %d outside vocab %d", tok, e.cfg.Vocab)
+		}
+		copy(x.Row(i), table.Row(tok))
+		if e.cfg.Arch == model.ArchOPT {
+			// OPT offsets learned positions by 2.
+			prow := posTable.Row(pos + i + 2)
+			row := x.Row(i)
+			for j := range row {
+				row[j] += prow[j]
+			}
+		}
+	}
+	return x, nil
+}
+
+// norm applies the architecture's normalization using the layer's params.
+func (e *Engine) norm(layer model.Layer, x tensor.Mat) (tensor.Mat, error) {
+	h := e.cfg.Hidden
+	if e.cfg.Arch == model.ArchLlama {
+		// Decoder blocks carry "w_norm"; the output layer's final norm is
+		// stored as "w_ln" for both architectures.
+		gamma, err := e.vec(layer.Index, "w_norm", h)
+		if err != nil {
+			if gamma, err = e.vec(layer.Index, "w_ln", h); err != nil {
+				return tensor.Mat{}, err
+			}
+		}
+		return tensor.RMSNorm(x, gamma, normEps)
+	}
+	gamma, err := e.vec(layer.Index, "w_ln", h)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	beta, err := e.vec(layer.Index, "b_ln", h)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	return tensor.LayerNorm(x, gamma, beta, normEps)
+}
+
+// proj computes x @ W (+ bias for OPT).
+func (e *Engine) proj(layer model.Layer, x tensor.Mat, wName, bName string, outDim int) (tensor.Mat, error) {
+	w, err := e.mat(layer.Index, wName, x.C, outDim)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	out, err := tensor.MatMul(x, w)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	if bName != "" && e.cfg.Arch == model.ArchOPT {
+		b, err := e.vec(layer.Index, bName, outDim)
+		if err != nil {
+			return tensor.Mat{}, err
+		}
+		if err := out.AddBias(b); err != nil {
+			return tensor.Mat{}, err
+		}
+	}
+	return out, nil
+}
+
+// kvNames maps the architecture's projection tensor names.
+func (e *Engine) kvNames() (q, k, v, o string) {
+	return "w_q", "w_k", "w_v", "w_out"
+}
+
+// attentionBlock runs pre-norm attention with the given KV cache (whose
+// entries cover positions [0, pos)) and a residual connection.
+func (e *Engine) attentionBlock(layer model.Layer, cache *blockCache, pos int, x tensor.Mat) (tensor.Mat, error) {
+	h := e.cfg.Hidden
+	nHeads := e.cfg.Heads
+	headDim := h / nHeads
+	kvDim := e.kvWidth()
+	kvHeads := kvDim / headDim
+	group := nHeads / kvHeads
+
+	hn, err := e.norm(layer, x)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	qName, kName, vName, oName := e.kvNames()
+	q, err := e.proj(layer, hn, qName, "b_q", h)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	k, err := e.proj(layer, hn, kName, "b_k", kvDim)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	v, err := e.proj(layer, hn, vName, "b_v", kvDim)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+
+	// Rotary position embedding for LLaMA (applied to q and k).
+	if e.cfg.Arch == model.ArchLlama {
+		for i := 0; i < q.R; i++ {
+			applyRoPE(q.Row(i), headDim, pos+i)
+			applyRoPE(k.Row(i), headDim, pos+i)
+		}
+	}
+
+	// Append the new positions to the cache.
+	for i := 0; i < k.R; i++ {
+		cache.k = append(cache.k, append([]float32(nil), k.Row(i)...))
+		cache.v = append(cache.v, append([]float32(nil), v.Row(i)...))
+	}
+
+	// Attention per query position and head, causally masked by
+	// construction: query at absolute position pos+i sees cache entries
+	// [0, pos+i].
+	out := tensor.New(q.R, h)
+	scale := 1 / float32(math.Sqrt(float64(headDim)))
+	for i := 0; i < q.R; i++ {
+		limit := pos + i + 1
+		qrow := q.Row(i)
+		orow := out.Row(i)
+		for head := 0; head < nHeads; head++ {
+			qh := qrow[head*headDim : (head+1)*headDim]
+			kvHead := head / group
+			off := kvHead * headDim
+			// Scores over the visible cache.
+			scores := make([]float32, limit)
+			var maxS float32 = float32(math.Inf(-1))
+			for p := 0; p < limit; p++ {
+				krow := cache.k[p][off : off+headDim]
+				var s float32
+				for d := range qh {
+					s += qh[d] * krow[d]
+				}
+				s *= scale
+				scores[p] = s
+				if s > maxS {
+					maxS = s
+				}
+			}
+			var sum float32
+			for p := range scores {
+				ev := float32(math.Exp(float64(scores[p] - maxS)))
+				scores[p] = ev
+				sum += ev
+			}
+			inv := float32(1)
+			if sum > 0 {
+				inv = 1 / sum
+			}
+			dst := orow[head*headDim : (head+1)*headDim]
+			for p := 0; p < limit; p++ {
+				wgt := scores[p] * inv
+				vrow := cache.v[p][off : off+headDim]
+				for d := range dst {
+					dst[d] += wgt * vrow[d]
+				}
+			}
+		}
+	}
+
+	attnOut, err := e.projFrom(layer, out, oName, "b_out", h)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	if err := attnOut.Add(x); err != nil {
+		return tensor.Mat{}, err
+	}
+	return attnOut, nil
+}
+
+// projFrom is proj with an explicit input matrix width.
+func (e *Engine) projFrom(layer model.Layer, x tensor.Mat, wName, bName string, outDim int) (tensor.Mat, error) {
+	return e.proj(layer, x, wName, bName, outDim)
+}
+
+// kvWidth is the K/V projection width (grouped-query shrinks it).
+func (e *Engine) kvWidth() int {
+	if e.cfg.Arch == model.ArchLlama && e.cfg.KVHeads > 0 {
+		return e.cfg.Hidden / e.cfg.Heads * e.cfg.KVHeads
+	}
+	return e.cfg.Hidden
+}
+
+// ffnWidth is the FFN intermediate width.
+func (e *Engine) ffnWidth() int {
+	if e.cfg.Arch == model.ArchLlama && e.cfg.FFNDim > 0 {
+		return e.cfg.FFNDim
+	}
+	return 4 * e.cfg.Hidden
+}
+
+// applyRoPE rotates each head's even/odd pairs by the position-dependent
+// angles of rotary position embedding.
+func applyRoPE(row []float32, headDim, pos int) {
+	for off := 0; off+headDim <= len(row); off += headDim {
+		for d := 0; d < headDim; d += 2 {
+			theta := float64(pos) * math.Pow(10000, -float64(d)/float64(headDim))
+			sin, cos := math.Sincos(theta)
+			a, b := row[off+d], row[off+d+1]
+			row[off+d] = float32(float64(a)*cos - float64(b)*sin)
+			row[off+d+1] = float32(float64(a)*sin + float64(b)*cos)
+		}
+	}
+}
+
+// ffnBlock runs the pre-norm feed-forward network with a residual.
+func (e *Engine) ffnBlock(layer model.Layer, x tensor.Mat) (tensor.Mat, error) {
+	h := e.cfg.Hidden
+	f := e.ffnWidth()
+	hn, err := e.norm(layer, x)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	var out tensor.Mat
+	if e.cfg.Arch == model.ArchLlama {
+		gate, err := e.proj(layer, hn, "w_gate", "", f)
+		if err != nil {
+			return tensor.Mat{}, err
+		}
+		up, err := e.proj(layer, hn, "w_up", "", f)
+		if err != nil {
+			return tensor.Mat{}, err
+		}
+		gate.SiLU()
+		if err := gate.Mul(up); err != nil {
+			return tensor.Mat{}, err
+		}
+		if out, err = e.proj(layer, gate, "w_down", "", h); err != nil {
+			return tensor.Mat{}, err
+		}
+	} else {
+		mid, err := e.proj(layer, hn, "w_fc1", "b_fc1", f)
+		if err != nil {
+			return tensor.Mat{}, err
+		}
+		mid.GELU()
+		if out, err = e.proj(layer, mid, "w_fc2", "b_fc2", h); err != nil {
+			return tensor.Mat{}, err
+		}
+	}
+	if err := out.Add(x); err != nil {
+		return tensor.Mat{}, err
+	}
+	return out, nil
+}
+
+// output applies the final norm and the logit projection for the last
+// position only.
+func (e *Engine) output(x tensor.Mat) (tensor.Mat, error) {
+	l := e.layers[len(e.layers)-1]
+	last := tensor.New(1, x.C)
+	copy(last.Row(0), x.Row(x.R-1))
+	hn, err := e.norm(l, last)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	table, err := e.mat(l.Index, "w_token", e.cfg.Vocab, e.cfg.Hidden)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	return tensor.MatMulT(hn, table)
+}
+
+// Generate runs greedy decoding: prefill the prompt, then emit n tokens.
+func (e *Engine) Generate(prompt []int, n int) ([]int, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("infer: empty prompt")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("infer: non-positive generation length %d", n)
+	}
+	logits, err := e.Forward(prompt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, n)
+	next := logits.ArgmaxRow(0)
+	out = append(out, next)
+	for len(out) < n {
+		if logits, err = e.Forward([]int{next}); err != nil {
+			return nil, err
+		}
+		next = logits.ArgmaxRow(0)
+		out = append(out, next)
+	}
+	return out, nil
+}

@@ -1,0 +1,316 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"helmsim/internal/model"
+	"helmsim/internal/quant"
+	"helmsim/internal/tensor"
+)
+
+// tinyOPT is a laptop-scale OPT-style model.
+func tinyOPT() model.Config {
+	return model.Config{
+		Name: "OPT-tiny", Hidden: 32, Heads: 4, Blocks: 2,
+		Vocab: 64, MaxSeq: 48, DTypeBytes: 2,
+	}
+}
+
+// tinyLlama is a laptop-scale LLaMA-style model with grouped-query
+// attention (4 query heads sharing 2 KV heads) and a gated FFN.
+func tinyLlama() model.Config {
+	c := model.Config{
+		Name: "Llama-tiny", Hidden: 32, Heads: 4, Blocks: 2,
+		Vocab: 64, MaxSeq: 48, DTypeBytes: 2,
+	}
+	return c.WithLlama(2, 48)
+}
+
+func newEngine(t *testing.T, cfg model.Config, seed int64) *Engine {
+	t.Helper()
+	ws, err := RandomWeights(cfg, seed, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestForwardShapesAndFiniteness(t *testing.T) {
+	for _, cfg := range []model.Config{tinyOPT(), tinyLlama()} {
+		e := newEngine(t, cfg, 1)
+		logits, err := e.Forward([]int{1, 2, 3})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if logits.R != 1 || logits.C != cfg.Vocab {
+			t.Fatalf("%s logits shape %dx%d", cfg.Name, logits.R, logits.C)
+		}
+		for _, v := range logits.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s produced non-finite logits", cfg.Name)
+			}
+		}
+		if e.Pos() != 3 {
+			t.Errorf("%s pos = %d", cfg.Name, e.Pos())
+		}
+	}
+}
+
+// The KV cache must make incremental decoding exactly consistent with
+// recomputing from scratch: feeding tokens one by one yields the same
+// final logits as feeding them all at once.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	for _, cfg := range []model.Config{tinyOPT(), tinyLlama()} {
+		tokens := []int{5, 9, 3, 17, 2}
+
+		full := newEngine(t, cfg, 7)
+		fullLogits, err := full.Forward(tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		inc := newEngine(t, cfg, 7)
+		var incLogits tensor.Mat
+		for _, tok := range tokens {
+			if incLogits, err = inc.Forward([]int{tok}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range fullLogits.Data {
+			if d := math.Abs(float64(fullLogits.Data[i] - incLogits.Data[i])); d > 1e-3 {
+				t.Fatalf("%s: incremental diverges at logit %d by %g", cfg.Name, i, d)
+			}
+		}
+	}
+}
+
+// Causality: extending the context must not change what the model would
+// have predicted at an earlier position.
+func TestCausality(t *testing.T) {
+	cfg := tinyOPT()
+	a := newEngine(t, cfg, 3)
+	la, err := a.Forward([]int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same engine weights, same first two tokens, different continuation:
+	// the logits after the first two tokens must be identical.
+	b := newEngine(t, cfg, 3)
+	lb, err := b.Forward([]int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range la.Data {
+		if la.Data[i] != lb.Data[i] {
+			t.Fatalf("same prefix diverged at %d", i)
+		}
+	}
+	// And future tokens don't rewrite the cache of past ones.
+	if _, err := b.Forward([]int{60}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pos() != 3 {
+		t.Errorf("pos = %d", b.Pos())
+	}
+}
+
+func TestGenerateDeterministicAndResetWorks(t *testing.T) {
+	cfg := tinyLlama()
+	e1 := newEngine(t, cfg, 11)
+	out1, err := e1.Generate([]int{1, 2, 3, 4}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out1) != 6 {
+		t.Fatalf("generated %d tokens", len(out1))
+	}
+	for _, tok := range out1 {
+		if tok < 0 || tok >= cfg.Vocab {
+			t.Fatalf("token %d outside vocab", tok)
+		}
+	}
+	e2 := newEngine(t, cfg, 11)
+	out2, err := e2.Generate([]int{1, 2, 3, 4}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("same weights diverged at %d", i)
+		}
+	}
+	// Reset replays identically on the same engine.
+	e1.Reset()
+	if e1.Pos() != 0 {
+		t.Errorf("pos after reset = %d", e1.Pos())
+	}
+	out3, err := e1.Generate([]int{1, 2, 3, 4}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out1 {
+		if out1[i] != out3[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+// Quantized weights (dequantized per use, FlexGen's serving mode) produce
+// outputs close to the raw weights, and the dequant counter observes the
+// per-layer-per-step decompression cost.
+func TestQuantizedServingCloseToRaw(t *testing.T) {
+	cfg := tinyOPT()
+	raw, err := RandomWeights(cfg, 21, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Quantize(cfg, raw, quant.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eRaw, err := New(cfg, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eQ, err := New(cfg, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{3, 1, 4, 1, 5}
+	lr, err := eRaw.Forward(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq, err := eQ.Forward(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correlated outputs: the argmax usually survives 4-bit noise on a
+	// tiny model; assert bounded relative error instead of equality.
+	var se, ss float64
+	for i := range lr.Data {
+		d := float64(lr.Data[i] - lq.Data[i])
+		se += d * d
+		ss += float64(lr.Data[i]) * float64(lr.Data[i])
+	}
+	if rel := math.Sqrt(se / ss); rel > 0.5 {
+		t.Errorf("quantized logits relative error %.3f too large", rel)
+	}
+	// Dequant happened once per projection tensor per forward: 2 blocks x
+	// (4 attn + 2 ffn) + 2 embedding tables.
+	if qs.Dequants < 10 {
+		t.Errorf("dequant counter = %d, expected per-use decompression", qs.Dequants)
+	}
+}
+
+// Grouped-query attention halves the cached KV width for tinyLlama (2 KV
+// heads over 4 query heads).
+func TestGQACacheWidth(t *testing.T) {
+	cfg := tinyLlama()
+	e := newEngine(t, cfg, 2)
+	if _, err := e.Forward([]int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.cache[0].k[0]); got != cfg.Hidden/2 {
+		t.Errorf("KV width = %d, want %d", got, cfg.Hidden/2)
+	}
+	// OPT caches the full width.
+	o := newEngine(t, tinyOPT(), 2)
+	if _, err := o.Forward([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(o.cache[0].k[0]); got != tinyOPT().Hidden {
+		t.Errorf("OPT KV width = %d", got)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	cfg := tinyOPT()
+	ws, _ := RandomWeights(cfg, 1, 0.1)
+	if _, err := New(model.Config{}, ws); err == nil {
+		t.Errorf("invalid config accepted")
+	}
+	if _, err := New(cfg, nil); err == nil {
+		t.Errorf("nil store accepted")
+	}
+	e, _ := New(cfg, ws)
+	if _, err := e.Forward(nil); err == nil {
+		t.Errorf("empty forward accepted")
+	}
+	if _, err := e.Forward([]int{999}); err == nil {
+		t.Errorf("out-of-vocab token accepted")
+	}
+	if _, err := e.Forward([]int{-1}); err == nil {
+		t.Errorf("negative token accepted")
+	}
+	if _, err := e.Generate(nil, 3); err == nil {
+		t.Errorf("empty prompt accepted")
+	}
+	if _, err := e.Generate([]int{1}, 0); err == nil {
+		t.Errorf("zero gen accepted")
+	}
+	// Context overflow.
+	long := make([]int, cfg.MaxSeq+1)
+	if _, err := e.Forward(long); err == nil {
+		t.Errorf("context overflow accepted")
+	}
+}
+
+func TestRandomWeightsValidation(t *testing.T) {
+	if _, err := RandomWeights(model.Config{}, 1, 0.1); err == nil {
+		t.Errorf("invalid config accepted")
+	}
+	if _, err := RandomWeights(tinyOPT(), 1, 0); err == nil {
+		t.Errorf("zero scale accepted")
+	}
+}
+
+func TestStoreMissingTensor(t *testing.T) {
+	s := NewMemStore()
+	if _, err := s.Tensor(0, "nope"); err == nil {
+		t.Errorf("missing tensor accepted")
+	}
+	cfg := tinyOPT()
+	raw, _ := RandomWeights(cfg, 1, 0.1)
+	qs, _ := Quantize(cfg, raw, quant.Default())
+	if _, err := qs.Tensor(99, "nope"); err == nil {
+		t.Errorf("missing quant tensor accepted")
+	}
+	if _, err := Quantize(cfg, NewMemStore(), quant.Default()); err == nil {
+		t.Errorf("incomplete source accepted")
+	}
+	if _, err := Quantize(cfg, raw, quant.Config{Bits: 3, GroupSize: 4}); err == nil {
+		t.Errorf("invalid quant config accepted")
+	}
+}
+
+// RoPE preserves vector norms (it is a rotation).
+func TestRoPEIsRotation(t *testing.T) {
+	row := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	var before float64
+	for _, v := range row {
+		before += float64(v) * float64(v)
+	}
+	applyRoPE(row, 4, 13)
+	var after float64
+	for _, v := range row {
+		after += float64(v) * float64(v)
+	}
+	if math.Abs(before-after) > 1e-3 {
+		t.Errorf("RoPE changed the norm: %v -> %v", before, after)
+	}
+	// Position 0 is the identity rotation.
+	id := []float32{1, 2, 3, 4}
+	applyRoPE(id, 4, 0)
+	want := []float32{1, 2, 3, 4}
+	for i := range id {
+		if math.Abs(float64(id[i]-want[i])) > 1e-6 {
+			t.Errorf("RoPE at pos 0 not identity: %v", id)
+		}
+	}
+}

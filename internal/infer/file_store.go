@@ -1,0 +1,91 @@
+package infer
+
+import (
+	"fmt"
+	"io"
+
+	"helmsim/internal/checkpoint"
+	"helmsim/internal/model"
+	"helmsim/internal/quant"
+)
+
+// TensorKey names a tensor inside a checkpoint: "L<layer>/<name>".
+func TensorKey(layer int, name string) string {
+	return fmt.Sprintf("L%03d/%s", layer, name)
+}
+
+// FileStore serves weights straight from an indexed checkpoint file —
+// genuine out-of-core operation: nothing but the directory lives in
+// memory, every layer access reads and decodes from storage, exactly the
+// access pattern whose cost the simulator's storage configurations (SSD,
+// FSDAX) model.
+type FileStore struct {
+	ix *checkpoint.Indexed
+	// Reads counts tensor fetches (observable I/O).
+	Reads int
+}
+
+// OpenFileStore opens a checkpoint as a weight store.
+func OpenFileStore(path string) (*FileStore, error) {
+	ix, err := checkpoint.OpenIndexed(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{ix: ix}, nil
+}
+
+// Tensor implements WeightStore.
+func (s *FileStore) Tensor(layer int, name string) ([]float32, error) {
+	e, err := s.ix.ReadTensor(TensorKey(layer, name))
+	if err != nil {
+		return nil, err
+	}
+	s.Reads++
+	return e.Data, nil
+}
+
+// ModelName reports the checkpoint's model.
+func (s *FileStore) ModelName() string { return s.ix.ModelName() }
+
+// Close releases the underlying file.
+func (s *FileStore) Close() error { return s.ix.Close() }
+
+// WriteCheckpoint serializes a model's weights from a raw store into w,
+// optionally group-wise quantized (norm gains and biases stay raw, as in
+// the serving path).
+func WriteCheckpoint(w io.Writer, cfg model.Config, src *MemStore, qc *quant.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var count int
+	for _, l := range cfg.Layers() {
+		count += len(l.Weights)
+	}
+	cw, err := checkpoint.NewWriter(w, cfg.Name, count)
+	if err != nil {
+		return err
+	}
+	for _, l := range cfg.Layers() {
+		for _, spec := range l.Weights {
+			data, err := src.Tensor(l.Index, spec.Name)
+			if err != nil {
+				return err
+			}
+			key := TensorKey(l.Index, spec.Name)
+			if qc != nil && !isNormParam(spec.Name) && !isBiasParam(spec.Name) {
+				t, err := quant.Quantize(data, *qc)
+				if err != nil {
+					return fmt.Errorf("infer: quantize %s: %w", key, err)
+				}
+				if err := cw.WriteQuantized(key, t); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := cw.WriteRaw(key, data); err != nil {
+				return err
+			}
+		}
+	}
+	return cw.Close()
+}

@@ -1,0 +1,157 @@
+package infer
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"helmsim/internal/checkpoint"
+	"helmsim/internal/quant"
+)
+
+// End-to-end out-of-core serving: write a quantized checkpoint to disk,
+// open it as a weight store, and generate — the logits match the in-memory
+// quantized store exactly, and every tensor access is a disk read.
+func TestFileStoreOutOfCoreGeneration(t *testing.T) {
+	cfg := tinyOPT()
+	raw, err := RandomWeights(cfg, 31, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "opt-tiny.hlmc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := quant.Default()
+	if err := WriteCheckpoint(f, cfg, raw, &qc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.ModelName() != cfg.Name {
+		t.Errorf("model name = %q", fs.ModelName())
+	}
+
+	eFile, err := New(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{2, 7, 1}
+	lFile, err := eFile.Forward(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Reads == 0 {
+		t.Fatal("no disk reads recorded — not out-of-core")
+	}
+
+	// Reference: the same quantized weights served from memory.
+	qs, err := Quantize(cfg, raw, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eMem, err := New(cfg, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lMem, err := eMem.Forward(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lFile.Data {
+		if d := math.Abs(float64(lFile.Data[i] - lMem.Data[i])); d > 2e-3 {
+			t.Fatalf("file-served logits diverge at %d by %g", i, d)
+		}
+	}
+}
+
+func TestWriteCheckpointRawRoundTrip(t *testing.T) {
+	cfg := tinyLlama()
+	raw, err := RandomWeights(cfg, 5, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "llama-tiny.hlmc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(f, cfg, raw, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	// Raw fp16 round trip: tensors match to fp16 precision.
+	want, _ := raw.Tensor(1, "w_q")
+	got, err := fs.Tensor(1, "w_q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		rel := math.Abs(float64(got[i]-want[i])) / math.Max(1e-6, math.Abs(float64(want[i])))
+		if rel > 1e-3 {
+			t.Fatalf("fp16 round trip elem %d: %v -> %v", i, want[i], got[i])
+		}
+	}
+	if _, err := fs.Tensor(999, "nope"); err == nil {
+		t.Errorf("missing tensor accepted")
+	}
+}
+
+func TestIndexedRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.hlmc")
+	if err := os.WriteFile(bad, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkpoint.OpenIndexed(bad); err == nil {
+		t.Errorf("garbage file accepted")
+	}
+	if _, err := checkpoint.OpenIndexed(filepath.Join(dir, "missing.hlmc")); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+func TestIndexedDirectory(t *testing.T) {
+	cfg := tinyOPT()
+	raw, _ := RandomWeights(cfg, 1, 0.05)
+	path := filepath.Join(t.TempDir(), "x.hlmc")
+	f, _ := os.Create(path)
+	if err := WriteCheckpoint(f, cfg, raw, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	ix, err := checkpoint.OpenIndexed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	names := ix.Names()
+	var want int
+	for _, l := range cfg.Layers() {
+		want += len(l.Weights)
+	}
+	if len(names) != want {
+		t.Fatalf("directory has %d names, want %d", len(names), want)
+	}
+	if !ix.Has(TensorKey(1, "w_q")) || ix.Has("L999/nope") {
+		t.Errorf("Has broken")
+	}
+	if _, err := ix.ReadTensor("L999/nope"); err == nil {
+		t.Errorf("missing tensor accepted")
+	}
+}

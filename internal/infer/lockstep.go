@@ -1,0 +1,192 @@
+package infer
+
+import (
+	"fmt"
+
+	"helmsim/internal/model"
+	"helmsim/internal/tensor"
+)
+
+// layerMemo caches the tensors of one layer at a time in front of a
+// backing store. In lockstep batched execution every sequence visits the
+// same layer before anyone moves on, so the memo turns B weight fetches
+// (and B dequantizations) per layer into one — the executable counterpart
+// of the zig-zag schedule's weight reuse (§II-B).
+type layerMemo struct {
+	backing WeightStore
+	layer   int
+	cache   map[string][]float32
+	// Fetches counts backing-store accesses (observable reuse).
+	Fetches int
+}
+
+// newLayerMemo wraps a store.
+func newLayerMemo(backing WeightStore) *layerMemo {
+	return &layerMemo{backing: backing, layer: -1, cache: map[string][]float32{}}
+}
+
+// Tensor implements WeightStore: a request for a new layer evicts the
+// previous layer's tensors.
+func (m *layerMemo) Tensor(layer int, name string) ([]float32, error) {
+	if layer != m.layer {
+		m.layer = layer
+		m.cache = map[string][]float32{}
+	}
+	if d, ok := m.cache[name]; ok {
+		return d, nil
+	}
+	d, err := m.backing.Tensor(layer, name)
+	if err != nil {
+		return nil, err
+	}
+	m.Fetches++
+	m.cache[name] = d
+	return d, nil
+}
+
+// seqState is one sequence's decoding state.
+type seqState struct {
+	cache []blockCache
+	pos   int
+	x     tensor.Mat // hidden state in flight during a step
+}
+
+// BatchEngine decodes several sequences in lockstep: each step walks the
+// layers once, advancing every sequence through layer L before touching
+// layer L+1, so each layer's weights are fetched (and dequantized) exactly
+// once per step regardless of the batch size.
+type BatchEngine struct {
+	eng  *Engine
+	memo *layerMemo
+	seqs []seqState
+}
+
+// NewBatch builds a lockstep engine for nSeqs sequences.
+func NewBatch(cfg model.Config, w WeightStore, nSeqs int) (*BatchEngine, error) {
+	if nSeqs <= 0 {
+		return nil, fmt.Errorf("infer: non-positive sequence count %d", nSeqs)
+	}
+	memo := newLayerMemo(w)
+	eng, err := New(cfg, memo)
+	if err != nil {
+		return nil, err
+	}
+	b := &BatchEngine{eng: eng, memo: memo, seqs: make([]seqState, nSeqs)}
+	for i := range b.seqs {
+		b.seqs[i].cache = make([]blockCache, cfg.Blocks)
+	}
+	return b, nil
+}
+
+// WeightFetches reports backing-store tensor fetches so far.
+func (b *BatchEngine) WeightFetches() int { return b.memo.Fetches }
+
+// Len reports the sequence count.
+func (b *BatchEngine) Len() int { return len(b.seqs) }
+
+// Step feeds each sequence its next tokens (tokens[i] may hold one or more
+// tokens for sequence i; nil slices skip a sequence) and returns the final
+// logits per advanced sequence (nil for skipped ones).
+func (b *BatchEngine) Step(tokens [][]int) ([]tensor.Mat, error) {
+	if len(tokens) != len(b.seqs) {
+		return nil, fmt.Errorf("infer: step has %d token slices for %d sequences", len(tokens), len(b.seqs))
+	}
+	cfg := b.eng.cfg
+	active := 0
+	// Embed every active sequence first (layer 0 weights fetched once).
+	for i := range b.seqs {
+		if len(tokens[i]) == 0 {
+			b.seqs[i].x = tensor.Mat{}
+			continue
+		}
+		if b.seqs[i].pos+len(tokens[i]) > cfg.MaxSeq {
+			return nil, fmt.Errorf("infer: sequence %d context overflow", i)
+		}
+		x, err := b.eng.embed(tokens[i], b.seqs[i].pos)
+		if err != nil {
+			return nil, err
+		}
+		b.seqs[i].x = x
+		active++
+	}
+	if active == 0 {
+		return nil, fmt.Errorf("infer: empty step")
+	}
+
+	// Lockstep over layers: every sequence finishes layer L before anyone
+	// touches L+1, keeping the one-layer weight memo hot (one fetch per
+	// layer per step, any batch size).
+	for blk := 0; blk < cfg.Blocks; blk++ {
+		mha := b.eng.layers[1+2*blk]
+		for i := range b.seqs {
+			s := &b.seqs[i]
+			if s.x.R == 0 {
+				continue
+			}
+			x, err := b.eng.attentionBlock(mha, &s.cache[blk], s.pos, s.x)
+			if err != nil {
+				return nil, err
+			}
+			s.x = x
+		}
+		ffn := b.eng.layers[2+2*blk]
+		for i := range b.seqs {
+			s := &b.seqs[i]
+			if s.x.R == 0 {
+				continue
+			}
+			x, err := b.eng.ffnBlock(ffn, s.x)
+			if err != nil {
+				return nil, err
+			}
+			s.x = x
+		}
+	}
+
+	out := make([]tensor.Mat, len(b.seqs))
+	for i := range b.seqs {
+		s := &b.seqs[i]
+		if s.x.R == 0 {
+			continue
+		}
+		logits, err := b.eng.output(s.x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = logits
+		s.pos += len(tokens[i])
+		s.x = tensor.Mat{}
+	}
+	return out, nil
+}
+
+// GenerateBatch runs greedy decoding for every prompt in lockstep and
+// returns n tokens per sequence.
+func (b *BatchEngine) GenerateBatch(prompts [][]int, n int) ([][]int, error) {
+	if len(prompts) != len(b.seqs) {
+		return nil, fmt.Errorf("infer: %d prompts for %d sequences", len(prompts), len(b.seqs))
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("infer: non-positive generation length %d", n)
+	}
+	step := make([][]int, len(prompts))
+	for i, p := range prompts {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("infer: empty prompt %d", i)
+		}
+		step[i] = p
+	}
+	out := make([][]int, len(prompts))
+	for t := 0; t < n; t++ {
+		logits, err := b.Step(step)
+		if err != nil {
+			return nil, err
+		}
+		for i := range step {
+			next := logits[i].ArgmaxRow(0)
+			out[i] = append(out[i], next)
+			step[i] = []int{next}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package infer
+
+import (
+	"testing"
+
+	"helmsim/internal/model"
+	"helmsim/internal/quant"
+)
+
+// Lockstep batched decoding is exactly equivalent to running each sequence
+// on its own engine: the KV caches are independent, only the weight
+// traffic is shared.
+func TestLockstepMatchesIndependentEngines(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		mc   func() model.Config
+	}{
+		{"opt", tinyOPT},
+		{"llama", tinyLlama},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			mc := cfg.mc()
+			ws, err := RandomWeights(mc, 17, 0.08)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prompts := [][]int{{1, 2, 3}, {9, 4}, {7, 7, 7, 7}}
+
+			be, err := NewBatch(mc, ws, len(prompts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := be.GenerateBatch(prompts, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for i, p := range prompts {
+				solo, err := New(mc, ws)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := solo.Generate(p, 6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range want {
+					if batched[i][j] != want[j] {
+						t.Fatalf("seq %d diverged at token %d: %v vs %v", i, j, batched[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The weight-reuse property: with quantized weights, the per-layer memo
+// makes backing fetches (and dequantizations) independent of the batch
+// size — FlexGen's zig-zag reuse, executable.
+func TestLockstepWeightReuse(t *testing.T) {
+	mc := tinyOPT()
+	raw, err := RandomWeights(mc, 23, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetchesFor := func(nSeqs int) (fetches, dequants int) {
+		qs, err := Quantize(mc, raw, quant.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		be, err := NewBatch(mc, qs, nSeqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prompts := make([][]int, nSeqs)
+		for i := range prompts {
+			prompts[i] = []int{1, 2}
+		}
+		if _, err := be.GenerateBatch(prompts, 4); err != nil {
+			t.Fatal(err)
+		}
+		return be.WeightFetches(), qs.Dequants
+	}
+	f1, d1 := fetchesFor(1)
+	f8, d8 := fetchesFor(8)
+	if f8 != f1 {
+		t.Errorf("backing fetches scaled with batch: %d -> %d", f1, f8)
+	}
+	if d8 != d1 {
+		t.Errorf("dequantizations scaled with batch: %d -> %d", d1, d8)
+	}
+}
+
+func TestLockstepValidation(t *testing.T) {
+	mc := tinyOPT()
+	ws, _ := RandomWeights(mc, 1, 0.08)
+	if _, err := NewBatch(mc, ws, 0); err == nil {
+		t.Errorf("zero sequences accepted")
+	}
+	be, err := NewBatch(mc, ws, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.Len() != 2 {
+		t.Errorf("Len = %d", be.Len())
+	}
+	if _, err := be.Step([][]int{{1}}); err == nil {
+		t.Errorf("mismatched step width accepted")
+	}
+	if _, err := be.Step([][]int{nil, nil}); err == nil {
+		t.Errorf("empty step accepted")
+	}
+	if _, err := be.GenerateBatch([][]int{{1}}, 3); err == nil {
+		t.Errorf("mismatched prompt count accepted")
+	}
+	if _, err := be.GenerateBatch([][]int{{1}, {}}, 3); err == nil {
+		t.Errorf("empty prompt accepted")
+	}
+	if _, err := be.GenerateBatch([][]int{{1}, {2}}, 0); err == nil {
+		t.Errorf("zero generation accepted")
+	}
+	// Skipped sequences keep their state: advance only sequence 0.
+	logits, err := be.Step([][]int{{1, 2}, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits[0].R != 1 || logits[1].R != 0 {
+		t.Errorf("skip semantics broken")
+	}
+	// Context overflow per sequence.
+	long := make([]int, mc.MaxSeq+1)
+	if _, err := be.Step([][]int{long, nil}); err == nil {
+		t.Errorf("overflow accepted")
+	}
+}

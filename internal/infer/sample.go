@@ -1,0 +1,122 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"helmsim/internal/tensor"
+)
+
+// Sampler turns logits into a token choice.
+type Sampler interface {
+	// Sample picks a token from a 1 x vocab logits row.
+	Sample(logits tensor.Mat) (int, error)
+}
+
+// Greedy picks the argmax token.
+type Greedy struct{}
+
+// Sample implements Sampler.
+func (Greedy) Sample(logits tensor.Mat) (int, error) {
+	if logits.R != 1 || logits.C == 0 {
+		return 0, fmt.Errorf("infer: bad logits shape %dx%d", logits.R, logits.C)
+	}
+	return logits.ArgmaxRow(0), nil
+}
+
+// TopK samples from the temperature-scaled distribution truncated to the K
+// most likely tokens, with a seeded deterministic RNG.
+type TopK struct {
+	// K is the truncation width (must be positive).
+	K int
+	// Temperature scales the logits; 0 is invalid, lower is sharper.
+	Temperature float64
+	rng         *rand.Rand
+}
+
+// NewTopK builds a seeded top-k sampler.
+func NewTopK(k int, temperature float64, seed int64) (*TopK, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("infer: non-positive k %d", k)
+	}
+	if temperature <= 0 {
+		return nil, fmt.Errorf("infer: non-positive temperature %v", temperature)
+	}
+	return &TopK{K: k, Temperature: temperature, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Sample implements Sampler.
+func (s *TopK) Sample(logits tensor.Mat) (int, error) {
+	if logits.R != 1 || logits.C == 0 {
+		return 0, fmt.Errorf("infer: bad logits shape %dx%d", logits.R, logits.C)
+	}
+	row := logits.Row(0)
+	k := s.K
+	if k > len(row) {
+		k = len(row)
+	}
+	// Indices of the k largest logits.
+	idx := make([]int, len(row))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+	top := idx[:k]
+
+	// Temperature-scaled softmax over the truncation, numerically stable.
+	maxV := float64(row[top[0]])
+	probs := make([]float64, k)
+	var sum float64
+	for i, j := range top {
+		p := math.Exp((float64(row[j]) - maxV) / s.Temperature)
+		probs[i] = p
+		sum += p
+	}
+	if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return top[0], nil // degenerate distribution: fall back to argmax
+	}
+	u := s.rng.Float64() * sum
+	for i, j := range top {
+		u -= probs[i]
+		if u <= 0 {
+			return j, nil
+		}
+	}
+	return top[k-1], nil
+}
+
+// GenerateWith runs decoding with the given sampler instead of greedy
+// argmax.
+func (e *Engine) GenerateWith(prompt []int, n int, s Sampler) ([]int, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("infer: empty prompt")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("infer: non-positive generation length %d", n)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("infer: nil sampler")
+	}
+	logits, err := e.Forward(prompt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, n)
+	next, err := s.Sample(logits)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, next)
+	for len(out) < n {
+		if logits, err = e.Forward([]int{next}); err != nil {
+			return nil, err
+		}
+		if next, err = s.Sample(logits); err != nil {
+			return nil, err
+		}
+		out = append(out, next)
+	}
+	return out, nil
+}

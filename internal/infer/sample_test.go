@@ -1,0 +1,147 @@
+package infer
+
+import (
+	"testing"
+
+	"helmsim/internal/tensor"
+)
+
+func logitsOf(vals ...float32) tensor.Mat {
+	m, err := tensor.FromSlice(1, len(vals), vals)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestGreedySampler(t *testing.T) {
+	tok, err := (Greedy{}).Sample(logitsOf(0.1, 3.0, -1))
+	if err != nil || tok != 1 {
+		t.Errorf("greedy = %d, %v", tok, err)
+	}
+	if _, err := (Greedy{}).Sample(tensor.New(2, 3)); err == nil {
+		t.Errorf("bad shape accepted")
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	if _, err := NewTopK(0, 1, 1); err == nil {
+		t.Errorf("zero k accepted")
+	}
+	if _, err := NewTopK(4, 0, 1); err == nil {
+		t.Errorf("zero temperature accepted")
+	}
+	s, err := NewTopK(4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample(tensor.New(0, 0)); err == nil {
+		t.Errorf("bad shape accepted")
+	}
+}
+
+func TestTopKStaysInTruncation(t *testing.T) {
+	s, err := NewTopK(2, 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tokens 3 and 0 dominate; nothing else may ever be sampled.
+	for i := 0; i < 500; i++ {
+		tok, err := s.Sample(logitsOf(5, -10, -10, 6, -10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok != 0 && tok != 3 {
+			t.Fatalf("sampled %d outside the top-2", tok)
+		}
+	}
+}
+
+func TestTopKTemperatureSharpens(t *testing.T) {
+	count := func(temp float64) int {
+		s, err := NewTopK(3, temp, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		for i := 0; i < 1000; i++ {
+			tok, err := s.Sample(logitsOf(2.0, 1.0, 0.5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tok == 0 {
+				hits++
+			}
+		}
+		return hits
+	}
+	cold := count(0.2) // near-greedy
+	hot := count(5.0)  // near-uniform
+	if cold <= hot {
+		t.Errorf("lower temperature should concentrate on the argmax: cold=%d hot=%d", cold, hot)
+	}
+	if cold < 950 {
+		t.Errorf("cold sampling picked argmax only %d/1000", cold)
+	}
+	if hot > 600 {
+		t.Errorf("hot sampling too concentrated: %d/1000", hot)
+	}
+}
+
+func TestTopKKLargerThanVocab(t *testing.T) {
+	s, err := NewTopK(100, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok, err := s.Sample(logitsOf(1, 2)); err != nil || tok < 0 || tok > 1 {
+		t.Errorf("k>vocab broken: %d, %v", tok, err)
+	}
+}
+
+func TestGenerateWithSamplers(t *testing.T) {
+	cfg := tinyOPT()
+	e := newEngine(t, cfg, 13)
+	greedy, err := e.GenerateWith([]int{1, 2}, 5, Greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	plain, err := e.Generate([]int{1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range greedy {
+		if greedy[i] != plain[i] {
+			t.Fatalf("GenerateWith(Greedy) diverged from Generate at %d", i)
+		}
+	}
+	// Seeded top-k is deterministic.
+	run := func(seed int64) []int {
+		eng := newEngine(t, cfg, 13)
+		s, err := NewTopK(8, 0.9, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := eng.GenerateWith([]int{1, 2}, 6, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded sampling diverged at %d", i)
+		}
+	}
+	// Validation paths.
+	if _, err := e.GenerateWith(nil, 5, Greedy{}); err == nil {
+		t.Errorf("empty prompt accepted")
+	}
+	if _, err := e.GenerateWith([]int{1}, 0, Greedy{}); err == nil {
+		t.Errorf("zero length accepted")
+	}
+	if _, err := e.GenerateWith([]int{1}, 3, nil); err == nil {
+		t.Errorf("nil sampler accepted")
+	}
+}

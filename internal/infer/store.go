@@ -1,0 +1,157 @@
+// Package infer is an executable decoder-only transformer: real forward
+// passes (embedding, multi-head/grouped-query attention with a KV cache,
+// GELU or gated-SiLU FFNs, greedy decoding) over float32 tensors.
+//
+// The simulator (internal/sched) answers the paper's performance
+// questions; this engine grounds the same computation in executable
+// numerics at laptop scale: weights can live raw or group-wise quantized
+// (dequantized per use, FlexGen's serving mode, §IV-B), models follow the
+// exact layer/weight specs of internal/model, and the KV cache implements
+// the incremental decode whose memory footprint drives the paper's batch
+// analysis.
+package infer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"helmsim/internal/model"
+	"helmsim/internal/quant"
+)
+
+// storeKey addresses one tensor.
+type storeKey struct {
+	layer int
+	name  string
+}
+
+// WeightStore provides a layer's named tensors on demand.
+type WeightStore interface {
+	// Tensor returns the float32 contents of the named tensor of the
+	// given schedulable layer.
+	Tensor(layer int, name string) ([]float32, error)
+}
+
+// MemStore holds raw float32 weights in memory.
+type MemStore struct {
+	m map[storeKey][]float32
+}
+
+// NewMemStore returns an empty store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[storeKey][]float32)} }
+
+// Put registers a tensor.
+func (s *MemStore) Put(layer int, name string, data []float32) {
+	s.m[storeKey{layer, name}] = data
+}
+
+// Tensor implements WeightStore.
+func (s *MemStore) Tensor(layer int, name string) ([]float32, error) {
+	d, ok := s.m[storeKey{layer, name}]
+	if !ok {
+		return nil, fmt.Errorf("infer: missing tensor L%d/%s", layer, name)
+	}
+	return d, nil
+}
+
+// RandomWeights builds a complete raw store for the model with seeded
+// Gaussian weights at the given scale — the synthetic stand-in for
+// downloaded checkpoints (the experiments never inspect token quality,
+// §III-B).
+func RandomWeights(cfg model.Config, seed int64, scale float64) (*MemStore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("infer: non-positive weight scale %v", scale)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := NewMemStore()
+	for _, l := range cfg.Layers() {
+		for _, w := range l.Weights {
+			data := make([]float32, w.Elems)
+			norm := isNormParam(w.Name)
+			for i := range data {
+				if norm {
+					// Norm gains initialize to 1 (biases to 0 below).
+					data[i] = 1
+				} else {
+					data[i] = float32(rng.NormFloat64() * scale)
+				}
+			}
+			if isBiasParam(w.Name) {
+				for i := range data {
+					data[i] = 0
+				}
+			}
+			s.Put(l.Index, w.Name, data)
+		}
+	}
+	return s, nil
+}
+
+// isNormParam reports whether the tensor is a normalization gain.
+func isNormParam(name string) bool {
+	return name == "w_ln" || name == "w_norm"
+}
+
+// isBiasParam reports whether the tensor is a bias or norm shift.
+func isBiasParam(name string) bool {
+	switch name {
+	case "b_q", "b_k", "b_v", "b_out", "b_fc1", "b_fc2", "b_ln":
+		return true
+	}
+	return false
+}
+
+// QuantStore holds group-wise quantized weights and dequantizes per use —
+// FlexGen's compressed serving mode, where every access pays the
+// decompression the simulator charges DequantTime for. Norm gains and
+// biases stay raw, as FlexGen keeps small tensors uncompressed.
+type QuantStore struct {
+	q   map[storeKey]*quant.Tensor
+	raw map[storeKey][]float32
+	// Dequants counts decompression calls (observable cost).
+	Dequants int
+}
+
+// Quantize compresses a raw store under cfg for the given model.
+func Quantize(cfg model.Config, src *MemStore, qc quant.Config) (*QuantStore, error) {
+	if err := qc.Validate(); err != nil {
+		return nil, err
+	}
+	out := &QuantStore{q: make(map[storeKey]*quant.Tensor), raw: make(map[storeKey][]float32)}
+	for _, l := range cfg.Layers() {
+		for _, w := range l.Weights {
+			data, err := src.Tensor(l.Index, w.Name)
+			if err != nil {
+				return nil, err
+			}
+			key := storeKey{l.Index, w.Name}
+			if isNormParam(w.Name) || isBiasParam(w.Name) {
+				out.raw[key] = data
+				continue
+			}
+			t, err := quant.Quantize(data, qc)
+			if err != nil {
+				return nil, fmt.Errorf("infer: quantize L%d/%s: %w", l.Index, w.Name, err)
+			}
+			out.q[key] = t
+		}
+	}
+	return out, nil
+}
+
+// Tensor implements WeightStore, decompressing on demand.
+func (s *QuantStore) Tensor(layer int, name string) ([]float32, error) {
+	key := storeKey{layer, name}
+	if d, ok := s.raw[key]; ok {
+		return d, nil
+	}
+	t, ok := s.q[key]
+	if !ok {
+		return nil, fmt.Errorf("infer: missing tensor L%d/%s", layer, name)
+	}
+	s.Dequants++
+	return t.Dequantize(), nil
+}

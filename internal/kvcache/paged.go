@@ -1,0 +1,155 @@
+package kvcache
+
+import (
+	"fmt"
+
+	"helmsim/internal/model"
+	"helmsim/internal/units"
+)
+
+// PagedCache manages the KV cache at block granularity, the
+// PagedAttention scheme of vLLM (Kwon et al. [63], discussed in the
+// paper's related work): each prompt holds a list of fixed-size pages and
+// grows one token at a time, so memory is committed by actual context
+// instead of the worst-case reservation FlexGen makes. The paper's All-CPU
+// analysis reserves prompt+generation up front; this allocator quantifies
+// the batching headroom block-granular management adds on top.
+type PagedCache struct {
+	cfg        model.Config
+	pageTokens int
+	pageBytes  units.Bytes
+	totalPages int
+	freePages  int
+	seqs       map[int]*pagedSeq
+}
+
+// pagedSeq is one prompt's page state.
+type pagedSeq struct {
+	pages  int
+	tokens int
+}
+
+// NewPagedCache sizes a paged allocator over a byte budget with the given
+// page granularity (tokens per page, vLLM defaults to 16).
+func NewPagedCache(cfg model.Config, budget units.Bytes, pageTokens int) (*PagedCache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("kvcache: negative budget %d", budget)
+	}
+	if pageTokens <= 0 {
+		return nil, fmt.Errorf("kvcache: non-positive page size %d", pageTokens)
+	}
+	pageBytes := cfg.KVBytesPerPromptPerBlock(pageTokens) * units.Bytes(cfg.Blocks)
+	if pageBytes <= 0 {
+		return nil, fmt.Errorf("kvcache: degenerate page size")
+	}
+	total := int(budget / pageBytes)
+	return &PagedCache{
+		cfg:        cfg,
+		pageTokens: pageTokens,
+		pageBytes:  pageBytes,
+		totalPages: total,
+		freePages:  total,
+		seqs:       make(map[int]*pagedSeq),
+	}, nil
+}
+
+// pagesFor is the page count covering n tokens.
+func (p *PagedCache) pagesFor(n int) int {
+	return (n + p.pageTokens - 1) / p.pageTokens
+}
+
+// Admit allocates pages for a prompt's initial context.
+func (p *PagedCache) Admit(promptID, tokens int) error {
+	if tokens <= 0 {
+		return fmt.Errorf("kvcache: non-positive context %d", tokens)
+	}
+	if _, ok := p.seqs[promptID]; ok {
+		return fmt.Errorf("kvcache: prompt %d already admitted", promptID)
+	}
+	need := p.pagesFor(tokens)
+	if need > p.freePages {
+		return fmt.Errorf("kvcache: out of pages admitting prompt %d (%d needed, %d free)", promptID, need, p.freePages)
+	}
+	p.freePages -= need
+	p.seqs[promptID] = &pagedSeq{pages: need, tokens: tokens}
+	return nil
+}
+
+// Append grows one prompt by a token, taking a fresh page on a boundary.
+func (p *PagedCache) Append(promptID int) error {
+	s, ok := p.seqs[promptID]
+	if !ok {
+		return fmt.Errorf("kvcache: prompt %d not admitted", promptID)
+	}
+	if need := p.pagesFor(s.tokens + 1); need > s.pages {
+		if p.freePages == 0 {
+			return fmt.Errorf("kvcache: out of pages extending prompt %d", promptID)
+		}
+		p.freePages--
+		s.pages++
+	}
+	s.tokens++
+	return nil
+}
+
+// Release frees a prompt's pages.
+func (p *PagedCache) Release(promptID int) error {
+	s, ok := p.seqs[promptID]
+	if !ok {
+		return fmt.Errorf("kvcache: prompt %d not admitted", promptID)
+	}
+	p.freePages += s.pages
+	delete(p.seqs, promptID)
+	return nil
+}
+
+// Len reports admitted prompts.
+func (p *PagedCache) Len() int { return len(p.seqs) }
+
+// FreePages reports unallocated pages.
+func (p *PagedCache) FreePages() int { return p.freePages }
+
+// TotalPages reports the budget in pages.
+func (p *PagedCache) TotalPages() int { return p.totalPages }
+
+// UsedBytes reports the committed cache bytes.
+func (p *PagedCache) UsedBytes() units.Bytes {
+	return units.Bytes(p.totalPages-p.freePages) * p.pageBytes
+}
+
+// InternalFragmentation reports the fraction of allocated page slots not
+// backing a real token — the waste block-granular allocation trades for
+// flexibility. Zero when nothing is allocated.
+func (p *PagedCache) InternalFragmentation() float64 {
+	var slots, used int
+	for _, s := range p.seqs {
+		slots += s.pages * p.pageTokens
+		used += s.tokens
+	}
+	if slots == 0 {
+		return 0
+	}
+	return float64(slots-used) / float64(slots)
+}
+
+// MaxBatchPaged reports how many prompts of the given prompt length a
+// paged allocator admits at admission time within the budget — the
+// headroom over MaxBatch's full prompt+generation reservation. Generation
+// then grows page by page, evicting or queueing when pages run out.
+func MaxBatchPaged(cfg model.Config, promptLen, pageTokens int, budget units.Bytes) (int, error) {
+	p, err := NewPagedCache(cfg, budget, pageTokens)
+	if err != nil {
+		return 0, err
+	}
+	if promptLen <= 0 {
+		return 0, fmt.Errorf("kvcache: non-positive prompt length %d", promptLen)
+	}
+	perPrompt := p.pagesFor(promptLen)
+	if perPrompt == 0 {
+		return 0, nil
+	}
+	return p.totalPages / perPrompt, nil
+}

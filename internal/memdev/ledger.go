@@ -1,0 +1,81 @@
+package memdev
+
+import (
+	"fmt"
+	"sort"
+
+	"helmsim/internal/units"
+)
+
+// Ledger tracks byte allocations against a set of devices so placement
+// policies can be validated against real capacities. It is not safe for
+// concurrent use; the simulator is single-threaded per run.
+type Ledger struct {
+	used map[string]units.Bytes
+	devs map[string]Device
+}
+
+// NewLedger returns an empty ledger over the given devices.
+func NewLedger(devs ...Device) *Ledger {
+	l := &Ledger{
+		used: make(map[string]units.Bytes, len(devs)),
+		devs: make(map[string]Device, len(devs)),
+	}
+	for _, d := range devs {
+		l.devs[d.Name()] = d
+	}
+	return l
+}
+
+// Allocate reserves n bytes on dev, registering the device if it is new to
+// the ledger. It fails if the allocation would exceed the device capacity.
+func (l *Ledger) Allocate(dev Device, n units.Bytes) error {
+	if n < 0 {
+		return fmt.Errorf("memdev: negative allocation %d on %s", n, dev.Name())
+	}
+	if _, ok := l.devs[dev.Name()]; !ok {
+		l.devs[dev.Name()] = dev
+	}
+	if l.used[dev.Name()]+n > dev.Capacity() {
+		return fmt.Errorf("memdev: %s over capacity: %v used + %v requested > %v",
+			dev.Name(), l.used[dev.Name()], n, dev.Capacity())
+	}
+	l.used[dev.Name()] += n
+	return nil
+}
+
+// Free releases n bytes on dev. Releasing more than is allocated fails.
+func (l *Ledger) Free(dev Device, n units.Bytes) error {
+	if n < 0 {
+		return fmt.Errorf("memdev: negative free %d on %s", n, dev.Name())
+	}
+	if l.used[dev.Name()] < n {
+		return fmt.Errorf("memdev: %s underflow: freeing %v with %v allocated",
+			dev.Name(), n, l.used[dev.Name()])
+	}
+	l.used[dev.Name()] -= n
+	return nil
+}
+
+// Used reports the bytes currently allocated on dev.
+func (l *Ledger) Used(dev Device) units.Bytes { return l.used[dev.Name()] }
+
+// Available reports the free capacity of dev.
+func (l *Ledger) Available(dev Device) units.Bytes {
+	return dev.Capacity() - l.used[dev.Name()]
+}
+
+// Snapshot returns "name: used/capacity" lines in name order, for reports.
+func (l *Ledger) Snapshot() []string {
+	names := make([]string, 0, len(l.devs))
+	for n := range l.devs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		d := l.devs[n]
+		out = append(out, fmt.Sprintf("%s: %v/%v", n, l.used[n], d.Capacity()))
+	}
+	return out
+}

@@ -1,0 +1,425 @@
+// Package memdev models the host-side memory and storage devices of the
+// paper's evaluation platform (Table I): DDR4 DRAM, Intel Optane DCPMM in
+// its three configurations (NVDRAM flat memory, Memory Mode, ext4-DAX
+// storage), an NVMe SSD, and CXL Type-3 memory expanders.
+//
+// Every device exposes read/write bandwidth as a function of the transfer
+// size and the sustained working set, reproducing the measured curves of
+// Fig. 3: DRAM is flat, Optane reads degrade with buffer size (AIT misses,
+// wear leveling), Optane writes ramp up to a peak near 1 GB and are an
+// order of magnitude below reads, and Memory Mode behaves like DRAM while
+// the working set fits its DRAM cache.
+//
+// Bandwidths are end-to-end host<->GPU copy rates (what nvbandwidth
+// measures), so the transfer engine can divide bytes by them directly.
+package memdev
+
+import (
+	"fmt"
+	"math"
+
+	"helmsim/internal/calib"
+	"helmsim/internal/units"
+)
+
+// Kind identifies a device technology/configuration.
+type Kind int
+
+// Device kinds, one per memory configuration of Table II plus CXL.
+const (
+	KindDRAM Kind = iota
+	KindOptane
+	KindMemoryMode
+	KindSSD
+	KindFSDAX
+	KindCXL
+)
+
+// String names the kind using the paper's labels.
+func (k Kind) String() string {
+	switch k {
+	case KindDRAM:
+		return "DRAM"
+	case KindOptane:
+		return "NVDRAM"
+	case KindMemoryMode:
+		return "MemoryMode"
+	case KindSSD:
+		return "SSD"
+	case KindFSDAX:
+		return "FSDAX"
+	case KindCXL:
+		return "CXL"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Device is a host-side memory or storage device the GPU can copy from/to.
+//
+// ReadBW and WriteBW report the achievable end-to-end copy bandwidth for a
+// single transfer of size transfer bytes issued as part of a sustained
+// streaming pattern over workingSet bytes resident on the device. Pass
+// workingSet == transfer for one-shot benchmarks (nvbandwidth), and the
+// device-resident model footprint for inference streaming.
+type Device interface {
+	// Name is a short human label, e.g. "NVDRAM-0".
+	Name() string
+	// Kind reports the device technology.
+	Kind() Kind
+	// Node reports the NUMA node the device is attached to (0 or 1).
+	// System-wide devices (SSD) report the node of their PCIe root.
+	Node() int
+	// Capacity is the total device capacity.
+	Capacity() units.Bytes
+	// ReadBW is the host->GPU copy bandwidth sourcing from this device.
+	ReadBW(transfer, workingSet units.Bytes) units.Bandwidth
+	// WriteBW is the GPU->host copy bandwidth targeting this device.
+	WriteBW(transfer, workingSet units.Bytes) units.Bandwidth
+	// IsStorage reports whether the device is behind a file-system
+	// interface and therefore needs a DRAM bounce buffer on the GPU path
+	// (§IV-B: FSDAX "requiring the use of a bounce buffer in DRAM").
+	IsStorage() bool
+}
+
+// gpuNode is the NUMA node hosting the GPU's PCIe root (§IV-A: "the GPU is
+// connected to PCIe ports local to node 0").
+const gpuNode = 0
+
+// remoteReadFactor returns the UPI derate for reads crossing sockets.
+func remoteReadFactor(node int) float64 {
+	if node == gpuNode {
+		return 1.0
+	}
+	return calib.NUMARemoteReadFactor
+}
+
+// logInterp interpolates y between (x0,y0) and (x1,y1) linearly in log(x),
+// clamping outside the range. It models bandwidth-vs-size curves that look
+// straight on the log-x plots of Fig. 3.
+func logInterp(x, x0, y0, x1, y1 float64) float64 {
+	if x <= x0 {
+		return y0
+	}
+	if x >= x1 {
+		return y1
+	}
+	t := (math.Log(x) - math.Log(x0)) / (math.Log(x1) - math.Log(x0))
+	return y0 + t*(y1-y0)
+}
+
+// effectiveStream maps a transfer issued within a sustained working set to
+// the buffer size whose one-shot bandwidth it achieves. Sustained streaming
+// over a large working set defeats the Optane AIT buffer even when each
+// individual transfer is small, so the effective size is
+// min(workingSet, AITWindowFactor*transfer), never less than the transfer
+// itself.
+func effectiveStream(transfer, workingSet units.Bytes) units.Bytes {
+	if workingSet < transfer {
+		workingSet = transfer
+	}
+	win := transfer * calib.AITWindowFactor
+	if win > workingSet {
+		win = workingSet
+	}
+	if win < transfer {
+		win = transfer
+	}
+	return win
+}
+
+// ---------------------------------------------------------------------------
+// DRAM
+// ---------------------------------------------------------------------------
+
+// DRAM is one NUMA node's DDR4 pool. Host<->GPU bandwidth from DRAM is flat
+// across buffer sizes (Fig. 3: "DRAM-0 and DRAM-1 overlap perfectly").
+type DRAM struct {
+	node int
+}
+
+// NewDRAM returns the DRAM pool of the given NUMA node.
+func NewDRAM(node int) *DRAM { return &DRAM{node: node} }
+
+// Name implements Device.
+func (d *DRAM) Name() string { return fmt.Sprintf("DRAM-%d", d.node) }
+
+// Kind implements Device.
+func (d *DRAM) Kind() Kind { return KindDRAM }
+
+// Node implements Device.
+func (d *DRAM) Node() int { return d.node }
+
+// Capacity implements Device.
+func (d *DRAM) Capacity() units.Bytes { return calib.DRAMCapacityPerNode }
+
+// ReadBW implements Device.
+func (d *DRAM) ReadBW(transfer, workingSet units.Bytes) units.Bandwidth {
+	return units.Bandwidth(float64(calib.HostToGPUDRAM) * remoteReadFactor(d.node))
+}
+
+// WriteBW implements Device.
+func (d *DRAM) WriteBW(transfer, workingSet units.Bytes) units.Bandwidth {
+	return calib.GPUToHostDRAM
+}
+
+// IsStorage implements Device.
+func (d *DRAM) IsStorage() bool { return false }
+
+// ---------------------------------------------------------------------------
+// Optane flat memory (NVDRAM)
+// ---------------------------------------------------------------------------
+
+// Optane is one NUMA node's Optane DCPMM pool exposed as a memory-only NUMA
+// node via Memkind (the paper's NVDRAM configuration).
+type Optane struct {
+	node int
+}
+
+// NewOptane returns the Optane pool of the given NUMA node.
+func NewOptane(node int) *Optane { return &Optane{node: node} }
+
+// Name implements Device.
+func (o *Optane) Name() string { return fmt.Sprintf("NVDRAM-%d", o.node) }
+
+// Kind implements Device.
+func (o *Optane) Kind() Kind { return KindOptane }
+
+// Node implements Device.
+func (o *Optane) Node() int { return o.node }
+
+// Capacity implements Device.
+func (o *Optane) Capacity() units.Bytes { return calib.OptaneCapacityPerNode }
+
+// optaneReadBW is the raw Fig. 3a curve: flat at the small-buffer rate up to
+// the 4 GB knee, declining log-linearly to the 32 GB floor.
+func optaneReadBW(size units.Bytes) units.Bandwidth {
+	return units.Bandwidth(logInterp(
+		float64(size),
+		float64(calib.OptaneReadKneeSize), float64(calib.HostToGPUOptaneSmall),
+		float64(calib.OptaneReadFloorSize), float64(calib.HostToGPUOptaneLarge),
+	))
+}
+
+// ReadBW implements Device.
+func (o *Optane) ReadBW(transfer, workingSet units.Bytes) units.Bandwidth {
+	bw := optaneReadBW(effectiveStream(transfer, workingSet))
+	return units.Bandwidth(float64(bw) * remoteReadFactor(o.node))
+}
+
+// optaneWritePeak is the per-node write peak (Fig. 3b: node 1 reaches
+// 3.26 GB/s, node 0 stays lower).
+func optaneWritePeak(node int) units.Bandwidth {
+	if node == 1 {
+		return calib.GPUToHostOptanePeakNode1
+	}
+	return calib.GPUToHostOptanePeakNode0
+}
+
+// WriteBW implements Device. Optane write bandwidth ramps up to its peak at
+// ~1 GB buffers and decays slightly for very large buffers (Fig. 3b).
+func (o *Optane) WriteBW(transfer, workingSet units.Bytes) units.Bandwidth {
+	peak := float64(optaneWritePeak(o.node))
+	size := float64(effectiveStream(transfer, workingSet))
+	ramp := float64(calib.OptaneWriteRampSize)
+	if size <= ramp {
+		// Sub-peak regime: concurrency-limited, roughly log-linear from
+		// ~2/3 of peak at 256 MB up to the peak at 1 GB.
+		lo := 256e6
+		v := logInterp(size, lo, peak*0.66, ramp, peak)
+		return units.Bandwidth(v)
+	}
+	floor := peak * calib.OptaneWriteLargeDecay
+	return units.Bandwidth(logInterp(size, ramp, peak, float64(calib.OptaneReadFloorSize), floor))
+}
+
+// IsStorage implements Device.
+func (o *Optane) IsStorage() bool { return false }
+
+// ---------------------------------------------------------------------------
+// Memory Mode (Optane main memory, DRAM as direct-mapped cache)
+// ---------------------------------------------------------------------------
+
+// MemoryMode models Optane Memory Mode: the OS sees one large memory pool
+// backed by Optane, with all DRAM acting as a direct-mapped inclusive
+// cache. While the working set fits in DRAM the device is indistinguishable
+// from DRAM (Fig. 3a: "MM is able to completely hide this performance
+// gap"); beyond it, accesses mix DRAM hits with Optane misses.
+type MemoryMode struct {
+	node int
+}
+
+// NewMemoryMode returns the Memory Mode pool of the given NUMA node.
+func NewMemoryMode(node int) *MemoryMode { return &MemoryMode{node: node} }
+
+// Name implements Device.
+func (m *MemoryMode) Name() string { return fmt.Sprintf("MM-%d", m.node) }
+
+// Kind implements Device.
+func (m *MemoryMode) Kind() Kind { return KindMemoryMode }
+
+// Node implements Device.
+func (m *MemoryMode) Node() int { return m.node }
+
+// Capacity implements Device. In Memory Mode the visible capacity is the
+// Optane capacity; DRAM is hidden as cache.
+func (m *MemoryMode) Capacity() units.Bytes { return calib.OptaneCapacityPerNode }
+
+// hitRatio is the DRAM-cache hit ratio for a streaming working set: 1 while
+// the set fits; beyond that, cyclic streaming through the direct-mapped
+// cache evicts lines before reuse, so only a thrash-derated fraction of the
+// capacity ratio survives as hits.
+func (m *MemoryMode) hitRatio(workingSet units.Bytes) float64 {
+	cache := float64(calib.MemoryModeCacheCapacity)
+	ws := float64(workingSet)
+	if ws <= cache {
+		return 1.0
+	}
+	return cache / ws * calib.MemoryModeThrashFactor
+}
+
+// ReadBW implements Device: a harmonic mixture of the DRAM path on hits and
+// a derated Optane path on misses (the miss costs an extra DRAM fill).
+func (m *MemoryMode) ReadBW(transfer, workingSet units.Bytes) units.Bandwidth {
+	h := m.hitRatio(workingSet)
+	dram := float64(calib.HostToGPUDRAM)
+	if h >= 1 {
+		return units.Bandwidth(dram * remoteReadFactor(m.node))
+	}
+	missPath := float64(optaneReadBW(effectiveStream(transfer, workingSet))) * calib.MemoryModeMissFactor
+	inv := h/dram + (1-h)/missPath
+	return units.Bandwidth(1 / inv * remoteReadFactor(m.node))
+}
+
+// WriteBW implements Device. Writes that fit the cache land in DRAM at near
+// DRAM speed; node 0 pays a derate for cache write-back traffic contending
+// with the inbound PCIe stream (Fig. 3b: MM-0 below MM-1).
+func (m *MemoryMode) WriteBW(transfer, workingSet units.Bytes) units.Bandwidth {
+	h := m.hitRatio(workingSet)
+	dram := float64(calib.GPUToHostDRAM)
+	if m.node == gpuNode {
+		dram *= calib.GPUToHostMMNode0Factor
+	}
+	if h >= 1 {
+		return units.Bandwidth(dram)
+	}
+	miss := float64(optaneWritePeak(m.node))
+	inv := h/dram + (1-h)/miss
+	return units.Bandwidth(1 / inv)
+}
+
+// IsStorage implements Device.
+func (m *MemoryMode) IsStorage() bool { return false }
+
+// ---------------------------------------------------------------------------
+// Storage devices: SSD and Optane ext4-DAX (FSDAX)
+// ---------------------------------------------------------------------------
+
+// SSD is an NVMe SSD holding spilled weights, accessed through the file
+// system (the paper's SSD configuration for OPT-175B).
+type SSD struct{}
+
+// NewSSD returns the system SSD.
+func NewSSD() *SSD { return &SSD{} }
+
+// Name implements Device.
+func (s *SSD) Name() string { return "SSD" }
+
+// Kind implements Device.
+func (s *SSD) Kind() Kind { return KindSSD }
+
+// Node implements Device.
+func (s *SSD) Node() int { return gpuNode }
+
+// Capacity implements Device.
+func (s *SSD) Capacity() units.Bytes { return 4 * units.TB }
+
+// ReadBW implements Device.
+func (s *SSD) ReadBW(transfer, workingSet units.Bytes) units.Bandwidth {
+	return calib.SSDReadBW
+}
+
+// WriteBW implements Device.
+func (s *SSD) WriteBW(transfer, workingSet units.Bytes) units.Bandwidth {
+	return calib.SSDWriteBW
+}
+
+// IsStorage implements Device.
+func (s *SSD) IsStorage() bool { return true }
+
+// FSDAX is Optane in App Direct mode exposed through an ext4-DAX file
+// system. DAX bypasses the page cache but the GPU path still stages through
+// a DRAM bounce buffer (§IV-B).
+type FSDAX struct {
+	node int
+}
+
+// NewFSDAX returns the FSDAX device on the given NUMA node.
+func NewFSDAX(node int) *FSDAX { return &FSDAX{node: node} }
+
+// Name implements Device.
+func (f *FSDAX) Name() string { return fmt.Sprintf("FSDAX-%d", f.node) }
+
+// Kind implements Device.
+func (f *FSDAX) Kind() Kind { return KindFSDAX }
+
+// Node implements Device.
+func (f *FSDAX) Node() int { return f.node }
+
+// Capacity implements Device.
+func (f *FSDAX) Capacity() units.Bytes { return calib.OptaneCapacityPerNode }
+
+// ReadBW implements Device.
+func (f *FSDAX) ReadBW(transfer, workingSet units.Bytes) units.Bandwidth {
+	return units.Bandwidth(float64(calib.FSDAXReadBW) * remoteReadFactor(f.node))
+}
+
+// WriteBW implements Device.
+func (f *FSDAX) WriteBW(transfer, workingSet units.Bytes) units.Bandwidth {
+	return calib.FSDAXWriteBW
+}
+
+// IsStorage implements Device.
+func (f *FSDAX) IsStorage() bool { return true }
+
+// ---------------------------------------------------------------------------
+// CXL Type-3 memory expander
+// ---------------------------------------------------------------------------
+
+// CXL is a CXL Type-3 memory expander with a flat device bandwidth taken
+// from published measurements (Table III). The paper projects performance
+// by substituting this bandwidth for the host-memory bandwidth; latency is
+// carried for completeness but streaming transfers are bandwidth-bound.
+type CXL struct {
+	name     string
+	bw       units.Bandwidth
+	capacity units.Bytes
+}
+
+// NewCXL builds a CXL expander with the given link/device bandwidth.
+func NewCXL(name string, bw units.Bandwidth, capacity units.Bytes) *CXL {
+	return &CXL{name: name, bw: bw, capacity: capacity}
+}
+
+// Name implements Device.
+func (c *CXL) Name() string { return c.name }
+
+// Kind implements Device.
+func (c *CXL) Kind() Kind { return KindCXL }
+
+// Node implements Device. CXL expanders hang off the GPU-local root complex
+// in the projected topology.
+func (c *CXL) Node() int { return gpuNode }
+
+// Capacity implements Device.
+func (c *CXL) Capacity() units.Bytes { return c.capacity }
+
+// ReadBW implements Device.
+func (c *CXL) ReadBW(transfer, workingSet units.Bytes) units.Bandwidth { return c.bw }
+
+// WriteBW implements Device. CXL memory is DRAM-backed in both Table III
+// configurations, so writes run at the same device bandwidth.
+func (c *CXL) WriteBW(transfer, workingSet units.Bytes) units.Bandwidth { return c.bw }
+
+// IsStorage implements Device.
+func (c *CXL) IsStorage() bool { return false }

@@ -1,0 +1,91 @@
+// Package mlc models the CPU-side memory characterization the paper cross-
+// checks with Intel Memory Latency Checker (§IV-A): per-socket bandwidth
+// and idle latency for every (initiator node, target memory) pair,
+// including the observation that remote Memory Mode cannot reach remote
+// DRAM bandwidth.
+package mlc
+
+import (
+	"fmt"
+
+	"helmsim/internal/calib"
+	"helmsim/internal/memdev"
+	"helmsim/internal/units"
+)
+
+// Access is one (initiator, target) measurement.
+type Access struct {
+	// FromNode is the initiating socket.
+	FromNode int
+	// Target is the memory pool kind.
+	Target memdev.Kind
+	// TargetNode is the pool's socket.
+	TargetNode int
+	// ReadBW and WriteBW are the sustained CPU bandwidths.
+	ReadBW, WriteBW units.Bandwidth
+	// Latency is the idle load-to-use latency.
+	Latency units.Duration
+}
+
+// Local reports whether the access stays on-socket.
+func (a Access) Local() bool { return a.FromNode == a.TargetNode }
+
+// Measure returns the simulated MLC measurement for one pair.
+func Measure(fromNode, targetNode int, target memdev.Kind) (Access, error) {
+	if fromNode < 0 || fromNode >= calib.NUMANodes || targetNode < 0 || targetNode >= calib.NUMANodes {
+		return Access{}, fmt.Errorf("mlc: node out of range (%d -> %d)", fromNode, targetNode)
+	}
+	a := Access{FromNode: fromNode, Target: target, TargetNode: targetNode}
+	local := a.Local()
+	remote := func(bw units.Bandwidth, factor float64) units.Bandwidth {
+		if local {
+			return bw
+		}
+		return units.Bandwidth(float64(bw) * factor)
+	}
+	switch target {
+	case memdev.KindDRAM:
+		a.ReadBW = remote(calib.MLCDRAMReadLocal, calib.MLCRemoteFactor)
+		a.WriteBW = remote(calib.MLCDRAMWriteLocal, calib.MLCRemoteFactor)
+		a.Latency = pick(local, calib.MLCDRAMLatencyLocal, calib.MLCDRAMLatencyRemote)
+	case memdev.KindOptane:
+		a.ReadBW = remote(calib.MLCOptaneReadLocal, calib.MLCRemoteFactor)
+		a.WriteBW = remote(calib.MLCOptaneWriteLocal, calib.MLCOptaneRemoteWriteFactor)
+		a.Latency = pick(local, calib.MLCOptaneLatencyLocal, calib.MLCOptaneLatencyRemote)
+	case memdev.KindMemoryMode:
+		// Cache hits serve at DRAM speed locally; remotely the MM path
+		// stays below remote DRAM (§IV-A).
+		a.ReadBW = remote(calib.MLCDRAMReadLocal, calib.MLCRemoteFactor*calib.MLCMemoryModeRemoteFactor)
+		a.WriteBW = remote(calib.MLCDRAMWriteLocal, calib.MLCRemoteFactor*calib.MLCMemoryModeRemoteFactor)
+		a.Latency = pick(local, calib.MLCDRAMLatencyLocal, calib.MLCDRAMLatencyRemote)
+	default:
+		return Access{}, fmt.Errorf("mlc: unsupported target kind %v", target)
+	}
+	return a, nil
+}
+
+// pick selects the local or remote value.
+func pick(local bool, l, r units.Duration) units.Duration {
+	if local {
+		return l
+	}
+	return r
+}
+
+// Matrix measures every (initiator, target node, kind) combination,
+// initiator-major.
+func Matrix() ([]Access, error) {
+	var out []Access
+	for from := 0; from < calib.NUMANodes; from++ {
+		for target := 0; target < calib.NUMANodes; target++ {
+			for _, kind := range []memdev.Kind{memdev.KindDRAM, memdev.KindOptane, memdev.KindMemoryMode} {
+				a, err := Measure(from, target, kind)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	return out, nil
+}

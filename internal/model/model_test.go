@@ -1,0 +1,270 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"helmsim/internal/units"
+)
+
+func TestLayerCounts(t *testing.T) {
+	// §III-B: "OPT-30B and OPT-175B contain 48 and 96 decoder blocks,
+	// resulting in 96 and 192 hidden layers ... a total of 98 and 194
+	// layers."
+	cases := []struct {
+		cfg    Config
+		blocks int
+		layers int
+	}{
+		{OPT30B(), 48, 98},
+		{OPT175B(), 96, 194},
+	}
+	for _, c := range cases {
+		if c.cfg.Blocks != c.blocks {
+			t.Errorf("%s blocks = %d, want %d", c.cfg.Name, c.cfg.Blocks, c.blocks)
+		}
+		if got := c.cfg.NumLayers(); got != c.layers {
+			t.Errorf("%s NumLayers = %d, want %d", c.cfg.Name, got, c.layers)
+		}
+		if got := len(c.cfg.Layers()); got != c.layers {
+			t.Errorf("%s len(Layers) = %d, want %d", c.cfg.Name, got, c.layers)
+		}
+	}
+}
+
+func TestHiddenSizes(t *testing.T) {
+	// §IV-B: "hidden layer size of 12,288 versus OPT-30B's 7,168".
+	if h := OPT175B().Hidden; h != 12288 {
+		t.Errorf("OPT-175B hidden = %d, want 12288", h)
+	}
+	if h := OPT30B().Hidden; h != 7168 {
+		t.Errorf("OPT-30B hidden = %d, want 7168", h)
+	}
+}
+
+// §V: "for a single OPT-175B self-attention block, the model weights occupy
+// 3.38 GB" (GiB) and "the total memory footprint of the model weights is
+// 324.48 GB".
+func TestOPT175BFootprintMatchesPaper(t *testing.T) {
+	c := OPT175B()
+	block := c.BlockWeightBytes().GiBf()
+	if math.Abs(block-3.38) > 0.02 {
+		t.Errorf("block weight = %.3f GiB, want ~3.38", block)
+	}
+	total := float64(c.TotalWeightBytes()) / float64(units.GiB)
+	// 96 blocks x 3.38 GiB = 324.5 GiB plus ~2.4 GiB of embeddings.
+	if total < 324 || total > 329 {
+		t.Errorf("total weight = %.2f GiB, want ~324.5 (+embeddings)", total)
+	}
+}
+
+// §V quotes 47.98 MB per block per prompt at context 2048 ("72x smaller
+// than weights") and 4.5 GB across the model; the physical two-tensor K+V
+// size is exactly twice that (the paper's prose halves it), and the
+// physical size is what the batch-cap arithmetic of §V-C needs.
+func TestOPT175BKVCacheMatchesPaper(t *testing.T) {
+	c := OPT175B()
+	perBlock := c.KVBytesPerPromptPerBlock(2048).MiBf()
+	if math.Abs(perBlock-2*48) > 0.1 {
+		t.Errorf("KV per block = %.2f MiB, want 96 (2x the paper's 47.98)", perBlock)
+	}
+	ratio := float64(c.BlockWeightBytes()) / float64(c.KVBytesPerPromptPerBlock(2048))
+	if ratio < 35 || ratio > 37 {
+		t.Errorf("weights/KV ratio = %.1f, want ~36 (the paper's 72 under its halved accounting)", ratio)
+	}
+	total := float64(c.KVBytesPerPrompt(2048)) / float64(units.GiB)
+	if math.Abs(total-9.0) > 0.2 {
+		t.Errorf("KV per prompt = %.2f GiB, want ~9.0 (2x the paper's 4.5)", total)
+	}
+}
+
+func TestParamCounts(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want float64 // billions, loose
+	}{
+		{OPT1B3(), 1.3},
+		{OPT6B7(), 6.7},
+		{OPT13B(), 13},
+		{OPT30B(), 30},
+		{OPT66B(), 66},
+		{OPT175B(), 175},
+	}
+	for _, c := range cases {
+		// Tolerance is loose for the small models, whose untied output
+		// embedding (FlexGen stores it separately) adds a visible share.
+		got := float64(c.cfg.ParamCount()) / 1e9
+		if math.Abs(got-c.want)/c.want > 0.10 {
+			t.Errorf("%s params = %.2fB, want ~%.1fB", c.cfg.Name, got, c.want)
+		}
+	}
+}
+
+func TestLayersStructure(t *testing.T) {
+	c := OPT30B()
+	layers := c.Layers()
+	if layers[0].Type != LayerInputEmbed || layers[0].Block != -1 {
+		t.Errorf("layer 0 = %v/%d, want InputEmbed/-1", layers[0].Type, layers[0].Block)
+	}
+	last := layers[len(layers)-1]
+	if last.Type != LayerOutputEmbed || last.Block != -1 {
+		t.Errorf("last layer = %v, want OutputEmbed", last.Type)
+	}
+	for b := 0; b < c.Blocks; b++ {
+		mha := layers[1+2*b]
+		ffn := layers[2+2*b]
+		if mha.Type != LayerMHA || mha.Block != b {
+			t.Errorf("layer %d = %v/%d, want MHA/%d", mha.Index, mha.Type, mha.Block, b)
+		}
+		if ffn.Type != LayerFFN || ffn.Block != b {
+			t.Errorf("layer %d = %v/%d, want FFN/%d", ffn.Index, ffn.Type, ffn.Block, b)
+		}
+	}
+	// Indexes are consecutive.
+	for i, l := range layers {
+		if l.Index != i {
+			t.Errorf("layer %d has Index %d", i, l.Index)
+		}
+	}
+}
+
+func TestWeightSpecOrder(t *testing.T) {
+	c := OPT175B()
+	layers := c.Layers()
+	mha := layers[1]
+	wantMHA := []string{"w_q", "b_q", "w_k", "b_k", "w_v", "b_v", "w_out", "b_out", "w_ln", "b_ln"}
+	if len(mha.Weights) != len(wantMHA) {
+		t.Fatalf("MHA has %d specs, want %d", len(mha.Weights), len(wantMHA))
+	}
+	for i, w := range mha.Weights {
+		if w.Name != wantMHA[i] {
+			t.Errorf("MHA spec %d = %s, want %s (FlexGen order matters for the allocator)", i, w.Name, wantMHA[i])
+		}
+	}
+	ffn := layers[2]
+	wantFFN := []string{"w_fc1", "b_fc1", "w_fc2", "b_fc2", "w_ln", "b_ln"}
+	for i, w := range ffn.Weights {
+		if w.Name != wantFFN[i] {
+			t.Errorf("FFN spec %d = %s, want %s", i, w.Name, wantFFN[i])
+		}
+	}
+	// FFN is 2x MHA in projection weights: 8h^2 vs 4h^2.
+	h := int64(c.Hidden)
+	if ffn.Weights[0].Elems != 4*h*h || ffn.Weights[2].Elems != 4*h*h {
+		t.Errorf("fc sizes wrong: %d, %d", ffn.Weights[0].Elems, ffn.Weights[2].Elems)
+	}
+	if mha.Weights[0].Elems != h*h {
+		t.Errorf("w_q size = %d, want h^2", mha.Weights[0].Elems)
+	}
+}
+
+func TestFFNIsTwiceMHA(t *testing.T) {
+	// Fig. 7: "the larger FFN layer" — FFN carries ~2x the MHA bytes, the
+	// root of the sawtooth.
+	for _, cfg := range []Config{OPT30B(), OPT175B()} {
+		layers := cfg.Layers()
+		mha := layers[1].WeightBytes()
+		ffn := layers[2].WeightBytes()
+		r := float64(ffn) / float64(mha)
+		if r < 1.95 || r > 2.05 {
+			t.Errorf("%s FFN/MHA = %.3f, want ~2", cfg.Name, r)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := OPT30B()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Name: "x", Hidden: 0, Heads: 1, Blocks: 1, Vocab: 1, MaxSeq: 1, DTypeBytes: 2},
+		{Name: "x", Hidden: 10, Heads: 3, Blocks: 1, Vocab: 1, MaxSeq: 1, DTypeBytes: 2},
+		{Name: "x", Hidden: 8, Heads: 2, Blocks: 0, Vocab: 1, MaxSeq: 1, DTypeBytes: 2},
+		{Name: "x", Hidden: 8, Heads: 2, Blocks: 1, Vocab: 0, MaxSeq: 1, DTypeBytes: 2},
+		{Name: "x", Hidden: 8, Heads: 2, Blocks: 1, Vocab: 1, MaxSeq: 0, DTypeBytes: 2},
+		{Name: "x", Hidden: 8, Heads: 2, Blocks: 1, Vocab: 1, MaxSeq: 1, DTypeBytes: 0},
+		{Name: "x", Hidden: 8, Heads: 0, Blocks: 1, Vocab: 1, MaxSeq: 1, DTypeBytes: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("OPT-175B")
+	if err != nil || c.Hidden != 12288 {
+		t.Errorf("ByName(OPT-175B) = %v, %v", c, err)
+	}
+	if _, err := ByName("GPT-5"); err == nil {
+		t.Errorf("unknown model should fail")
+	}
+}
+
+func TestFlops(t *testing.T) {
+	c := OPT175B()
+	h := float64(c.Hidden)
+	if got := c.MHAProjFlops(1); got != 8*h*h {
+		t.Errorf("MHAProjFlops(1) = %g, want %g", got, 8*h*h)
+	}
+	if got := c.FFNFlops(1); got != 16*h*h {
+		t.Errorf("FFNFlops(1) = %g, want %g", got, 16*h*h)
+	}
+	if got := c.AttnFlopsPerPrompt(1, 128); got != 4*128*h {
+		t.Errorf("AttnFlopsPerPrompt = %g", got)
+	}
+	if got := c.OutputFlops(2); got != 4*h*float64(c.Vocab) {
+		t.Errorf("OutputFlops = %g", got)
+	}
+}
+
+func TestKVAndHiddenEdgeCases(t *testing.T) {
+	c := OPT30B()
+	if got := c.KVBytesPerPromptPerBlock(-1); got != 0 {
+		t.Errorf("negative ctx KV = %v", got)
+	}
+	if got := c.HiddenStateBytes(-1); got != 0 {
+		t.Errorf("negative tokens hidden = %v", got)
+	}
+	if got := c.HiddenStateBytes(10); got != units.Bytes(10*7168*2) {
+		t.Errorf("HiddenStateBytes(10) = %v", got)
+	}
+}
+
+func TestLayerTypeString(t *testing.T) {
+	cases := map[LayerType]string{
+		LayerInputEmbed: "InputEmbed", LayerMHA: "MHA",
+		LayerFFN: "FFN", LayerOutputEmbed: "OutputEmbed",
+		LayerType(42): "LayerType(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// Property: KV bytes scale linearly with context for every config.
+func TestKVLinearInContextProperty(t *testing.T) {
+	cfgs := []Config{OPT1B3(), OPT30B(), OPT175B()}
+	f := func(ctx uint16, ci uint8) bool {
+		c := cfgs[int(ci)%len(cfgs)]
+		x := int(ctx%4096) + 1
+		return c.KVBytesPerPromptPerBlock(2*x) == 2*c.KVBytesPerPromptPerBlock(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total weight bytes equal dtype width times param count.
+func TestWeightBytesMatchParamsProperty(t *testing.T) {
+	for _, c := range []Config{OPT1B3(), OPT6B7(), OPT13B(), OPT30B(), OPT66B(), OPT175B()} {
+		if got, want := c.TotalWeightBytes(), units.Bytes(c.ParamCount())*units.Bytes(c.DTypeBytes); got != want {
+			t.Errorf("%s: bytes %d != params*dtype %d", c.Name, got, want)
+		}
+	}
+}

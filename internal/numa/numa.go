@@ -1,0 +1,61 @@
+// Package numa describes the two-socket topology of the evaluation platform
+// (Table I) and enumerates the memory devices visible from each node. The
+// GPU hangs off node 0's PCIe root complex (§IV-A), which is why the
+// per-device bandwidth models in memdev derate remote accesses.
+package numa
+
+import (
+	"fmt"
+
+	"helmsim/internal/calib"
+	"helmsim/internal/memdev"
+)
+
+// Topology is the host socket layout.
+type Topology struct {
+	// Nodes is the NUMA node count.
+	Nodes int
+	// GPUNode is the node whose PCIe root hosts the GPU.
+	GPUNode int
+	// CoresPerNode is the physical core count per socket.
+	CoresPerNode int
+}
+
+// System returns the paper's evaluation topology: two sockets, 28 cores
+// each, GPU on node 0.
+func System() Topology {
+	return Topology{Nodes: calib.NUMANodes, GPUNode: 0, CoresPerNode: calib.CoresPerSocket}
+}
+
+// Valid reports whether a node index exists in the topology.
+func (t Topology) Valid(node int) bool { return node >= 0 && node < t.Nodes }
+
+// String renders the topology on one line.
+func (t Topology) String() string {
+	return fmt.Sprintf("%d NUMA nodes, %d cores/node, GPU on node %d", t.Nodes, t.CoresPerNode, t.GPUNode)
+}
+
+// MemoryDevices enumerates every byte-addressable memory device of one node:
+// its DRAM pool, its Optane pool (NVDRAM configuration) and its Memory Mode
+// view. These are the lines swept in Fig. 3 for that node.
+func (t Topology) MemoryDevices(node int) ([]memdev.Device, error) {
+	if !t.Valid(node) {
+		return nil, fmt.Errorf("numa: node %d outside topology (%d nodes)", node, t.Nodes)
+	}
+	return []memdev.Device{
+		memdev.NewDRAM(node),
+		memdev.NewOptane(node),
+		memdev.NewMemoryMode(node),
+	}, nil
+}
+
+// AllMemoryDevices enumerates the memory devices of every node, node-major
+// (all of node 0, then node 1, ...).
+func (t Topology) AllMemoryDevices() []memdev.Device {
+	var out []memdev.Device
+	for n := 0; n < t.Nodes; n++ {
+		devs, _ := t.MemoryDevices(n)
+		out = append(out, devs...)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package numa
+
+import (
+	"testing"
+
+	"helmsim/internal/memdev"
+)
+
+func TestSystemTopology(t *testing.T) {
+	top := System()
+	if top.Nodes != 2 {
+		t.Errorf("Nodes = %d, want 2", top.Nodes)
+	}
+	if top.GPUNode != 0 {
+		t.Errorf("GPUNode = %d, want 0 (§IV-A)", top.GPUNode)
+	}
+	if top.CoresPerNode != 28 {
+		t.Errorf("CoresPerNode = %d, want 28 (Table I)", top.CoresPerNode)
+	}
+	if top.String() == "" {
+		t.Errorf("empty String()")
+	}
+}
+
+func TestValid(t *testing.T) {
+	top := System()
+	for node, want := range map[int]bool{-1: false, 0: true, 1: true, 2: false} {
+		if got := top.Valid(node); got != want {
+			t.Errorf("Valid(%d) = %v, want %v", node, got, want)
+		}
+	}
+}
+
+func TestMemoryDevices(t *testing.T) {
+	top := System()
+	devs, err := top.MemoryDevices(1)
+	if err != nil {
+		t.Fatalf("MemoryDevices(1): %v", err)
+	}
+	if len(devs) != 3 {
+		t.Fatalf("got %d devices, want 3 (DRAM, NVDRAM, MM)", len(devs))
+	}
+	kinds := map[memdev.Kind]bool{}
+	for _, d := range devs {
+		kinds[d.Kind()] = true
+		if d.Node() != 1 {
+			t.Errorf("%s on node %d, want 1", d.Name(), d.Node())
+		}
+	}
+	for _, k := range []memdev.Kind{memdev.KindDRAM, memdev.KindOptane, memdev.KindMemoryMode} {
+		if !kinds[k] {
+			t.Errorf("missing kind %v", k)
+		}
+	}
+	if _, err := top.MemoryDevices(5); err == nil {
+		t.Errorf("out-of-range node should fail")
+	}
+}
+
+func TestAllMemoryDevices(t *testing.T) {
+	devs := System().AllMemoryDevices()
+	if len(devs) != 6 {
+		t.Fatalf("got %d devices, want 6 (3 kinds x 2 nodes)", len(devs))
+	}
+	names := map[string]bool{}
+	for _, d := range devs {
+		if names[d.Name()] {
+			t.Errorf("duplicate device %s", d.Name())
+		}
+		names[d.Name()] = true
+	}
+}

@@ -1,0 +1,86 @@
+package quant
+
+import "math"
+
+// Float16 is an IEEE 754 binary16 value in its raw bit representation.
+// FlexGen stores group-wise quantization metadata (per-group scale and
+// minimum) in half precision; implementing the format here keeps the
+// simulator's compressed-size accounting byte-exact with the real system.
+type Float16 uint16
+
+// ToFloat16 converts a float32 to binary16 with round-to-nearest-even,
+// clamping overflow to infinity.
+func ToFloat16(f float32) Float16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xff
+	mant := b & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if mant != 0 {
+			return Float16(sign | 0x7e00) // NaN
+		}
+		return Float16(sign | 0x7c00) // Inf
+	case exp == 0 && mant == 0:
+		return Float16(sign) // signed zero
+	}
+
+	// Re-bias the exponent from 127 to 15.
+	e := exp - 127 + 15
+	switch {
+	case e >= 0x1f:
+		return Float16(sign | 0x7c00) // overflow -> Inf
+	case e <= 0:
+		// Subnormal half: shift the mantissa (with implicit leading one)
+		// right and round to nearest even.
+		if e < -10 {
+			return Float16(sign) // underflow -> zero
+		}
+		m := mant | 0x800000
+		shift := uint32(14 - e)
+		half := uint32(1) << (shift - 1)
+		v := m >> shift
+		rem := m & ((1 << shift) - 1)
+		if rem > half || (rem == half && v&1 == 1) {
+			v++
+		}
+		return Float16(sign | uint16(v))
+	}
+
+	// Normal half: keep the top 10 mantissa bits, round to nearest even.
+	v := uint32(e)<<10 | mant>>13
+	rem := mant & 0x1fff
+	if rem > 0x1000 || (rem == 0x1000 && v&1 == 1) {
+		v++ // may carry into the exponent, which is correct behaviour
+	}
+	return Float16(sign | uint16(v))
+}
+
+// Float32 converts the half back to float32.
+func (h Float16) Float32() float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h) & 0x3ff
+
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		if mant != 0 {
+			return math.Float32frombits(sign | 0x7fc00000)
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal half: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	}
+	return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+}

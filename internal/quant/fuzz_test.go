@@ -1,0 +1,56 @@
+package quant
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalTensor hardens the wire-format decoder: arbitrary input
+// must either round-trip into a decodable tensor or be rejected, never
+// panic or read out of bounds.
+func FuzzUnmarshalTensor(f *testing.F) {
+	// Seeds: a valid blob, a truncated one, a corrupted magic.
+	valid, err := func() ([]byte, error) {
+		t, err := Quantize([]float32{1, 2, 3, 4, 5, 6, 7, 8}, Default())
+		if err != nil {
+			return nil, err
+		}
+		return t.MarshalBinary()
+	}()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:10])
+	corrupted := bytes.Clone(valid)
+	corrupted[0] ^= 0xff
+	f.Add(corrupted)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tensor Tensor
+		if err := tensor.UnmarshalBinary(data); err != nil {
+			return // rejection is fine
+		}
+		// Accepted blobs must decode consistently and re-marshal to an
+		// equivalent tensor.
+		out := tensor.Dequantize()
+		if len(out) != tensor.Len() {
+			t.Fatalf("decode length %d != %d", len(out), tensor.Len())
+		}
+		blob, err := tensor.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		var again Tensor
+		if err := again.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("re-unmarshal: %v", err)
+		}
+		back := again.Dequantize()
+		for i := range out {
+			if out[i] != back[i] {
+				t.Fatalf("round trip diverged at %d", i)
+			}
+		}
+	})
+}

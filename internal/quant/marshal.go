@@ -1,0 +1,82 @@
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// marshalMagic guards the Tensor wire format.
+const marshalMagic = uint32(0x47575134) // "GWQ4"
+
+// MarshalBinary serializes the tensor: header (magic, bits, group size,
+// element count), packed data, and the fp16 metadata arrays. The format is
+// little-endian and versioned by the magic.
+func (t *Tensor) MarshalBinary() ([]byte, error) {
+	size := 4 + 4 + 4 + 8 + len(t.packed) + 2*len(t.mins) + 2*len(t.scales)
+	buf := make([]byte, 0, size)
+	le := binary.LittleEndian
+	buf = le.AppendUint32(buf, marshalMagic)
+	buf = le.AppendUint32(buf, uint32(t.cfg.Bits))
+	buf = le.AppendUint32(buf, uint32(t.cfg.GroupSize))
+	buf = le.AppendUint64(buf, uint64(t.n))
+	buf = append(buf, t.packed...)
+	for _, m := range t.mins {
+		buf = le.AppendUint16(buf, uint16(m))
+	}
+	for _, s := range t.scales {
+		buf = le.AppendUint16(buf, uint16(s))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a tensor serialized by MarshalBinary.
+func (t *Tensor) UnmarshalBinary(data []byte) error {
+	le := binary.LittleEndian
+	if len(data) < 20 {
+		return fmt.Errorf("quant: truncated tensor header (%d bytes)", len(data))
+	}
+	if got := le.Uint32(data[0:]); got != marshalMagic {
+		return fmt.Errorf("quant: bad magic %#x", got)
+	}
+	cfg := Config{Bits: int(le.Uint32(data[4:])), GroupSize: int(le.Uint32(data[8:]))}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	n := int(le.Uint64(data[12:]))
+	if n < 0 {
+		return fmt.Errorf("quant: negative element count")
+	}
+	packedLen := (n*cfg.Bits + 7) / 8
+	groups := 0
+	if n > 0 {
+		groups = (n + cfg.GroupSize - 1) / cfg.GroupSize
+	}
+	want := 20 + packedLen + 4*groups
+	if len(data) != want {
+		return fmt.Errorf("quant: tensor payload is %d bytes, want %d", len(data), want)
+	}
+	t.cfg = cfg
+	t.n = n
+	t.packed = append([]byte(nil), data[20:20+packedLen]...)
+	off := 20 + packedLen
+	t.mins = make([]Float16, groups)
+	for i := range t.mins {
+		t.mins[i] = Float16(le.Uint16(data[off+2*i:]))
+		if !finite16(t.mins[i]) {
+			return fmt.Errorf("quant: non-finite group minimum at group %d", i)
+		}
+	}
+	off += 2 * groups
+	t.scales = make([]Float16, groups)
+	for i := range t.scales {
+		t.scales[i] = Float16(le.Uint16(data[off+2*i:]))
+		if !finite16(t.scales[i]) {
+			return fmt.Errorf("quant: non-finite group scale at group %d", i)
+		}
+	}
+	return nil
+}
+
+// finite16 reports whether the half is neither Inf nor NaN (exponent field
+// not all ones).
+func finite16(h Float16) bool { return h&0x7c00 != 0x7c00 }

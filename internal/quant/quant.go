@@ -1,0 +1,190 @@
+// Package quant implements the group-wise weight quantization FlexGen uses
+// to compress model weights from FP16 to 4 bits (Shen et al. [53], §IV-B):
+// tensors are split into fixed-size groups, each group stores its minimum
+// and scale in half precision, and elements are encoded as unsigned
+// fixed-point offsets from the group minimum.
+//
+// The package provides both a real encoder/decoder (used by the tests and
+// examples to demonstrate the error bounds that make 4-bit serving viable)
+// and the exact compressed-size accounting the placement and scheduling
+// code uses (the ~3.56x size reduction of §IV-B: "reducing the model size
+// to nearly a quarter").
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"helmsim/internal/units"
+)
+
+// Config selects the quantization parameters.
+type Config struct {
+	// Bits is the per-element width; 2, 4, and 8 are supported.
+	Bits int
+	// GroupSize is the number of elements sharing one (min, scale) pair.
+	GroupSize int
+}
+
+// Default returns FlexGen's configuration: 4 bits, group size 64.
+func Default() Config { return Config{Bits: 4, GroupSize: 64} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch c.Bits {
+	case 2, 4, 8:
+	default:
+		return fmt.Errorf("quant: unsupported bit width %d (want 2, 4, or 8)", c.Bits)
+	}
+	if c.GroupSize <= 0 {
+		return fmt.Errorf("quant: non-positive group size %d", c.GroupSize)
+	}
+	return nil
+}
+
+// levels is the number of representable values per element.
+func (c Config) levels() int { return 1 << c.Bits }
+
+// metaBytesPerGroup is the per-group metadata cost: one FP16 minimum and
+// one FP16 scale.
+const metaBytesPerGroup = 4
+
+// CompressedBytes is the exact encoded size of a tensor with the given
+// element count: packed element data plus per-group metadata.
+func (c Config) CompressedBytes(elems int64) units.Bytes {
+	if elems <= 0 {
+		return 0
+	}
+	groups := (elems + int64(c.GroupSize) - 1) / int64(c.GroupSize)
+	dataBits := elems * int64(c.Bits)
+	dataBytes := (dataBits + 7) / 8
+	return units.Bytes(dataBytes + groups*metaBytesPerGroup)
+}
+
+// Ratio is the asymptotic compressed/uncompressed size ratio against a
+// dtype of the given byte width. For the default config against FP16 this
+// is 0.28125 — "nearly a quarter" (§IV-B).
+func (c Config) Ratio(dtypeBytes int) float64 {
+	perElem := float64(c.Bits)/8 + metaBytesPerGroup/float64(c.GroupSize)
+	return perElem / float64(dtypeBytes)
+}
+
+// Tensor is a quantized tensor.
+type Tensor struct {
+	cfg    Config
+	n      int
+	packed []byte
+	mins   []Float16
+	scales []Float16
+}
+
+// Quantize encodes x under cfg.
+func Quantize(x []float32, cfg Config) (*Tensor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for i, v := range x {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return nil, fmt.Errorf("quant: non-finite element at index %d", i)
+		}
+	}
+	n := len(x)
+	groups := (n + cfg.GroupSize - 1) / cfg.GroupSize
+	t := &Tensor{
+		cfg:    cfg,
+		n:      n,
+		packed: make([]byte, (n*cfg.Bits+7)/8),
+		mins:   make([]Float16, groups),
+		scales: make([]Float16, groups),
+	}
+	maxQ := float32(cfg.levels() - 1)
+	for g := 0; g < groups; g++ {
+		lo := g * cfg.GroupSize
+		hi := lo + cfg.GroupSize
+		if hi > n {
+			hi = n
+		}
+		gmin, gmax := x[lo], x[lo]
+		for _, v := range x[lo+1 : hi] {
+			if v < gmin {
+				gmin = v
+			}
+			if v > gmax {
+				gmax = v
+			}
+		}
+		// Store metadata in half precision, then quantize against the
+		// *stored* (rounded) values so decode is self-consistent.
+		t.mins[g] = ToFloat16(gmin)
+		scale := (gmax - gmin) / maxQ
+		t.scales[g] = ToFloat16(scale)
+		smin := t.mins[g].Float32()
+		sscale := t.scales[g].Float32()
+		for i := lo; i < hi; i++ {
+			var q uint32
+			if sscale > 0 {
+				q = uint32(math.Round(float64((x[i] - smin) / sscale)))
+				if q > uint32(maxQ) {
+					q = uint32(maxQ)
+				}
+			}
+			t.setQ(i, q)
+		}
+	}
+	return t, nil
+}
+
+// setQ stores the quantized value of element i into the packed buffer.
+func (t *Tensor) setQ(i int, q uint32) {
+	bits := t.cfg.Bits
+	bitPos := i * bits
+	byteIdx := bitPos / 8
+	shift := uint(bitPos % 8)
+	mask := byte(t.cfg.levels()-1) << shift
+	t.packed[byteIdx] = (t.packed[byteIdx] &^ mask) | byte(q)<<shift&mask
+}
+
+// getQ loads the quantized value of element i.
+func (t *Tensor) getQ(i int) uint32 {
+	bits := t.cfg.Bits
+	bitPos := i * bits
+	byteIdx := bitPos / 8
+	shift := uint(bitPos % 8)
+	return uint32(t.packed[byteIdx]>>shift) & uint32(t.cfg.levels()-1)
+}
+
+// Len is the element count.
+func (t *Tensor) Len() int { return t.n }
+
+// Bytes is the encoded size, identical to Config.CompressedBytes.
+func (t *Tensor) Bytes() units.Bytes {
+	return units.Bytes(len(t.packed) + len(t.mins)*2 + len(t.scales)*2)
+}
+
+// Dequantize decodes the tensor back to float32.
+func (t *Tensor) Dequantize() []float32 {
+	out := make([]float32, t.n)
+	for g := range t.mins {
+		lo := g * t.cfg.GroupSize
+		hi := lo + t.cfg.GroupSize
+		if hi > t.n {
+			hi = t.n
+		}
+		gmin := t.mins[g].Float32()
+		scale := t.scales[g].Float32()
+		for i := lo; i < hi; i++ {
+			out[i] = gmin + float32(t.getQ(i))*scale
+		}
+	}
+	return out
+}
+
+// MaxGroupError bounds the absolute reconstruction error of one group:
+// half a quantization step plus the half-precision rounding of the
+// metadata. Useful for asserting correctness properties.
+func (t *Tensor) MaxGroupError(g int) float64 {
+	scale := float64(t.scales[g].Float32())
+	// Half a step from rounding, plus ~2 ulps of fp16 metadata error
+	// amplified across the group range.
+	return scale/2 + scale*float64(t.cfg.levels())*1e-3 + 1e-6
+}

@@ -1,0 +1,149 @@
+// Package roofline analyzes operational intensity — the flops each kernel
+// performs per byte it must move — and classifies layers as compute- or
+// memory-bound against a machine balance point. This is the §II-A argument
+// made quantitative: prefill runs GEMMs whose intensity grows with the
+// token count (compute-bound), decode runs GEMVs pinned at ~1 flop/byte
+// (memory-bound), and batching raises FFN intensity while the per-prompt
+// attention GEMVs stay memory-bound.
+package roofline
+
+import (
+	"fmt"
+
+	"helmsim/internal/gpu"
+	"helmsim/internal/model"
+	"helmsim/internal/units"
+)
+
+// Boundness classifies a kernel against the machine balance.
+type Boundness int
+
+// Classifications.
+const (
+	MemoryBound Boundness = iota
+	ComputeBound
+)
+
+// String names the classification.
+func (b Boundness) String() string {
+	if b == MemoryBound {
+		return "memory-bound"
+	}
+	return "compute-bound"
+}
+
+// Analysis is one kernel's roofline position.
+type Analysis struct {
+	// Layer and Stage identify the kernel.
+	Layer model.LayerType
+	Stage string
+	// Flops and Bytes are the kernel's work and traffic.
+	Flops float64
+	Bytes units.Bytes
+	// Intensity is flops per byte.
+	Intensity float64
+	// Balance is the machine balance the kernel is judged against
+	// (peak flops / bandwidth of the limiting memory).
+	Balance float64
+	// Bound is the classification.
+	Bound Boundness
+	// AttainableFLOPS is the roofline ceiling at this intensity.
+	AttainableFLOPS units.FLOPS
+}
+
+// Machine describes the roofline machine: the limiting bandwidth depends
+// on where the weights stream from.
+type Machine struct {
+	// Peak is the compute ceiling.
+	Peak units.FLOPS
+	// BW is the limiting bandwidth (HBM for GPU-resident weights, the
+	// host link for streamed ones).
+	BW units.Bandwidth
+}
+
+// A100HBM is the machine for GPU-resident weights.
+func A100HBM() Machine {
+	g := gpu.NewA100()
+	return Machine{Peak: units.FLOPS(float64(g.PeakFP16) * g.UtilMax), BW: units.Bandwidth(float64(g.HBM) * g.HBMEff)}
+}
+
+// A100OverLink is the machine when weights stream over the given
+// host-to-GPU bandwidth each use — the out-of-core regime of the paper.
+func A100OverLink(link units.Bandwidth) Machine {
+	g := gpu.NewA100()
+	return Machine{Peak: units.FLOPS(float64(g.PeakFP16) * g.UtilMax), BW: link}
+}
+
+// BalancePoint is the intensity (flops/byte) above which the machine is
+// compute-bound.
+func (m Machine) BalancePoint() float64 {
+	if m.BW <= 0 {
+		return 0
+	}
+	return float64(m.Peak) / float64(m.BW)
+}
+
+// Classify positions a kernel with the given work and traffic.
+func (m Machine) Classify(lt model.LayerType, stage string, flops float64, bytes units.Bytes) (Analysis, error) {
+	if flops < 0 || bytes < 0 {
+		return Analysis{}, fmt.Errorf("roofline: negative work (%g flops, %d bytes)", flops, bytes)
+	}
+	a := Analysis{Layer: lt, Stage: stage, Flops: flops, Bytes: bytes, Balance: m.BalancePoint()}
+	if bytes > 0 {
+		a.Intensity = flops / float64(bytes)
+	}
+	if a.Intensity >= a.Balance {
+		a.Bound = ComputeBound
+		a.AttainableFLOPS = m.Peak
+	} else {
+		a.Bound = MemoryBound
+		a.AttainableFLOPS = units.FLOPS(a.Intensity * float64(m.BW))
+	}
+	return a, nil
+}
+
+// LayerKernel computes the flops and weight traffic of one hidden layer's
+// matmuls at the given stage and batch: tokens = batch x promptLen for
+// prefill, batch for decode; traffic = the layer's weight bytes (streamed
+// or read once per pass).
+func LayerKernel(cfg model.Config, lt model.LayerType, stage string, batch, promptLen int) (flops float64, bytes units.Bytes, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if batch <= 0 || promptLen <= 0 {
+		return 0, 0, fmt.Errorf("roofline: non-positive batch/prompt (%d, %d)", batch, promptLen)
+	}
+	tokens := batch
+	if stage == "prefill" {
+		tokens = batch * promptLen
+	}
+	for _, l := range cfg.Layers() {
+		if l.Type != lt {
+			continue
+		}
+		switch lt {
+		case model.LayerMHA:
+			return cfg.MHAProjFlops(tokens), l.WeightBytes(), nil
+		case model.LayerFFN:
+			return cfg.FFNFlops(tokens), l.WeightBytes(), nil
+		default:
+			return 0, 0, fmt.Errorf("roofline: unsupported layer type %v", lt)
+		}
+	}
+	return 0, 0, fmt.Errorf("roofline: layer type %v not in model", lt)
+}
+
+// AttentionKernel computes the per-step attention work over the KV cache:
+// per-prompt GEMVs whose intensity is fixed near 1 flop/byte regardless of
+// batch (§IV-B: batching does not raise decode attention intensity).
+func AttentionKernel(cfg model.Config, batch, ctx int) (flops float64, bytes units.Bytes, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if batch <= 0 || ctx <= 0 {
+		return 0, 0, fmt.Errorf("roofline: non-positive batch/ctx (%d, %d)", batch, ctx)
+	}
+	flops = cfg.AttnFlopsPerPrompt(1, ctx) * float64(batch)
+	bytes = cfg.KVBytesPerPromptPerBlock(ctx) * units.Bytes(batch)
+	return flops, bytes, nil
+}

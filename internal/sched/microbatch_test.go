@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"helmsim/internal/memdev"
+	"helmsim/internal/placement"
+)
+
+// Micro-batching reuses one weight load across GPUBatches compute
+// repetitions: in the load-bound regime (uncompressed weights, tiny GEMV
+// compute), serving 4x the prompts via 4 micro-batches costs far less
+// than 4x the time.
+func TestMicroBatchWeightReuse(t *testing.T) {
+	base := opts(t, placement.AllCPU{}, memdev.NewOptane(0), 2, false)
+
+	single, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := base
+	multi.GPUBatches = 4
+	quad, err := Run(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same per-layer loads (one load per layer either way).
+	if quad.Prefill.Layers[2].Load != single.Prefill.Layers[2].Load {
+		t.Errorf("micro-batching changed weight load time")
+	}
+	// 4x the tokens...
+	if r := quad.Throughput / single.Throughput; r < 2.5 || r > 4.01 {
+		t.Errorf("4 micro-batches gained %.2fx throughput, want ~3-4x (load-bound reuse)", r)
+	}
+	// ...at far less than 4x the decode time while loads dominate.
+	if quad.TBT.Seconds() > single.TBT.Seconds()*2.2 {
+		t.Errorf("TBT grew %.2fx with 4 micro-batches; loads should still dominate",
+			quad.TBT.Seconds()/single.TBT.Seconds())
+	}
+	// Compute per layer scales with the repetition count.
+	c1 := single.Decode[0].Layers[2].Compute.Seconds()
+	c4 := quad.Decode[0].Layers[2].Compute.Seconds()
+	if math.Abs(c4/c1-4) > 0.01 {
+		t.Errorf("per-layer compute scaled %.2fx, want 4x", c4/c1)
+	}
+}
+
+// Once compute exceeds the load, extra micro-batches stop being free: the
+// throughput gain saturates.
+func TestMicroBatchSaturates(t *testing.T) {
+	base := opts(t, placement.AllCPU{}, memdev.NewOptane(0), 8, true)
+	var prev float64
+	var gains []float64
+	for _, nb := range []int{1, 2, 4, 8} {
+		o := base
+		o.GPUBatches = nb
+		res, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 {
+			gains = append(gains, res.Throughput/prev)
+		}
+		prev = res.Throughput
+	}
+	// Each doubling helps less than the one before.
+	for i := 1; i < len(gains); i++ {
+		if gains[i] > gains[i-1]+1e-9 {
+			t.Errorf("micro-batch gains should diminish: %v", gains)
+		}
+	}
+}
+
+func TestMicroBatchValidation(t *testing.T) {
+	o := opts(t, placement.AllCPU{}, memdev.NewDRAM(0), 1, true)
+	o.GPUBatches = -1
+	if _, err := Run(o); err == nil {
+		t.Errorf("negative micro-batch count accepted")
+	}
+	// Zero normalizes to one.
+	o.GPUBatches = 0
+	a, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.GPUBatches = 1
+	b, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTime != b.TotalTime {
+		t.Errorf("GPUBatches 0 and 1 should match: %v vs %v", a.TotalTime, b.TotalTime)
+	}
+}
+
+// With the KV cache on the host, micro-batch KV swaps scale with the
+// micro-batch count.
+func TestMicroBatchKVSwaps(t *testing.T) {
+	o := opts(t, placement.AllCPU{}, memdev.NewDRAM(0), 2, true)
+	o.KVOnHost = true
+	o.GPUBatches = 3
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := o
+	single.GPUBatches = 1
+	ref, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := res.Decode[0].Layers[1].KVLoad.Seconds()
+	r1 := ref.Decode[0].Layers[1].KVLoad.Seconds()
+	if math.Abs(r3/r1-3) > 0.01 {
+		t.Errorf("KV swap time scaled %.2fx, want 3x", r3/r1)
+	}
+}

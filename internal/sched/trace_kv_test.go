@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"helmsim/internal/memdev"
+	"helmsim/internal/model"
+	"helmsim/internal/placement"
+	"helmsim/internal/trace"
+)
+
+// Tracing records a physically consistent timeline: no intra-stream
+// overlap, a span equal to the simulated total time, and a copy stream
+// that is ~saturated for a memory-bound configuration.
+func TestTraceTimelineConsistent(t *testing.T) {
+	o := opts(t, baselinePol(), memdev.NewOptane(0), 1, true)
+	var tl trace.Timeline
+	o.Trace = &tl
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatalf("timeline invalid: %v", err)
+	}
+	span := tl.Span().Seconds()
+	total := res.TotalTime.Seconds()
+	if span > total+1e-9 {
+		t.Errorf("trace span %v exceeds simulated total %v", span, total)
+	}
+	// Memory-bound: the copy lane dominates the timeline.
+	if u := tl.Utilization(trace.StreamCopy); u < 0.5 {
+		t.Errorf("copy utilization = %.2f, expected a memory-bound trace", u)
+	}
+	// Events mention layers and stages.
+	found := false
+	for _, e := range tl.Events() {
+		if strings.HasPrefix(e.Name, "load L") && e.Args["stage"] != "" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("load events missing annotations")
+	}
+	// Chrome export of a real run round-trips.
+	var b strings.Builder
+	if err := tl.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "traceEvents") {
+		t.Errorf("chrome trace missing traceEvents")
+	}
+}
+
+// KV offload: moving the cache to the host adds per-step transfers that
+// slow decode, growing with context, while a GPU-resident cache run is
+// unchanged.
+func TestKVOnHostSlowsDecode(t *testing.T) {
+	base := opts(t, placement.AllCPU{}, memdev.NewDRAM(0), 8, true)
+	resGPU, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offload := base
+	offload.KVOnHost = true
+	resHost, err := Run(offload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resHost.TBT <= resGPU.TBT {
+		t.Errorf("KV offload should slow decode: %v <= %v", resHost.TBT, resGPU.TBT)
+	}
+	// KV transfers recorded only on MHA layers.
+	d := resHost.Decode[0]
+	for _, lt := range d.Layers {
+		if lt.Type == model.LayerMHA {
+			if lt.KVLoad <= 0 || lt.KVStore <= 0 {
+				t.Fatalf("MHA layer %d missing KV transfers: %+v", lt.Index, lt)
+			}
+		} else if lt.KVLoad != 0 || lt.KVStore != 0 {
+			t.Fatalf("non-MHA layer %d has KV transfers", lt.Index)
+		}
+	}
+	// Prefill only writes the cache out.
+	for _, lt := range resHost.Prefill.Layers {
+		if lt.Type == model.LayerMHA && (lt.KVLoad != 0 || lt.KVStore <= 0) {
+			t.Fatalf("prefill KV traffic wrong: %+v", lt)
+		}
+	}
+	// Decode KV load grows with context.
+	first := resHost.Decode[0].Layers[1].KVLoad
+	last := resHost.Decode[len(resHost.Decode)-1].Layers[1].KVLoad
+	if last <= first {
+		t.Errorf("KV load should grow with context: %v -> %v", first, last)
+	}
+	// GPU-resident runs record no KV traffic.
+	for _, lt := range resGPU.Decode[0].Layers {
+		if lt.KVLoad != 0 || lt.KVStore != 0 {
+			t.Fatalf("GPU-resident run has KV transfers")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"helmsim/internal/core"
+	"helmsim/internal/stats"
+	"helmsim/internal/units"
+)
+
+// QueueConfig describes an online-serving simulation: prompts arrive as a
+// Poisson process and are served in waves of up to the configured batch
+// size. It extends the paper's offline protocol to the serving regime its
+// QoS discussion (§VII) targets: the throughput-optimal All-CPU placement
+// serves big waves cheaply but makes every request wait for the wave.
+type QueueConfig struct {
+	// Run is the engine configuration; Run.Batch is the wave-size cap.
+	Run core.RunConfig
+	// ArrivalRate is the request arrival rate in prompts per second.
+	ArrivalRate float64
+	// NumPrompts is how many arrivals to simulate.
+	NumPrompts int
+	// Seed drives the arrival process.
+	Seed int64
+	// SLO is the end-to-end latency bound used for attainment reporting
+	// (0 disables).
+	SLO units.Duration
+}
+
+// QueueMetrics aggregates an online-serving simulation.
+type QueueMetrics struct {
+	// Waves is the number of batch executions.
+	Waves int
+	// MeanBatch is the average wave occupancy.
+	MeanBatch float64
+	// MeanQueueDelay and P99QueueDelay describe time spent waiting to be
+	// scheduled.
+	MeanQueueDelay, P99QueueDelay units.Duration
+	// MeanE2E and P99E2E describe arrival-to-completion latency.
+	MeanE2E, P99E2E units.Duration
+	// SLOAttainment is the fraction of requests finishing within the SLO
+	// (NaN when no SLO configured).
+	SLOAttainment float64
+	// Utilization is the server's busy fraction.
+	Utilization float64
+	// Throughput is completed prompts per second over the makespan.
+	Throughput float64
+}
+
+// SimulateQueue runs the online-serving simulation. Wave costs come from
+// the engine (memoized per batch size; the simulator is deterministic), so
+// the queueing dynamics sit on exactly the same cost model as the paper's
+// offline numbers.
+func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
+	if qc.Run.Batch <= 0 {
+		return nil, fmt.Errorf("serve: non-positive wave cap %d", qc.Run.Batch)
+	}
+	if qc.ArrivalRate <= 0 {
+		return nil, fmt.Errorf("serve: non-positive arrival rate %v", qc.ArrivalRate)
+	}
+	if qc.NumPrompts <= 0 {
+		return nil, fmt.Errorf("serve: non-positive prompt count %d", qc.NumPrompts)
+	}
+
+	// Arrival times (Poisson process).
+	rng := rand.New(rand.NewSource(qc.Seed))
+	arrivals := make([]float64, qc.NumPrompts)
+	t := 0.0
+	for i := range arrivals {
+		t += rng.ExpFloat64() / qc.ArrivalRate
+		arrivals[i] = t
+	}
+
+	// Memoized wave cost per batch size.
+	waveCost := map[int]float64{}
+	cost := func(batch int) (float64, error) {
+		if c, ok := waveCost[batch]; ok {
+			return c, nil
+		}
+		rc := qc.Run
+		rc.Batch = batch
+		res, err := core.Run(rc)
+		if err != nil {
+			return 0, err
+		}
+		waveCost[batch] = res.TotalTime.Seconds()
+		return waveCost[batch], nil
+	}
+
+	m := &QueueMetrics{}
+	var queueDelays, e2es []float64
+	busy := 0.0
+	clock := 0.0
+	next := 0 // next unserved arrival
+	met := 0
+	for next < len(arrivals) {
+		if clock < arrivals[next] {
+			clock = arrivals[next] // idle until work exists
+		}
+		// Take everything that has arrived, up to the cap.
+		hi := next
+		for hi < len(arrivals) && arrivals[hi] <= clock && hi-next < qc.Run.Batch {
+			hi++
+		}
+		batch := hi - next
+		c, err := cost(batch)
+		if err != nil {
+			return nil, err
+		}
+		start := clock
+		clock += c
+		busy += c
+		for i := next; i < hi; i++ {
+			qd := start - arrivals[i]
+			e2e := clock - arrivals[i]
+			queueDelays = append(queueDelays, qd)
+			e2es = append(e2es, e2e)
+			if qc.SLO > 0 && e2e <= qc.SLO.Seconds() {
+				met++
+			}
+		}
+		m.Waves++
+		m.MeanBatch += float64(batch)
+		next = hi
+	}
+	if m.Waves > 0 {
+		m.MeanBatch /= float64(m.Waves)
+	}
+	m.MeanQueueDelay = units.Duration(stats.Mean(queueDelays))
+	m.P99QueueDelay = units.Duration(stats.Percentile(queueDelays, 99))
+	m.MeanE2E = units.Duration(stats.Mean(e2es))
+	m.P99E2E = units.Duration(stats.Percentile(e2es, 99))
+	if qc.SLO > 0 {
+		m.SLOAttainment = float64(met) / float64(len(e2es))
+	} else {
+		m.SLOAttainment = math.NaN()
+	}
+	if clock > 0 {
+		m.Utilization = busy / clock
+		m.Throughput = float64(qc.NumPrompts) / clock
+	}
+	return m, nil
+}

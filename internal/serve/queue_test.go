@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"helmsim/internal/core"
+	"helmsim/internal/model"
+	"helmsim/internal/placement"
+	"helmsim/internal/units"
+)
+
+func queueCfg(batchCap int, rate float64) QueueConfig {
+	return QueueConfig{
+		Run: core.RunConfig{
+			Model: model.OPT175B(), Memory: core.MemNVDRAM,
+			Policy: placement.AllCPU{}, Batch: batchCap, Compress: true,
+		},
+		ArrivalRate: rate,
+		NumPrompts:  120,
+		Seed:        1,
+	}
+}
+
+func TestSimulateQueueValidation(t *testing.T) {
+	bad := queueCfg(8, 1)
+	bad.Run.Batch = 0
+	if _, err := SimulateQueue(bad); err == nil {
+		t.Errorf("zero wave cap accepted")
+	}
+	bad = queueCfg(8, 0)
+	if _, err := SimulateQueue(bad); err == nil {
+		t.Errorf("zero rate accepted")
+	}
+	bad = queueCfg(8, 1)
+	bad.NumPrompts = 0
+	if _, err := SimulateQueue(bad); err == nil {
+		t.Errorf("zero prompts accepted")
+	}
+}
+
+func TestSimulateQueueBasics(t *testing.T) {
+	m, err := SimulateQueue(queueCfg(44, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Waves <= 0 || m.MeanBatch < 1 || m.MeanBatch > 44 {
+		t.Fatalf("wave accounting wrong: %+v", m)
+	}
+	if m.MeanQueueDelay < 0 || m.P99QueueDelay < m.MeanQueueDelay {
+		t.Errorf("queue delays inconsistent: mean %v p99 %v", m.MeanQueueDelay, m.P99QueueDelay)
+	}
+	if m.MeanE2E <= m.MeanQueueDelay {
+		t.Errorf("E2E %v must exceed queue delay %v by the service time", m.MeanE2E, m.MeanQueueDelay)
+	}
+	if m.Utilization <= 0 || m.Utilization > 1 {
+		t.Errorf("utilization = %v", m.Utilization)
+	}
+	if !math.IsNaN(m.SLOAttainment) {
+		t.Errorf("attainment without SLO should be NaN")
+	}
+}
+
+// Under heavier load the server forms bigger waves — the batching
+// amplification behind All-CPU's throughput story.
+func TestLoadGrowsWaves(t *testing.T) {
+	light, err := SimulateQueue(queueCfg(44, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := SimulateQueue(queueCfg(44, 5.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.MeanBatch <= light.MeanBatch {
+		t.Errorf("heavier load should batch more: %.1f <= %.1f", heavy.MeanBatch, light.MeanBatch)
+	}
+	if heavy.Throughput <= light.Throughput {
+		t.Errorf("heavier load should complete more per second: %v <= %v", heavy.Throughput, light.Throughput)
+	}
+}
+
+// A larger wave cap absorbs overload: with the same arrivals, capping waves
+// at 8 (the baseline's GPU budget) queues far longer than capping at 44
+// (All-CPU) — the paper's §V-C in queueing terms.
+func TestWaveCapControlsQueueing(t *testing.T) {
+	small, err := SimulateQueue(queueCfg(8, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := SimulateQueue(queueCfg(44, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.MeanE2E >= small.MeanE2E {
+		t.Errorf("wave cap 44 should cut E2E latency under load: %v >= %v", large.MeanE2E, small.MeanE2E)
+	}
+}
+
+func TestSLOAttainment(t *testing.T) {
+	qc := queueCfg(44, 1.0)
+	qc.SLO = units.Duration(1e6) // everything meets a huge bound
+	m, err := SimulateQueue(qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SLOAttainment != 1 {
+		t.Errorf("attainment = %v, want 1", m.SLOAttainment)
+	}
+	qc.SLO = units.Duration(1e-9) // nothing meets a tiny bound
+	m, err = SimulateQueue(qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SLOAttainment != 0 {
+		t.Errorf("attainment = %v, want 0", m.SLOAttainment)
+	}
+}
+
+func TestQueueDeterminism(t *testing.T) {
+	a, err := SimulateQueue(queueCfg(44, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateQueue(queueCfg(44, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanE2E != b.MeanE2E || a.Waves != b.Waves {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

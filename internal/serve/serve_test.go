@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"helmsim/internal/core"
+	"helmsim/internal/model"
+	"helmsim/internal/workload"
+)
+
+func cfg30() core.RunConfig {
+	return core.RunConfig{Model: model.OPT30B(), Memory: core.MemNVDRAM, Batch: 4}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(core.RunConfig{Batch: 0}); err == nil {
+		t.Errorf("zero batch accepted")
+	}
+}
+
+func TestServeBatches(t *testing.T) {
+	srv, err := New(cfg30())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := workload.NewGenerator(1, 50272)
+	prompts, _ := g.Prompts(10, 128)
+	m, err := srv.Serve(prompts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 prompts at batch 4 -> runs of 4, 4, 2.
+	if m.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", m.Runs)
+	}
+	if m.PerRun[2].Batch != 2 {
+		t.Errorf("final batch = %d, want 2", m.PerRun[2].Batch)
+	}
+	if m.TTFT <= 0 || m.TBT <= 0 || m.Throughput <= 0 {
+		t.Errorf("bad metrics: %+v", m)
+	}
+	// Total time is the sum of per-run totals.
+	var sum float64
+	for _, r := range m.PerRun {
+		sum += r.TotalTime.Seconds()
+	}
+	if math.Abs(sum-m.TotalTime.Seconds()) > 1e-9 {
+		t.Errorf("TotalTime %v != sum %v", m.TotalTime.Seconds(), sum)
+	}
+	// Throughput counts generated tokens (21 per prompt).
+	want := float64(10*21) / m.TotalTime.Seconds()
+	if math.Abs(m.Throughput-want) > 1e-9 {
+		t.Errorf("Throughput = %v, want %v", m.Throughput, want)
+	}
+}
+
+func TestServeEmptyFails(t *testing.T) {
+	srv, _ := New(cfg30())
+	if _, err := srv.Serve(nil); err == nil {
+		t.Errorf("empty prompt list accepted")
+	}
+}
+
+func TestServePropagatesEngineErrors(t *testing.T) {
+	// Uncompressed OPT-175B on DRAM exceeds capacity.
+	srv, err := New(core.RunConfig{Model: model.OPT175B(), Memory: core.MemDRAM, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := workload.NewGenerator(1, 50272)
+	prompts, _ := g.Prompts(1, 128)
+	if _, err := srv.Serve(prompts); err == nil {
+		t.Errorf("capacity error not propagated")
+	}
+}
+
+func TestPaperProtocol(t *testing.T) {
+	m, err := PaperProtocol(cfg30(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", m.Runs)
+	}
+	if _, err := PaperProtocol(cfg30(), 0); err == nil {
+		t.Errorf("zero batches accepted")
+	}
+	bad := cfg30()
+	bad.Batch = 0
+	if _, err := PaperProtocol(bad, 1); err == nil {
+		t.Errorf("zero batch size accepted")
+	}
+}
+
+// The discard-first rule: with identical deterministic runs the mean equals
+// any run; the accounting must still exercise the discard path.
+func TestDiscardFirstAggregation(t *testing.T) {
+	m, err := PaperProtocol(cfg30(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range m.PerRun[1:] {
+		if math.Abs(r.TTFT.Seconds()-m.TTFT.Seconds()) > 1e-9 {
+			t.Errorf("deterministic runs should all equal the mean")
+		}
+	}
+}

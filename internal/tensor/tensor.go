@@ -1,0 +1,245 @@
+// Package tensor provides the small dense linear-algebra kernel set the
+// executable inference engine (internal/infer) runs on: row-major float32
+// matrices, matmul, softmax, layer/RMS norm, and the GELU/SiLU
+// activations of the OPT and LLaMA decoder blocks.
+//
+// These are straightforward cache-friendly loops, not a BLAS: the engine
+// exists to execute the paper's computation faithfully at laptop scale
+// (tiny models), while the performance questions are answered by the
+// calibrated simulator.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a row-major matrix.
+type Mat struct {
+	// R and C are the dimensions.
+	R, C int
+	// Data holds R*C values, row-major.
+	Data []float32
+}
+
+// New allocates a zero matrix.
+func New(r, c int) Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dims %dx%d", r, c))
+	}
+	return Mat{R: r, C: c, Data: make([]float32, r*c)}
+}
+
+// FromSlice wraps data as an r x c matrix, validating the length.
+func FromSlice(r, c int, data []float32) (Mat, error) {
+	if r < 0 || c < 0 || len(data) != r*c {
+		return Mat{}, fmt.Errorf("tensor: %dx%d needs %d values, got %d", r, c, r*c, len(data))
+	}
+	return Mat{R: r, C: c, Data: data}, nil
+}
+
+// At reads element (i, j).
+func (m Mat) At(i, j int) float32 { return m.Data[i*m.C+j] }
+
+// Set writes element (i, j).
+func (m Mat) Set(i, j int, v float32) { m.Data[i*m.C+j] = v }
+
+// Row returns row i as a slice view.
+func (m Mat) Row(i int) []float32 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// Clone deep-copies the matrix.
+func (m Mat) Clone() Mat {
+	out := New(m.R, m.C)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MatMul computes a @ b for a (r x k) and b (k x c).
+func MatMul(a, b Mat) (Mat, error) {
+	if a.C != b.R {
+		return Mat{}, fmt.Errorf("tensor: matmul shape mismatch (%dx%d)@(%dx%d)", a.R, a.C, b.R, b.C)
+	}
+	out := New(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.C; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulT computes a @ bᵀ for a (r x k) and b (c x k) — the layout of
+// output-embedding logits against a token table.
+func MatMulT(a, b Mat) (Mat, error) {
+	if a.C != b.C {
+		return Mat{}, fmt.Errorf("tensor: matmulT shape mismatch (%dx%d)@(%dx%d)T", a.R, a.C, b.R, b.C)
+	}
+	out := New(a.R, b.R)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		for j := 0; j < b.R; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out, nil
+}
+
+// AddBias adds a length-C bias vector to every row in place.
+func (m Mat) AddBias(bias []float32) error {
+	if len(bias) != m.C {
+		return fmt.Errorf("tensor: bias length %d for width %d", len(bias), m.C)
+	}
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+	return nil
+}
+
+// Add adds other element-wise in place.
+func (m Mat) Add(other Mat) error {
+	if m.R != other.R || m.C != other.C {
+		return fmt.Errorf("tensor: add shape mismatch %dx%d vs %dx%d", m.R, m.C, other.R, other.C)
+	}
+	for i := range m.Data {
+		m.Data[i] += other.Data[i]
+	}
+	return nil
+}
+
+// Scale multiplies every element in place.
+func (m Mat) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row in place.
+func (m Mat) SoftmaxRows() {
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		maxV := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float32
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - maxV)))
+			row[j] = e
+			sum += e
+		}
+		if sum > 0 {
+			for j := range row {
+				row[j] /= sum
+			}
+		}
+	}
+}
+
+// LayerNorm normalizes each row to zero mean / unit variance and applies
+// gamma and beta, returning a new matrix (OPT's normalization).
+func LayerNorm(x Mat, gamma, beta []float32, eps float32) (Mat, error) {
+	if len(gamma) != x.C || len(beta) != x.C {
+		return Mat{}, fmt.Errorf("tensor: layernorm params %d/%d for width %d", len(gamma), len(beta), x.C)
+	}
+	out := New(x.R, x.C)
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(len(row))
+		var varsum float64
+		for _, v := range row {
+			d := float64(v) - mean
+			varsum += d * d
+		}
+		inv := 1 / math.Sqrt(varsum/float64(len(row))+float64(eps))
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = float32((float64(v)-mean)*inv)*gamma[j] + beta[j]
+		}
+	}
+	return out, nil
+}
+
+// RMSNorm applies LLaMA's root-mean-square normalization with gamma.
+func RMSNorm(x Mat, gamma []float32, eps float32) (Mat, error) {
+	if len(gamma) != x.C {
+		return Mat{}, fmt.Errorf("tensor: rmsnorm params %d for width %d", len(gamma), x.C)
+	}
+	out := New(x.R, x.C)
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		var ms float64
+		for _, v := range row {
+			ms += float64(v) * float64(v)
+		}
+		inv := 1 / math.Sqrt(ms/float64(len(row))+float64(eps))
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = float32(float64(v)*inv) * gamma[j]
+		}
+	}
+	return out, nil
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit in place
+// (OPT's FFN activation).
+func (m Mat) GELU() {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range m.Data {
+		x := float64(v)
+		m.Data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
+}
+
+// SiLU applies x*sigmoid(x) in place (LLaMA's gate activation).
+func (m Mat) SiLU() {
+	for i, v := range m.Data {
+		x := float64(v)
+		m.Data[i] = float32(x / (1 + math.Exp(-x)))
+	}
+}
+
+// Mul multiplies element-wise in place (the gated-FFN product).
+func (m Mat) Mul(other Mat) error {
+	if m.R != other.R || m.C != other.C {
+		return fmt.Errorf("tensor: mul shape mismatch %dx%d vs %dx%d", m.R, m.C, other.R, other.C)
+	}
+	for i := range m.Data {
+		m.Data[i] *= other.Data[i]
+	}
+	return nil
+}
+
+// ArgmaxRow returns the index of the largest value in row i.
+func (m Mat) ArgmaxRow(i int) int {
+	row := m.Row(i)
+	best := 0
+	for j, v := range row {
+		if v > row[best] {
+			best = j
+		}
+	}
+	return best
+}

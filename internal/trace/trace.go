@@ -1,0 +1,158 @@
+// Package trace records the simulated pipeline as a timeline of events on
+// the two hardware streams (PCIe copy engine, GPU compute) and exports it
+// in the Chrome trace-event JSON format (chrome://tracing, Perfetto), so
+// the compute/communication overlap the paper analyzes can be inspected
+// visually for any configuration.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"helmsim/internal/units"
+)
+
+// Stream identifies a hardware resource lane.
+type Stream int
+
+// Streams.
+const (
+	StreamCopy Stream = iota
+	StreamCompute
+)
+
+// String names the stream.
+func (s Stream) String() string {
+	if s == StreamCopy {
+		return "pcie-copy"
+	}
+	return "gpu-compute"
+}
+
+// Event is one interval on one stream.
+type Event struct {
+	// Stream is the lane the event occupies.
+	Stream Stream
+	// Name labels the event, e.g. "load L42 (FFN)".
+	Name string
+	// Start and Duration place the event on the simulated timeline.
+	Start    units.Duration
+	Duration units.Duration
+	// Args carries free-form annotations (layer index, stage, bytes).
+	Args map[string]string
+}
+
+// End is the event's end time.
+func (e Event) End() units.Duration { return e.Start + e.Duration }
+
+// Timeline accumulates events. The zero value is ready to use.
+type Timeline struct {
+	events []Event
+}
+
+// Add records one event. Negative durations are clamped to zero.
+func (t *Timeline) Add(e Event) {
+	if e.Duration < 0 {
+		e.Duration = 0
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the recorded events sorted by start time (stable).
+func (t *Timeline) Events() []Event {
+	out := append([]Event(nil), t.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len reports the event count.
+func (t *Timeline) Len() int { return len(t.events) }
+
+// Span reports the timeline's end (the latest event end).
+func (t *Timeline) Span() units.Duration {
+	var end units.Duration
+	for _, e := range t.events {
+		if e.End() > end {
+			end = e.End()
+		}
+	}
+	return end
+}
+
+// BusyTime reports the total busy time of one stream.
+func (t *Timeline) BusyTime(s Stream) units.Duration {
+	var sum units.Duration
+	for _, e := range t.events {
+		if e.Stream == s {
+			sum += e.Duration
+		}
+	}
+	return sum
+}
+
+// Utilization reports a stream's busy fraction of the whole span.
+func (t *Timeline) Utilization(s Stream) float64 {
+	span := t.Span()
+	if span <= 0 {
+		return 0
+	}
+	return t.BusyTime(s).Seconds() / span.Seconds()
+}
+
+// Validate checks the physical invariant that events on one stream never
+// overlap (each stream is a serial resource).
+func (t *Timeline) Validate() error {
+	for _, s := range []Stream{StreamCopy, StreamCompute} {
+		var lane []Event
+		for _, e := range t.events {
+			if e.Stream == s {
+				lane = append(lane, e)
+			}
+		}
+		sort.SliceStable(lane, func(i, j int) bool { return lane[i].Start < lane[j].Start })
+		for i := 1; i < len(lane); i++ {
+			// Allow float slop of one nanosecond.
+			if lane[i].Start < lane[i-1].End()-units.Nanosecond {
+				return fmt.Errorf("trace: %v overlap: %q [%v, %v) and %q [%v, %v)",
+					s, lane[i-1].Name, lane[i-1].Start, lane[i-1].End(),
+					lane[i].Name, lane[i].Start, lane[i].End())
+			}
+		}
+	}
+	return nil
+}
+
+// chromeEvent is the trace-event JSON schema (phase "X" = complete event).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serializes the timeline as a Chrome trace-event array.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	out := make([]chromeEvent, 0, len(t.events))
+	for _, e := range t.Events() {
+		out = append(out, chromeEvent{
+			Name: e.Name,
+			Cat:  e.Stream.String(),
+			Ph:   "X",
+			Ts:   e.Start.Microseconds(),
+			Dur:  e.Duration.Microseconds(),
+			PID:  1,
+			TID:  int(e.Stream) + 1,
+			Args: e.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{out})
+}

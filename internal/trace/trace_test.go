@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"helmsim/internal/units"
+)
+
+func sample() *Timeline {
+	var t Timeline
+	t.Add(Event{Stream: StreamCopy, Name: "load L1", Start: 0, Duration: 10 * units.Millisecond})
+	t.Add(Event{Stream: StreamCompute, Name: "compute L0", Start: 0, Duration: 4 * units.Millisecond})
+	t.Add(Event{Stream: StreamCopy, Name: "load L2", Start: 10 * units.Millisecond, Duration: 5 * units.Millisecond})
+	t.Add(Event{Stream: StreamCompute, Name: "compute L1", Start: 10 * units.Millisecond, Duration: 5 * units.Millisecond})
+	return &t
+}
+
+func TestTimelineAccounting(t *testing.T) {
+	tl := sample()
+	if tl.Len() != 4 {
+		t.Errorf("Len = %d", tl.Len())
+	}
+	if got := tl.Span(); got != 15*units.Millisecond {
+		t.Errorf("Span = %v", got)
+	}
+	if got := tl.BusyTime(StreamCopy); got != 15*units.Millisecond {
+		t.Errorf("copy busy = %v", got)
+	}
+	if got := tl.BusyTime(StreamCompute); got != 9*units.Millisecond {
+		t.Errorf("compute busy = %v", got)
+	}
+	if u := tl.Utilization(StreamCopy); u < 0.99 || u > 1.01 {
+		t.Errorf("copy utilization = %v", u)
+	}
+	if u := tl.Utilization(StreamCompute); u < 0.59 || u > 0.61 {
+		t.Errorf("compute utilization = %v", u)
+	}
+	var empty Timeline
+	if empty.Utilization(StreamCopy) != 0 {
+		t.Errorf("empty utilization nonzero")
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	var tl Timeline
+	tl.Add(Event{Stream: StreamCopy, Name: "b", Start: 10})
+	tl.Add(Event{Stream: StreamCopy, Name: "a", Start: 5})
+	ev := tl.Events()
+	if ev[0].Name != "a" || ev[1].Name != "b" {
+		t.Errorf("events unsorted: %v", ev)
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	var tl Timeline
+	tl.Add(Event{Stream: StreamCopy, Name: "x", Start: 0, Duration: -5})
+	if tl.Events()[0].Duration != 0 {
+		t.Errorf("negative duration not clamped")
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Errorf("clean timeline rejected: %v", err)
+	}
+	var bad Timeline
+	bad.Add(Event{Stream: StreamCompute, Name: "a", Start: 0, Duration: 10 * units.Millisecond})
+	bad.Add(Event{Stream: StreamCompute, Name: "b", Start: 5 * units.Millisecond, Duration: 1 * units.Millisecond})
+	if err := bad.Validate(); err == nil {
+		t.Errorf("overlapping events accepted")
+	}
+	// Different streams may overlap freely.
+	var ok Timeline
+	ok.Add(Event{Stream: StreamCompute, Name: "a", Start: 0, Duration: 10 * units.Millisecond})
+	ok.Add(Event{Stream: StreamCopy, Name: "b", Start: 0, Duration: 10 * units.Millisecond})
+	if err := ok.Validate(); err != nil {
+		t.Errorf("cross-stream overlap rejected: %v", err)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events", len(doc.TraceEvents))
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("phase = %q", e.Ph)
+		}
+	}
+	// 10 ms -> 10000 us on the copy lane.
+	if doc.TraceEvents[0].Dur != 10000 && doc.TraceEvents[1].Dur != 10000 {
+		t.Errorf("microsecond conversion wrong: %+v", doc.TraceEvents[:2])
+	}
+}
+
+func TestStreamString(t *testing.T) {
+	if StreamCopy.String() != "pcie-copy" || StreamCompute.String() != "gpu-compute" {
+		t.Errorf("stream names broken")
+	}
+}

@@ -1,0 +1,161 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+		err  bool
+	}{
+		{"256MiB", 256 * MiB, false},
+		{"4 GiB", 4 * GiB, false},
+		{"32GB", 32 * GB, false},
+		{"1024", 1024, false},
+		{"1.5GiB", GiB + 512*MiB, false},
+		{"7B", 7, false},
+		{"2K", 2 * KiB, false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"-5GiB", 0, true},
+		{"-5", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseBytes(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{2 * KiB, "2.00 KiB"},
+		{3 * MiB, "3.00 MiB"},
+		{40 * GiB, "40.00 GiB"},
+		{2 * TiB, "2.00 TiB"},
+		{-3 * MiB, "-3.00 MiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBandwidthTimeFor(t *testing.T) {
+	bw := GBps(32)
+	got := bw.TimeFor(32 * GB)
+	if math.Abs(got.Seconds()-1) > 1e-12 {
+		t.Errorf("32 GB at 32 GB/s = %v, want 1s", got)
+	}
+	if d := bw.TimeFor(0); d != 0 {
+		t.Errorf("zero bytes should take 0, got %v", d)
+	}
+	if d := Bandwidth(0).TimeFor(GiB); !math.IsInf(d.Seconds(), 1) {
+		t.Errorf("zero bandwidth should take +Inf, got %v", d)
+	}
+}
+
+func TestFLOPSTimeFor(t *testing.T) {
+	f := TFLOPS(312) // A100 FP16 peak
+	got := f.TimeFor(312e12)
+	if math.Abs(got.Seconds()-1) > 1e-12 {
+		t.Errorf("312 Tflop at 312 TFLOPS = %v, want 1s", got)
+	}
+	if d := f.TimeFor(0); d != 0 {
+		t.Errorf("zero flops should take 0, got %v", d)
+	}
+	if d := FLOPS(0).TimeFor(1); !math.IsInf(d.Seconds(), 1) {
+		t.Errorf("zero rate should take +Inf, got %v", d)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		in   Duration
+		want string
+	}{
+		{0, "0s"},
+		{3 * Nanosecond, "3.00ns"},
+		{5 * Microsecond, "5.00µs"},
+		{7 * Millisecond, "7.00ms"},
+		{2.5 * Second, "2.500s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%g).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+// Property: TimeFor is linear in bytes — doubling the payload doubles the
+// time at any positive bandwidth.
+func TestBandwidthLinearityProperty(t *testing.T) {
+	f := func(gbps uint8, mib uint16) bool {
+		bw := GBps(float64(gbps%100) + 1)
+		n := Bytes(mib) * MiB
+		t1 := bw.TimeFor(n)
+		t2 := bw.TimeFor(2 * n)
+		return math.Abs(t2.Seconds()-2*t1.Seconds()) < 1e-9*math.Max(1, t2.Seconds())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ParseBytes round-trips sizes printed in whole MiB.
+func TestParseBytesRoundTripProperty(t *testing.T) {
+	f := func(mib uint16) bool {
+		n := Bytes(mib) * MiB
+		got, err := ParseBytes((Bytes(mib)).stringMiB())
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// stringMiB renders a count as "<n>MiB" for the round-trip property test.
+func (b Bytes) stringMiB() string { return itoa(int64(b)) + "MiB" }
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,136 @@
+// Package xfer models data movement between host memory devices and the
+// GPU over the PCIe Gen4 x16 link (Table I). The device models in memdev
+// already express end-to-end copy bandwidth (what nvbandwidth measures), so
+// the engine's job is composition: per-transfer setup latency, the DRAM
+// bounce buffer on storage paths (§IV-B), and multi-shard loads for weights
+// spread across several devices, all serialized on the single PCIe link as
+// FlexGen's one copy stream does.
+package xfer
+
+import (
+	"fmt"
+
+	"helmsim/internal/calib"
+	"helmsim/internal/memdev"
+	"helmsim/internal/units"
+)
+
+// TransferSetupLatency is the fixed per-copy cost (driver call, DMA
+// descriptor setup, and the device round-trip). It is irrelevant for the
+// multi-hundred-megabyte weight shards but keeps tiny hidden-state copies
+// from being free.
+const TransferSetupLatency = 15 * units.Microsecond
+
+// Shard is a contiguous piece of data resident on one host device.
+type Shard struct {
+	// Src is the device holding the shard.
+	Src memdev.Device
+	// Bytes is the shard size.
+	Bytes units.Bytes
+	// WorkingSet is the total bytes being streamed from Src in the
+	// surrounding access pattern (the device-resident model footprint for
+	// inference, or Bytes itself for one-shot copies). Zero means Bytes.
+	WorkingSet units.Bytes
+}
+
+// Engine computes transfer times between the host hierarchy and the GPU.
+// The zero value is not useful; construct with New.
+type Engine struct {
+	// pcie caps every host<->GPU stream.
+	pcie units.Bandwidth
+}
+
+// New returns an engine for the evaluation platform's PCIe Gen4 x16 link.
+func New() *Engine {
+	return &Engine{pcie: calib.PCIeTheoretical}
+}
+
+// HostToGPU reports the time to copy one shard to the GPU. Storage devices
+// (SSD, FSDAX) pay the DRAM bounce-buffer penalty: the file-system read and
+// the DRAM->GPU DMA are pipelined, so the cost is the slower stage times a
+// small overlap-imperfection factor rather than the sum of both stages.
+func (e *Engine) HostToGPU(s Shard) (units.Duration, error) {
+	if s.Bytes < 0 {
+		return 0, fmt.Errorf("xfer: negative shard size %d", s.Bytes)
+	}
+	if s.Bytes == 0 {
+		return 0, nil
+	}
+	ws := s.WorkingSet
+	if ws < s.Bytes {
+		ws = s.Bytes
+	}
+	bw := s.Src.ReadBW(s.Bytes, ws)
+	if bw > e.pcie {
+		bw = e.pcie
+	}
+	t := bw.TimeFor(s.Bytes)
+	if s.Src.IsStorage() {
+		t = units.Duration(float64(t) * calib.BounceBufferPenalty)
+	}
+	return t + TransferSetupLatency, nil
+}
+
+// GPUToHost reports the time to copy n bytes from the GPU into dst, with
+// workingSet describing the sustained pattern (0 means n).
+func (e *Engine) GPUToHost(dst memdev.Device, n, workingSet units.Bytes) (units.Duration, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("xfer: negative size %d", n)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if workingSet < n {
+		workingSet = n
+	}
+	bw := dst.WriteBW(n, workingSet)
+	if bw > e.pcie {
+		bw = e.pcie
+	}
+	t := bw.TimeFor(n)
+	if dst.IsStorage() {
+		t = units.Duration(float64(t) * calib.BounceBufferPenalty)
+	}
+	return t + TransferSetupLatency, nil
+}
+
+// LoadTime reports the time to bring a set of shards to the GPU. FlexGen
+// issues weight loads on a single copy stream, so shards serialize on the
+// PCIe link: the total is the sum of the per-shard times.
+func (e *Engine) LoadTime(shards []Shard) (units.Duration, error) {
+	var total units.Duration
+	for _, s := range shards {
+		t, err := e.HostToGPU(s)
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	return total, nil
+}
+
+// MeasureHostToGPU reports the one-shot copy bandwidth the engine achieves
+// for a buffer of the given size, as nvbandwidth would measure it
+// (excluding the fixed setup latency amortized over large buffers).
+func (e *Engine) MeasureHostToGPU(src memdev.Device, size units.Bytes) (units.Bandwidth, error) {
+	t, err := e.HostToGPU(Shard{Src: src, Bytes: size})
+	if err != nil {
+		return 0, err
+	}
+	if t <= 0 {
+		return 0, fmt.Errorf("xfer: non-positive transfer time")
+	}
+	return units.Bandwidth(float64(size) / t.Seconds()), nil
+}
+
+// MeasureGPUToHost is the GPU->host counterpart of MeasureHostToGPU.
+func (e *Engine) MeasureGPUToHost(dst memdev.Device, size units.Bytes) (units.Bandwidth, error) {
+	t, err := e.GPUToHost(dst, size, 0)
+	if err != nil {
+		return 0, err
+	}
+	if t <= 0 {
+		return 0, fmt.Errorf("xfer: non-positive transfer time")
+	}
+	return units.Bandwidth(float64(size) / t.Seconds()), nil
+}

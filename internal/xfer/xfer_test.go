@@ -1,0 +1,165 @@
+package xfer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"helmsim/internal/calib"
+	"helmsim/internal/memdev"
+	"helmsim/internal/units"
+)
+
+func TestHostToGPUBasics(t *testing.T) {
+	e := New()
+	d := memdev.NewDRAM(0)
+
+	if got, err := e.HostToGPU(Shard{Src: d, Bytes: 0}); err != nil || got != 0 {
+		t.Errorf("empty shard = (%v, %v), want (0, nil)", got, err)
+	}
+	if _, err := e.HostToGPU(Shard{Src: d, Bytes: -1}); err == nil {
+		t.Errorf("negative shard should fail")
+	}
+
+	got, err := e.HostToGPU(Shard{Src: d, Bytes: units.GB})
+	if err != nil {
+		t.Fatalf("HostToGPU: %v", err)
+	}
+	want := 1.0/calib.HostToGPUDRAM.GBpsf() + TransferSetupLatency.Seconds()
+	if math.Abs(got.Seconds()-want) > 1e-9 {
+		t.Errorf("1 GB from DRAM = %v, want %.6fs", got, want)
+	}
+}
+
+func TestStoragePaysBouncePenalty(t *testing.T) {
+	e := New()
+	dax := memdev.NewFSDAX(0)
+	got, err := e.HostToGPU(Shard{Src: dax, Bytes: units.GB})
+	if err != nil {
+		t.Fatalf("HostToGPU: %v", err)
+	}
+	raw := dax.ReadBW(units.GB, units.GB).TimeFor(units.GB)
+	want := float64(raw)*calib.BounceBufferPenalty + TransferSetupLatency.Seconds()
+	if math.Abs(got.Seconds()-want) > 1e-9 {
+		t.Errorf("FSDAX transfer = %v, want %.6fs (with bounce penalty)", got, want)
+	}
+	// A memory device of the same raw bandwidth would be faster.
+	if got <= raw {
+		t.Errorf("storage path %v should exceed raw time %v", got, raw)
+	}
+}
+
+func TestGPUToHost(t *testing.T) {
+	e := New()
+	o := memdev.NewOptane(1)
+	got, err := e.GPUToHost(o, units.GB, 0)
+	if err != nil {
+		t.Fatalf("GPUToHost: %v", err)
+	}
+	want := 1.0/calib.GPUToHostOptanePeakNode1.GBpsf() + TransferSetupLatency.Seconds()
+	if math.Abs(got.Seconds()-want) > 1e-6 {
+		t.Errorf("1 GB to Optane-1 = %v, want %.4fs", got, want)
+	}
+	if d, err := e.GPUToHost(o, 0, 0); err != nil || d != 0 {
+		t.Errorf("empty write = (%v, %v)", d, err)
+	}
+	if _, err := e.GPUToHost(o, -5, 0); err == nil {
+		t.Errorf("negative write should fail")
+	}
+}
+
+func TestLoadTimeSerializesShards(t *testing.T) {
+	e := New()
+	d := memdev.NewDRAM(0)
+	o := memdev.NewOptane(0)
+	shards := []Shard{
+		{Src: d, Bytes: units.GB},
+		{Src: o, Bytes: units.GB},
+	}
+	total, err := e.LoadTime(shards)
+	if err != nil {
+		t.Fatalf("LoadTime: %v", err)
+	}
+	t1, _ := e.HostToGPU(shards[0])
+	t2, _ := e.HostToGPU(shards[1])
+	if math.Abs(total.Seconds()-(t1+t2).Seconds()) > 1e-12 {
+		t.Errorf("LoadTime = %v, want sum %v", total, t1+t2)
+	}
+	if _, err := e.LoadTime([]Shard{{Src: d, Bytes: -1}}); err == nil {
+		t.Errorf("bad shard should fail LoadTime")
+	}
+}
+
+func TestWorkingSetDefaultsToBytes(t *testing.T) {
+	e := New()
+	o := memdev.NewOptane(0)
+	a, _ := e.HostToGPU(Shard{Src: o, Bytes: 8 * units.GB})
+	b, _ := e.HostToGPU(Shard{Src: o, Bytes: 8 * units.GB, WorkingSet: 8 * units.GB})
+	if a != b {
+		t.Errorf("zero working set should default to shard size: %v != %v", a, b)
+	}
+	// Larger working set (sustained model streaming) slows the transfer.
+	c, _ := e.HostToGPU(Shard{Src: o, Bytes: 8 * units.GB, WorkingSet: 300 * units.GB})
+	if c <= a {
+		t.Errorf("sustained working set should slow Optane: %v <= %v", c, a)
+	}
+}
+
+func TestMeasureBandwidth(t *testing.T) {
+	e := New()
+	d := memdev.NewDRAM(0)
+	bw, err := e.MeasureHostToGPU(d, 32*units.GB)
+	if err != nil {
+		t.Fatalf("MeasureHostToGPU: %v", err)
+	}
+	// Setup latency is amortized to nothing over 32 GB.
+	if math.Abs(bw.GBpsf()-calib.HostToGPUDRAM.GBpsf()) > 0.01 {
+		t.Errorf("measured = %.3f GB/s, want %.3f", bw.GBpsf(), calib.HostToGPUDRAM.GBpsf())
+	}
+	wb, err := e.MeasureGPUToHost(d, 32*units.GB)
+	if err != nil {
+		t.Fatalf("MeasureGPUToHost: %v", err)
+	}
+	if math.Abs(wb.GBpsf()-calib.GPUToHostDRAM.GBpsf()) > 0.01 {
+		t.Errorf("measured write = %.3f GB/s, want %.3f", wb.GBpsf(), calib.GPUToHostDRAM.GBpsf())
+	}
+}
+
+// Property: measured bandwidth never exceeds the PCIe theoretical max or
+// the device's own curve, for any device and size.
+func TestMeasuredBandwidthBoundedProperty(t *testing.T) {
+	e := New()
+	devs := []memdev.Device{
+		memdev.NewDRAM(0), memdev.NewOptane(0), memdev.NewOptane(1),
+		memdev.NewMemoryMode(0), memdev.NewSSD(), memdev.NewFSDAX(0),
+	}
+	f := func(mib uint16, di uint8) bool {
+		size := units.Bytes(mib%32768+256) * units.MiB
+		d := devs[int(di)%len(devs)]
+		bw, err := e.MeasureHostToGPU(d, size)
+		if err != nil {
+			return false
+		}
+		return float64(bw) <= float64(calib.PCIeTheoretical)+1 &&
+			float64(bw) <= float64(d.ReadBW(size, size))+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfer time grows monotonically with shard size.
+func TestTransferMonotoneProperty(t *testing.T) {
+	e := New()
+	o := memdev.NewOptane(0)
+	f := func(a, b uint16) bool {
+		s1 := units.Bytes(a%4096+1) * units.MiB
+		s2 := s1 + units.Bytes(b%4096)*units.MiB
+		t1, err1 := e.HostToGPU(Shard{Src: o, Bytes: s1})
+		t2, err2 := e.HostToGPU(Shard{Src: o, Bytes: s2})
+		return err1 == nil && err2 == nil && t2 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
