@@ -56,7 +56,7 @@ func run(modelName, memName, polName string, batch int, compress bool, prompt, g
 	case "baseline":
 		pol = nil // model/config default
 	case "helm":
-		def := core.DefaultPolicy(cfg, mem).(placement.Baseline)
+		def := core.DefaultPolicy(cfg, mem, compress).(placement.Baseline)
 		pol = placement.HeLM{Default: def}
 	case "all-cpu":
 		pol = placement.AllCPU{}

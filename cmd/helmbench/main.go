@@ -3,25 +3,30 @@
 //
 // Usage:
 //
-//	helmbench              # run everything
+//	helmbench              # run everything, GOMAXPROCS workers
+//	helmbench -parallel 1  # sequential (output is identical either way)
 //	helmbench -run fig11   # one experiment
 //	helmbench -list        # list experiment ids
 //	helmbench -csv         # CSV instead of aligned tables
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"helmsim/internal/experiments"
+	"helmsim/internal/runcache"
 )
 
 func main() {
 	var (
-		runID = flag.String("run", "", "experiment id to run (default: all)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		runID      = flag.String("run", "", "experiment id to run (default: all)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel   = flag.Int("parallel", 0, "worker count (<=0: GOMAXPROCS); results print in id order regardless")
+		cacheStats = flag.Bool("cachestats", false, "print run-cache hit/miss/dedup counts to stderr")
 	)
 	flag.Parse()
 
@@ -44,14 +49,17 @@ func main() {
 		todo = []experiments.Experiment{e}
 	}
 
-	for _, e := range todo {
-		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		tables, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "helmbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+	outcomes := experiments.RunSet(context.Background(), todo, *parallel)
+
+	failed := false
+	for _, o := range outcomes {
+		fmt.Printf("=== %s: %s ===\n", o.Experiment.ID, o.Experiment.Title)
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "helmbench: %s: %v\n", o.Experiment.ID, o.Err)
+			failed = true
+			continue
 		}
-		for _, t := range tables {
+		for _, t := range o.Tables {
 			var err error
 			if *csv {
 				err = t.RenderCSV(os.Stdout)
@@ -59,10 +67,18 @@ func main() {
 				err = t.Render(os.Stdout)
 			}
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "helmbench: render %s: %v\n", e.ID, err)
+				fmt.Fprintf(os.Stderr, "helmbench: render %s: %v\n", o.Experiment.ID, err)
 				os.Exit(1)
 			}
 			fmt.Println()
 		}
+	}
+	if *cacheStats {
+		s := runcache.Shared().Stats()
+		fmt.Fprintf(os.Stderr, "helmbench: run cache: %d entries, %d misses, %d hits, %d deduped\n",
+			runcache.Shared().Len(), s.Misses, s.Hits, s.Dedups)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -83,7 +83,7 @@ func run(modelName, memName, polName string, compress bool, capSize int, rate fl
 	t.AddRow("waves", m.Waves)
 	t.AddRow("mean wave occupancy", fmt.Sprintf("%.1f", m.MeanBatch))
 	t.AddRow("server utilization", fmt.Sprintf("%.1f%%", m.Utilization*100))
-	t.AddRow("throughput", fmt.Sprintf("%.3f prompts/s", m.Throughput))
+	t.AddRow("throughput", fmt.Sprintf("%.3f prompts/s", m.PromptsPerSec))
 	t.AddRow("queue delay mean / p99", fmt.Sprintf("%.1fs / %.1fs", m.MeanQueueDelay.Seconds(), m.P99QueueDelay.Seconds()))
 	t.AddRow("E2E latency mean / p99", fmt.Sprintf("%.1fs / %.1fs", m.MeanE2E.Seconds(), m.P99E2E.Seconds()))
 	if !math.IsNaN(m.SLOAttainment) {

@@ -13,7 +13,6 @@ import (
 	"log"
 
 	"helmsim"
-	"helmsim/internal/core"
 	"helmsim/internal/cxl"
 	"helmsim/internal/memdev"
 	"helmsim/internal/sched"
@@ -72,7 +71,7 @@ func main() {
 			}
 			return res.TBT.Seconds()
 		}
-		b := tbt(core.DefaultPolicy(cfg, helmsim.MemCXLASIC))
+		b := tbt(helmsim.BaselinePolicy(0, 80, 20)) // the paper's published OPT-175B baseline
 		h := tbt(helmsim.HeLMPolicy())
 		fmt.Printf("  %8.2f  %9.3fs  %9.3fs  %9.1f%%\n", gbps, b, h, (1-h/b)*100)
 	}

@@ -54,7 +54,7 @@ func TestPublicQueueAndProtocol(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Waves == 0 || m.Throughput <= 0 {
+	if m.Waves == 0 || m.PromptsPerSec <= 0 {
 		t.Fatalf("queue metrics broken: %+v", m)
 	}
 	p, err := helmsim.PaperProtocol(helmsim.Config{

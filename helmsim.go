@@ -118,5 +118,5 @@ var Run = core.Run
 var MaxBatch = core.MaxBatchFor
 
 // DefaultPolicy returns the paper's placement defaults for a model/memory
-// pair (§V-A).
+// pair (§V-A); compressed runs size the GPU ladder with 4-bit weights.
 var DefaultPolicy = core.DefaultPolicy

@@ -64,7 +64,7 @@ func TestPublicMaxBatch(t *testing.T) {
 }
 
 func TestDefaultPolicyExported(t *testing.T) {
-	p := helmsim.DefaultPolicy(helmsim.OPT175B(), helmsim.MemSSD)
+	p := helmsim.DefaultPolicy(helmsim.OPT175B(), helmsim.MemSSD, false)
 	b, ok := p.(helmsim.Baseline)
 	if !ok || b.DiskPct != 65 {
 		t.Errorf("DefaultPolicy = %#v", p)

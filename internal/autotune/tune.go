@@ -8,6 +8,7 @@ import (
 	"helmsim/internal/model"
 	"helmsim/internal/placement"
 	"helmsim/internal/quant"
+	"helmsim/internal/runcache"
 	"helmsim/internal/units"
 )
 
@@ -100,7 +101,7 @@ func Tune(req Request) (*Result, error) {
 		pol  placement.Policy
 	}
 	cands := []cand{
-		{"baseline", core.DefaultPolicy(req.Model, req.Memory)},
+		{"baseline", core.DefaultPolicy(req.Model, req.Memory, req.Compress)},
 		{"helm", placement.HeLM{Default: placement.Baseline{DiskPct: 0, CPUPct: 80, GPUPct: 20}}},
 		{"all-cpu", placement.AllCPU{}},
 	}
@@ -141,7 +142,7 @@ func Tune(req Request) (*Result, error) {
 	for _, c := range cands {
 		rc := base
 		rc.Policy = c.pol
-		cap, err := core.MaxBatchFor(rc)
+		cap, err := runcache.MaxBatchFor(rc)
 		if err != nil {
 			return nil, fmt.Errorf("autotune: %s: %w", c.name, err)
 		}
@@ -153,7 +154,7 @@ func Tune(req Request) (*Result, error) {
 		}
 		for _, b := range batchLadder(cap) {
 			rc.Batch = b
-			run, err := core.Run(rc)
+			run, err := runcache.Run(rc)
 			if err != nil {
 				return nil, fmt.Errorf("autotune: %s batch %d: %w", c.name, b, err)
 			}

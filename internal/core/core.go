@@ -118,27 +118,77 @@ type RunConfig struct {
 	Compress bool
 }
 
+// Canonical returns the configuration with every defaulted field resolved:
+// the paper's 128/21 prompt/generation lengths and the model/memory default
+// policy. Two configurations that canonicalize identically run identically,
+// which is the equivalence the run cache keys on.
+func (rc RunConfig) Canonical() RunConfig {
+	if rc.PromptLen == 0 {
+		rc.PromptLen = calib.PromptLen
+	}
+	if rc.GenLen == 0 {
+		rc.GenLen = calib.GenLen
+	}
+	if rc.Policy == nil {
+		rc.Policy = DefaultPolicy(rc.Model, rc.Memory, rc.Compress)
+	}
+	return rc
+}
+
 // defaultGPUWeightBudget caps the GPU weight bytes a default placement may
 // claim, leaving room for staging, KV cache and reserve on the 40 GB A100.
 const defaultGPUWeightBudget = 31 * units.GB
+
+// sizerFor maps weight specs to their stored size under the compression
+// setting; compressed runs also get the quantizer configuration driving
+// the schedule's dequantization cost.
+func sizerFor(compress bool) (placement.Sizer, *quant.Config) {
+	if !compress {
+		return placement.RawSizer, nil
+	}
+	c := quant.Default()
+	return func(s model.WeightSpec) units.Bytes { return c.CompressedBytes(s.Elems) }, &c
+}
+
+// solveBudget derives a placement's GPU memory plan: the resident weight
+// bytes, the double-buffered staging allocation for the largest off-GPU
+// layer, and the largest batch the remaining budget admits. Run and
+// MaxBatchFor share it so the two paths cannot drift.
+func solveBudget(rc RunConfig, mp *placement.ModelPlacement, sizer placement.Sizer) (gpuBytes, staging units.Bytes, maxBatch int, err error) {
+	gpuBytes = mp.TotalOn(placement.TierGPU, sizer)
+	var maxOffGPU units.Bytes
+	for _, lp := range mp.Layers {
+		off := lp.BytesOn(placement.TierCPU, sizer) + lp.BytesOn(placement.TierDisk, sizer)
+		if off > maxOffGPU {
+			maxOffGPU = off
+		}
+	}
+	staging = units.Bytes(calib.StagingBufferCount) * maxOffGPU
+	maxBatch, err = kvcache.MaxBatch(rc.Model, rc.PromptLen, rc.GenLen, kvcache.DefaultBudget(gpuBytes, staging))
+	return gpuBytes, staging, maxBatch, err
+}
 
 // DefaultPolicy is the paper's placement for each model/memory pair: the
 // (65, 15, 20) storage split on SSD/FSDAX, and otherwise the largest GPU
 // percentage from the {50, 40, 30, 20, 10} ladder whose *achieved*
 // allocation (the chunky cumsum outcome, §V-A) fits the GPU weight budget.
-// The ladder lands on the paper's choices — (0, 50, 50) for OPT-30B,
-// (0, 80, 20) for OPT-175B — and generalizes to other models.
-func DefaultPolicy(m model.Config, mem MemoryConfig) placement.Policy {
+// The ladder sizes candidates with the run's stored weight size — 4-bit
+// compressed runs pack ~4x more weights per rung — so compressed and
+// uncompressed runs each get the largest default the budget truly admits.
+// Uncompressed, the ladder lands on the paper's choices: (0, 50, 50) for
+// OPT-30B, (0, 80, 20) for OPT-175B.
+func DefaultPolicy(m model.Config, mem MemoryConfig, compress bool) placement.Policy {
 	if mem == MemSSD || mem == MemFSDAX {
 		return placement.Baseline{DiskPct: 65, CPUPct: 15, GPUPct: 20}
 	}
+	sizer, _ := sizerFor(compress)
 	for _, g := range []float64{50, 40, 30, 20, 10} {
 		cand := placement.Baseline{DiskPct: 0, CPUPct: 100 - g, GPUPct: g}
 		mp, err := placement.PlaceModel(cand, m)
 		if err != nil {
 			continue
 		}
-		if mp.TotalOn(placement.TierGPU, placement.RawSizer) <= defaultGPUWeightBudget {
+		if mp.TotalOn(placement.TierGPU, sizer) <= defaultGPUWeightBudget {
 			return cand
 		}
 	}
@@ -166,15 +216,7 @@ type RunResult struct {
 // Run executes one configuration end to end: place weights, verify
 // capacities, solve the batch budget and simulate the schedule.
 func Run(rc RunConfig) (*RunResult, error) {
-	if rc.PromptLen == 0 {
-		rc.PromptLen = calib.PromptLen
-	}
-	if rc.GenLen == 0 {
-		rc.GenLen = calib.GenLen
-	}
-	if rc.Policy == nil {
-		rc.Policy = DefaultPolicy(rc.Model, rc.Memory)
-	}
+	rc = rc.Canonical()
 	devs, err := rc.Memory.Devices()
 	if err != nil {
 		return nil, err
@@ -184,13 +226,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 
-	var qc *quant.Config
-	sizer := placement.RawSizer
-	if rc.Compress {
-		c := quant.Default()
-		qc = &c
-		sizer = func(s model.WeightSpec) units.Bytes { return c.CompressedBytes(s.Elems) }
-	}
+	sizer, qc := sizerFor(rc.Compress)
 
 	// Host/storage capacity checks: the host tier spans both sockets.
 	cpuBytes := mp.TotalOn(placement.TierCPU, sizer)
@@ -210,17 +246,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 
 	// GPU budget: resident weights + double-buffered staging of the
 	// largest off-GPU layer.
-	gpuBytes := mp.TotalOn(placement.TierGPU, sizer)
-	var maxOffGPU units.Bytes
-	for _, lp := range mp.Layers {
-		off := lp.BytesOn(placement.TierCPU, sizer) + lp.BytesOn(placement.TierDisk, sizer)
-		if off > maxOffGPU {
-			maxOffGPU = off
-		}
-	}
-	staging := units.Bytes(calib.StagingBufferCount) * maxOffGPU
-	budget := kvcache.DefaultBudget(gpuBytes, staging)
-	maxBatch, err := kvcache.MaxBatch(rc.Model, rc.PromptLen, rc.GenLen, budget)
+	gpuBytes, staging, maxBatch, err := solveBudget(rc, mp, sizer)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +255,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 	}
 	if rc.Batch > maxBatch {
 		return nil, fmt.Errorf("core: batch %d exceeds the GPU budget's cap of %d for %s/%s (weights %v + staging %v on a %v GPU)",
-			rc.Batch, maxBatch, rc.Model.Name, rc.Policy.Name(), gpuBytes, staging, budget.Capacity)
+			rc.Batch, maxBatch, rc.Model.Name, rc.Policy.Name(), gpuBytes, staging, kvcache.DefaultBudget(gpuBytes, staging).Capacity)
 	}
 
 	res, err := sched.Run(sched.Options{
@@ -267,32 +293,12 @@ func capacityHint(rc RunConfig) string {
 
 // MaxBatchFor solves the batch cap for a configuration without running it.
 func MaxBatchFor(rc RunConfig) (int, error) {
-	if rc.PromptLen == 0 {
-		rc.PromptLen = calib.PromptLen
-	}
-	if rc.GenLen == 0 {
-		rc.GenLen = calib.GenLen
-	}
-	if rc.Policy == nil {
-		rc.Policy = DefaultPolicy(rc.Model, rc.Memory)
-	}
+	rc = rc.Canonical()
 	mp, err := placement.PlaceModel(rc.Policy, rc.Model)
 	if err != nil {
 		return 0, err
 	}
-	sizer := placement.RawSizer
-	if rc.Compress {
-		c := quant.Default()
-		sizer = func(s model.WeightSpec) units.Bytes { return c.CompressedBytes(s.Elems) }
-	}
-	gpuBytes := mp.TotalOn(placement.TierGPU, sizer)
-	var maxOffGPU units.Bytes
-	for _, lp := range mp.Layers {
-		off := lp.BytesOn(placement.TierCPU, sizer) + lp.BytesOn(placement.TierDisk, sizer)
-		if off > maxOffGPU {
-			maxOffGPU = off
-		}
-	}
-	staging := units.Bytes(calib.StagingBufferCount) * maxOffGPU
-	return kvcache.MaxBatch(rc.Model, rc.PromptLen, rc.GenLen, kvcache.DefaultBudget(gpuBytes, staging))
+	sizer, _ := sizerFor(rc.Compress)
+	_, _, maxBatch, err := solveBudget(rc, mp, sizer)
+	return maxBatch, err
 }

@@ -39,17 +39,59 @@ func TestMemoryConfigRoundTrip(t *testing.T) {
 
 func TestDefaultPolicies(t *testing.T) {
 	// §V-A: SSD/FSDAX use (65, 15, 20); NVDRAM/MemoryMode use (0, 80, 20).
-	p := DefaultPolicy(model.OPT175B(), MemSSD).(placement.Baseline)
+	p := DefaultPolicy(model.OPT175B(), MemSSD, false).(placement.Baseline)
 	if p.DiskPct != 65 || p.CPUPct != 15 || p.GPUPct != 20 {
 		t.Errorf("SSD default = %+v", p)
 	}
-	p = DefaultPolicy(model.OPT175B(), MemNVDRAM).(placement.Baseline)
+	p = DefaultPolicy(model.OPT175B(), MemNVDRAM, false).(placement.Baseline)
 	if p.DiskPct != 0 || p.CPUPct != 80 || p.GPUPct != 20 {
 		t.Errorf("NVDRAM default = %+v", p)
 	}
-	p = DefaultPolicy(model.OPT30B(), MemDRAM).(placement.Baseline)
+	p = DefaultPolicy(model.OPT30B(), MemDRAM, false).(placement.Baseline)
 	if p.GPUPct != 50 {
 		t.Errorf("OPT-30B default = %+v", p)
+	}
+}
+
+// Regression for the compression-blind ladder: the GPU rung must be sized
+// with the stored (compressed) weight bytes, not the raw FP16 bytes.
+//
+// OPT-66B is where the bug bites: 4-bit weights fit the 50% rung
+// (~17 GiB achieved vs a 31 GB budget), but the raw-sized ladder
+// pessimistically fell back to (0, 80, 20). OPT-175B is deliberately NOT
+// the witness — its chunky achieved allocation jumps from ~7.6 GiB
+// straight to ~38 GiB at the 26% boundary, overshooting the budget even
+// compressed, so raw and compressed ladders land on the same (0, 80, 20)
+// and the paper's published defaults stay intact.
+func TestDefaultPolicyCompressionAware(t *testing.T) {
+	raw := DefaultPolicy(model.OPT66B(), MemNVDRAM, false).(placement.Baseline)
+	comp := DefaultPolicy(model.OPT66B(), MemNVDRAM, true).(placement.Baseline)
+	if comp.GPUPct <= raw.GPUPct {
+		t.Errorf("compressed OPT-66B default GPU share = %v, want > uncompressed %v", comp.GPUPct, raw.GPUPct)
+	}
+	// The achieved compressed allocation must still fit the weight budget.
+	mp, err := placement.PlaceModel(comp, model.OPT66B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizer, _ := sizerFor(true)
+	if got := mp.TotalOn(placement.TierGPU, sizer); got > defaultGPUWeightBudget {
+		t.Errorf("compressed default claims %v of GPU weights, budget %v", got, defaultGPUWeightBudget)
+	}
+	// OPT-175B and OPT-30B defaults are compression-invariant (plateau
+	// overshoot and first-rung fit respectively) — the paper's published
+	// placements must not move.
+	for _, m := range []model.Config{model.OPT175B(), model.OPT30B()} {
+		r := DefaultPolicy(m, MemNVDRAM, false).(placement.Baseline)
+		c := DefaultPolicy(m, MemNVDRAM, true).(placement.Baseline)
+		if r != c {
+			t.Errorf("%s default moved under compression: %+v vs %+v", m.Name, r, c)
+		}
+	}
+	// Storage configurations keep the paper's fixed (65, 15, 20) split
+	// regardless of compression.
+	if p := DefaultPolicy(model.OPT175B(), MemFSDAX, true).(placement.Baseline); p.DiskPct != 65 {
+		t.Errorf("FSDAX compressed default = %+v", p)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"helmsim/internal/placement"
 	"helmsim/internal/quant"
 	"helmsim/internal/report"
+	"helmsim/internal/runcache"
 	"helmsim/internal/sched"
 	"helmsim/internal/units"
 	"helmsim/internal/xfer"
@@ -189,7 +190,7 @@ func runAblationBatch() ([]*report.Table, error) {
 		row := []any{b}
 		for _, pol := range pols {
 			rc := core.RunConfig{Model: model.OPT175B(), Memory: core.MemNVDRAM, Policy: pol, Batch: b, Compress: true}
-			res, err := core.Run(rc)
+			res, err := runcache.Run(rc)
 			if err != nil {
 				row = append(row, "over budget")
 				continue

@@ -7,6 +7,7 @@ import (
 	"helmsim/internal/mlc"
 	"helmsim/internal/model"
 	"helmsim/internal/report"
+	"helmsim/internal/runcache"
 )
 
 func init() {
@@ -54,7 +55,7 @@ func runSeqLen() ([]*report.Table, error) {
 			Policy: helmPolicy(), Batch: 1, Compress: true,
 			PromptLen: p, GenLen: 21,
 		}
-		res, err := core.Run(rc)
+		res, err := runcache.Run(rc)
 		if err != nil {
 			// At full context even batch 1 no longer fits beside HeLM's
 			// 30 GiB of GPU-resident weights — the latency placement

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"helmsim/internal/report"
+)
+
+// renderOutcomes flattens outcomes the way cmd/helmbench prints them, so
+// the tests compare exactly what the user sees.
+func renderOutcomes(t *testing.T, outs []Outcome) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, o := range outs {
+		sb.WriteString("=== " + o.Experiment.ID + " ===\n")
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Experiment.ID, o.Err)
+		}
+		for _, tab := range o.Tables {
+			if err := tab.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// The full suite renders byte-identically at any parallelism — the
+// ISSUE's acceptance bar for the parallel harness.
+func TestRunSetParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	ctx := context.Background()
+	seq := renderOutcomes(t, RunSet(ctx, All(), 1))
+	for _, p := range []int{4, 16} {
+		if par := renderOutcomes(t, RunSet(ctx, All(), p)); par != seq {
+			t.Fatalf("parallelism %d changed the rendered output", p)
+		}
+	}
+}
+
+// Outcomes land at their experiment's index even when workers finish out
+// of order, and a cancelled context marks unstarted work with ctx.Err().
+func TestRunSetOrderAndCancel(t *testing.T) {
+	mk := func(id string) Experiment {
+		return Experiment{ID: id, Run: func() ([]*report.Table, error) {
+			tab := &report.Table{Title: id, Headers: []string{"id"}}
+			tab.AddRow(id)
+			return []*report.Table{tab}, nil
+		}}
+	}
+	exps := []Experiment{mk("a"), mk("b"), mk("c"), mk("d"), mk("e")}
+	outs := RunSet(context.Background(), exps, 3)
+	if len(outs) != len(exps) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(exps))
+	}
+	for i, o := range outs {
+		if o.Experiment.ID != exps[i].ID {
+			t.Errorf("outcome %d is %q, want %q", i, o.Experiment.ID, exps[i].ID)
+		}
+		if o.Err != nil || len(o.Tables) != 1 || o.Tables[0].Title != exps[i].ID {
+			t.Errorf("outcome %d wrong: %+v", i, o)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, o := range RunSet(ctx, exps, 2) {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", o.Experiment.ID, o.Err)
+		}
+	}
+}

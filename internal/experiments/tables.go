@@ -9,6 +9,7 @@ import (
 	"helmsim/internal/model"
 	"helmsim/internal/placement"
 	"helmsim/internal/report"
+	"helmsim/internal/runcache"
 	"helmsim/internal/units"
 )
 
@@ -65,8 +66,8 @@ func runTable2() ([]*report.Table, error) {
 		if devs.Disk != nil {
 			storage = devs.Disk.Name()
 		}
-		pol := core.DefaultPolicy(r.m, r.mem)
-		maxBatch, err := core.MaxBatchFor(core.RunConfig{Model: r.m, Memory: r.mem, Batch: 1})
+		pol := core.DefaultPolicy(r.m, r.mem, false)
+		maxBatch, err := runcache.MaxBatchFor(core.RunConfig{Model: r.m, Memory: r.mem, Batch: 1})
 		if err != nil {
 			return nil, err
 		}

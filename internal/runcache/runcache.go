@@ -1,0 +1,188 @@
+// Package runcache memoizes the core engine. The simulator is fully
+// deterministic — one canonicalized RunConfig always produces one result —
+// yet every consumer (the experiment runners, the serving simulators, the
+// autotuner) historically re-solved identical core.Run points from
+// scratch. The cache makes those points shareable across consumers and
+// safe to solve concurrently: lookups are keyed by the canonical
+// configuration, and in-flight computations are deduplicated singleflight-
+// style so N concurrent requests for the same point cost one engine solve.
+//
+// Cached results are shared pointers: treat a *core.RunResult obtained
+// from the cache as immutable. Errors are cached too — a configuration
+// that fails (over-budget batch, capacity overflow) fails identically
+// every time, so re-solving it would only burn cycles.
+package runcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"helmsim/internal/core"
+	"helmsim/internal/placement"
+)
+
+// keyer is the optional interface a custom placement policy implements to
+// provide a canonical cache identity. Policies whose Name() does not
+// uniquely determine their per-layer assignments (e.g. generated
+// placements) should implement it.
+type keyer interface{ CacheKey() string }
+
+// PolicyKey canonicalizes a placement policy into its cache identity.
+// The rules, in order:
+//
+//  1. The built-in policies use their parameter-bearing names:
+//     Baseline's Name() already encodes the (disk, cpu, gpu) split, and
+//     HeLM — whose Name() is just "helm" — is extended with its embedded
+//     default split so two HeLM values with different embedding placements
+//     cannot collide.
+//  2. A policy implementing CacheKey() string is trusted verbatim.
+//  3. Anything else falls back to its dynamic type plus Name() — distinct
+//     policy types never collide, but a custom type whose instances share
+//     a Name() must implement CacheKey to be cached correctly.
+func PolicyKey(p placement.Policy) string {
+	switch q := p.(type) {
+	case placement.Baseline:
+		return q.Name()
+	case placement.HeLM:
+		return fmt.Sprintf("helm[default=%s]", q.Default.Name())
+	case placement.AllCPU:
+		return q.Name()
+	case placement.AllGPU:
+		return q.Name()
+	}
+	if k, ok := p.(keyer); ok {
+		return k.CacheKey()
+	}
+	return fmt.Sprintf("%T:%s", p, p.Name())
+}
+
+// Key canonicalizes a run configuration into its cache identity. The
+// configuration is first resolved through core's Canonical() (paper
+// prompt/generation defaults, model/memory default policy), then rendered
+// as: every model shape field (name alone is not trusted), the memory
+// configuration, the policy key, and the batch/prompt/gen/compress point.
+func Key(rc core.RunConfig) string {
+	rc = rc.Canonical()
+	m := rc.Model
+	return fmt.Sprintf("%s;h%d;a%d;kv%d;ffn%d;blk%d;v%d;seq%d;dt%d;arch%d|%s|%s|b%d;p%d;g%d;c%t",
+		m.Name, m.Hidden, m.Heads, m.KVHeads, m.FFNDim, m.Blocks, m.Vocab, m.MaxSeq, m.DTypeBytes, int(m.Arch),
+		rc.Memory, PolicyKey(rc.Policy), rc.Batch, rc.PromptLen, rc.GenLen, rc.Compress)
+}
+
+// call is one memoized computation; done closes when val/err are final.
+type call[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Stats counts cache traffic: Misses is the number of engine solves,
+// Hits the lookups served from a completed entry, and Dedups the lookups
+// that joined an in-flight solve instead of starting their own.
+type Stats struct {
+	Hits, Misses, Dedups int64
+}
+
+// Cache memoizes core.Run and core.MaxBatchFor. The zero value is not
+// usable; construct with New (or use the process-wide Shared instance).
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	runs    map[string]*call[*core.RunResult]
+	batches map[string]*call[int]
+
+	hits, misses, dedups atomic.Int64
+
+	runFn      func(core.RunConfig) (*core.RunResult, error)
+	maxBatchFn func(core.RunConfig) (int, error)
+}
+
+// New returns an empty cache backed by the real engine.
+func New() *Cache { return newWith(core.Run, core.MaxBatchFor) }
+
+// newWith injects the solver functions; tests use it to count solves.
+func newWith(run func(core.RunConfig) (*core.RunResult, error), maxBatch func(core.RunConfig) (int, error)) *Cache {
+	return &Cache{
+		runs:       map[string]*call[*core.RunResult]{},
+		batches:    map[string]*call[int]{},
+		runFn:      run,
+		maxBatchFn: maxBatch,
+	}
+}
+
+// shared is the process-wide cache every subsystem defaults to, so the
+// experiment harness, the serving simulators and the autotuner all pool
+// their overlapping engine points.
+var shared = New()
+
+// Shared returns the process-wide cache.
+func Shared() *Cache { return shared }
+
+// Run is core.Run through the cache: the first request for a canonical
+// configuration solves it, concurrent duplicates wait for that solve, and
+// later requests are served from memory. The result is shared — do not
+// mutate it.
+func (c *Cache) Run(rc core.RunConfig) (*core.RunResult, error) {
+	return do(c, c.runs, Key(rc), func() (*core.RunResult, error) { return c.runFn(rc) })
+}
+
+// MaxBatchFor is core.MaxBatchFor through the cache. The batch field is
+// irrelevant to the cap, so it is zeroed out of the key: every batch size
+// of a configuration shares one cap entry.
+func (c *Cache) MaxBatchFor(rc core.RunConfig) (int, error) {
+	kc := rc
+	kc.Batch = 0
+	return do(c, c.batches, Key(kc), func() (int, error) { return c.maxBatchFn(rc) })
+}
+
+// Stats snapshots the traffic counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Dedups: c.dedups.Load()}
+}
+
+// Len reports how many distinct entries the cache holds.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.runs) + len(c.batches)
+}
+
+// Run solves a configuration through the process-wide shared cache.
+func Run(rc core.RunConfig) (*core.RunResult, error) { return shared.Run(rc) }
+
+// MaxBatchFor solves a batch cap through the process-wide shared cache.
+func MaxBatchFor(rc core.RunConfig) (int, error) { return shared.MaxBatchFor(rc) }
+
+// do implements the memoized singleflight: exactly one caller per key runs
+// fn; everyone else blocks on its completion and shares the outcome.
+func do[T any](c *Cache, m map[string]*call[T], key string, fn func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if cl, ok := m[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			c.hits.Add(1)
+		default:
+			c.dedups.Add(1)
+			<-cl.done
+		}
+		return cl.val, cl.err
+	}
+	cl := &call[T]{done: make(chan struct{})}
+	m[key] = cl
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	finished := false
+	defer func() {
+		if !finished { // fn panicked: fail the entry instead of deadlocking waiters
+			cl.err = fmt.Errorf("runcache: solver panicked for %s", key)
+			close(cl.done)
+		}
+	}()
+	cl.val, cl.err = fn()
+	finished = true
+	close(cl.done)
+	return cl.val, cl.err
+}

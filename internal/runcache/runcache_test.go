@@ -1,0 +1,259 @@
+package runcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"helmsim/internal/core"
+	"helmsim/internal/model"
+	"helmsim/internal/placement"
+)
+
+func nvConfig(batch int) core.RunConfig {
+	return core.RunConfig{Model: model.OPT30B(), Memory: core.MemNVDRAM, Batch: batch}
+}
+
+// countingCache wraps a cache around instrumented solvers.
+func countingCache(t *testing.T) (*Cache, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var runs, caps atomic.Int64
+	c := newWith(
+		func(rc core.RunConfig) (*core.RunResult, error) {
+			runs.Add(1)
+			return core.Run(rc)
+		},
+		func(rc core.RunConfig) (int, error) {
+			caps.Add(1)
+			return core.MaxBatchFor(rc)
+		},
+	)
+	return c, &runs, &caps
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	// Zero prompt/gen lengths and an explicit paper default must collapse
+	// onto the same key as the fully spelled-out configuration.
+	implicit := nvConfig(4)
+	explicit := implicit
+	explicit.PromptLen, explicit.GenLen = 128, 21
+	explicit.Policy = core.DefaultPolicy(explicit.Model, explicit.Memory, explicit.Compress)
+	if Key(implicit) != Key(explicit) {
+		t.Errorf("defaulted and explicit configs key differently:\n%s\n%s", Key(implicit), Key(explicit))
+	}
+	// Every dimension of the point must separate keys.
+	for name, other := range map[string]core.RunConfig{
+		"batch":    {Model: model.OPT30B(), Memory: core.MemNVDRAM, Batch: 5},
+		"memory":   {Model: model.OPT30B(), Memory: core.MemMemoryMode, Batch: 4},
+		"model":    {Model: model.OPT66B(), Memory: core.MemNVDRAM, Batch: 4},
+		"compress": {Model: model.OPT30B(), Memory: core.MemNVDRAM, Batch: 4, Compress: true},
+		"prompt":   {Model: model.OPT30B(), Memory: core.MemNVDRAM, Batch: 4, PromptLen: 256},
+		"gen":      {Model: model.OPT30B(), Memory: core.MemNVDRAM, Batch: 4, GenLen: 64},
+		"policy":   {Model: model.OPT30B(), Memory: core.MemNVDRAM, Batch: 4, Policy: placement.AllCPU{}},
+	} {
+		if Key(implicit) == Key(other) {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+	// A renamed but shape-identical model still keys differently.
+	renamed := implicit
+	renamed.Model.Name = "OPT-30B-fork"
+	if Key(implicit) == Key(renamed) {
+		t.Errorf("model name ignored by key")
+	}
+}
+
+func TestPolicyKeyDistinguishesHeLMDefaults(t *testing.T) {
+	a := placement.HeLM{Default: placement.Baseline{CPUPct: 80, GPUPct: 20}}
+	b := placement.HeLM{Default: placement.Baseline{CPUPct: 100}}
+	if PolicyKey(a) == PolicyKey(b) {
+		t.Errorf("HeLM defaults collapsed: %s", PolicyKey(a))
+	}
+	if PolicyKey(placement.AllCPU{}) == PolicyKey(placement.AllGPU{}) {
+		t.Errorf("all-cpu and all-gpu collided")
+	}
+}
+
+type namedPolicy struct{ placement.AllCPU }
+
+func (namedPolicy) Name() string { return "custom" }
+
+type keyedPolicy struct{ namedPolicy }
+
+func (keyedPolicy) CacheKey() string { return "custom[v2]" }
+
+func TestPolicyKeyFallbacks(t *testing.T) {
+	if k := PolicyKey(namedPolicy{}); k == "custom" {
+		t.Errorf("fallback key must include the dynamic type, got %q", k)
+	}
+	if k := PolicyKey(keyedPolicy{}); k != "custom[v2]" {
+		t.Errorf("CacheKey not honored: %q", k)
+	}
+}
+
+func TestRunMemoizes(t *testing.T) {
+	c, runs, _ := countingCache(t)
+	a, err := c.Run(nvConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Run(nvConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("repeated Run returned different pointers")
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("engine solved %d times, want 1", got)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss 1 hit", s)
+	}
+}
+
+func TestErrorsAreCached(t *testing.T) {
+	c, runs, _ := countingCache(t)
+	over := nvConfig(1 << 20) // far over any batch cap
+	_, err1 := c.Run(over)
+	_, err2 := c.Run(over)
+	if err1 == nil || err2 == nil {
+		t.Fatal("over-budget batch accepted")
+	}
+	if !errors.Is(err2, err1) && err1.Error() != err2.Error() {
+		t.Errorf("cached error diverged: %v vs %v", err1, err2)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("failed config solved %d times, want 1", got)
+	}
+}
+
+func TestMaxBatchSharedAcrossBatchSizes(t *testing.T) {
+	c, _, caps := countingCache(t)
+	for _, b := range []int{1, 2, 4, 8} {
+		if _, err := c.MaxBatchFor(nvConfig(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := caps.Load(); got != 1 {
+		t.Errorf("cap solved %d times across batch sizes, want 1", got)
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	var solves atomic.Int64
+	release := make(chan struct{})
+	c := newWith(
+		func(rc core.RunConfig) (*core.RunResult, error) {
+			solves.Add(1)
+			<-release // hold every concurrent caller on one in-flight solve
+			return core.Run(rc)
+		},
+		core.MaxBatchFor,
+	)
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]*core.RunResult, n)
+	errs := make([]error, n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			results[i], errs[i] = c.Run(nvConfig(4))
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	close(release)
+	wg.Wait()
+	if got := solves.Load(); got != 1 {
+		t.Errorf("%d concurrent callers caused %d solves, want 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Errorf("caller %d got a different result pointer", i)
+		}
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits+s.Dedups != n-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d shared lookups", s, n-1)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	// Many goroutines, few distinct points: the cache must stay coherent
+	// under the race detector and solve each point exactly once.
+	c, runs, _ := countingCache(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				batch := 1 + (g+i)%4
+				res, err := c.Run(nvConfig(batch))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.MaxBatch < batch {
+					t.Errorf("inconsistent result for batch %d: %+v", batch, res)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 4 {
+		t.Errorf("engine solved %d points, want 4", got)
+	}
+	if c.Len() != 4 {
+		t.Errorf("cache holds %d entries, want 4", c.Len())
+	}
+}
+
+func TestSharedIsProcessWide(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared() not a singleton")
+	}
+	res, err := Run(nvConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Shared().Run(nvConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != again {
+		t.Errorf("package-level Run bypassed the shared cache")
+	}
+}
+
+func TestSolverPanicFailsEntry(t *testing.T) {
+	c := newWith(
+		func(rc core.RunConfig) (*core.RunResult, error) { panic("boom") },
+		core.MaxBatchFor,
+	)
+	func() {
+		defer func() { recover() }()
+		c.Run(nvConfig(1))
+		t.Errorf("panic swallowed")
+	}()
+	// The entry must be failed, not deadlocked.
+	if _, err := c.Run(nvConfig(1)); err == nil {
+		t.Errorf("panicked entry returned no error")
+	}
+}
+
+func ExampleKey() {
+	fmt.Println(Key(core.RunConfig{Model: model.OPT30B(), Memory: core.MemNVDRAM, Batch: 4}))
+	// Output: OPT-30B;h7168;a56;kv0;ffn0;blk48;v50272;seq2048;dt2;arch0|NVDRAM|baseline(0,50,50)|b4;p128;g21;cfalse
+}

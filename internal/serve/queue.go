@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"helmsim/internal/core"
+	"helmsim/internal/runcache"
 	"helmsim/internal/stats"
 	"helmsim/internal/units"
 )
@@ -43,16 +44,21 @@ type QueueMetrics struct {
 	// SLOAttainment is the fraction of requests finishing within the SLO
 	// (NaN when no SLO configured).
 	SLOAttainment float64
-	// Utilization is the server's busy fraction.
+	// Utilization is the server's busy fraction over the serving window —
+	// first arrival to last completion. The idle lead-in before the first
+	// request exists says nothing about the server, so it is excluded.
 	Utilization float64
-	// Throughput is completed prompts per second over the makespan.
-	Throughput float64
+	// PromptsPerSec is completed prompts per second over the same
+	// first-arrival-to-completion window. Note the unit: this is request
+	// throughput, not the tokens-per-second Throughput of sched.Result.
+	PromptsPerSec float64
 }
 
 // SimulateQueue runs the online-serving simulation. Wave costs come from
-// the engine (memoized per batch size; the simulator is deterministic), so
-// the queueing dynamics sit on exactly the same cost model as the paper's
-// offline numbers.
+// the engine through the shared run cache (one solve per batch size,
+// process-wide; the simulator is deterministic), so the queueing dynamics
+// sit on exactly the same cost model as the paper's offline numbers, and
+// concurrent simulations are safe and cheap.
 func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 	if qc.Run.Batch <= 0 {
 		return nil, fmt.Errorf("serve: non-positive wave cap %d", qc.Run.Batch)
@@ -73,20 +79,17 @@ func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 		arrivals[i] = t
 	}
 
-	// Memoized wave cost per batch size.
-	waveCost := map[int]float64{}
+	// Wave costs come from the process-wide run cache, so repeated
+	// simulations — and every other subsystem — share one engine solve
+	// per batch size.
 	cost := func(batch int) (float64, error) {
-		if c, ok := waveCost[batch]; ok {
-			return c, nil
-		}
 		rc := qc.Run
 		rc.Batch = batch
-		res, err := core.Run(rc)
+		res, err := runcache.Run(rc)
 		if err != nil {
 			return 0, err
 		}
-		waveCost[batch] = res.TotalTime.Seconds()
-		return waveCost[batch], nil
+		return res.TotalTime.Seconds(), nil
 	}
 
 	m := &QueueMetrics{}
@@ -137,9 +140,13 @@ func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 	} else {
 		m.SLOAttainment = math.NaN()
 	}
-	if clock > 0 {
-		m.Utilization = busy / clock
-		m.Throughput = float64(qc.NumPrompts) / clock
+	// Rate metrics are computed over the first-arrival-to-completion
+	// makespan. Dividing by the wall clock from t=0 would fold the idle
+	// interval before the first arrival into the denominator, deflating
+	// both metrics at low arrival rates.
+	if makespan := clock - arrivals[0]; makespan > 0 {
+		m.Utilization = busy / makespan
+		m.PromptsPerSec = float64(qc.NumPrompts) / makespan
 	}
 	return m, nil
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"helmsim/internal/core"
@@ -75,8 +76,8 @@ func TestLoadGrowsWaves(t *testing.T) {
 	if heavy.MeanBatch <= light.MeanBatch {
 		t.Errorf("heavier load should batch more: %.1f <= %.1f", heavy.MeanBatch, light.MeanBatch)
 	}
-	if heavy.Throughput <= light.Throughput {
-		t.Errorf("heavier load should complete more per second: %v <= %v", heavy.Throughput, light.Throughput)
+	if heavy.PromptsPerSec <= light.PromptsPerSec {
+		t.Errorf("heavier load should complete more per second: %v <= %v", heavy.PromptsPerSec, light.PromptsPerSec)
 	}
 }
 
@@ -118,15 +119,53 @@ func TestSLOAttainment(t *testing.T) {
 }
 
 func TestQueueDeterminism(t *testing.T) {
-	a, err := SimulateQueue(queueCfg(44, 1.0))
+	// SLO set so SLOAttainment is a number and the whole struct compares
+	// with ==.
+	cfg := queueCfg(44, 1.0)
+	cfg.SLO = units.Duration(60)
+	a, err := SimulateQueue(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SimulateQueue(queueCfg(44, 1.0))
+	for i := 0; i < 3; i++ {
+		b, err := SimulateQueue(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *a != *b {
+			t.Fatalf("same seed diverged on rerun %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// Concurrent simulations of the same configuration must agree with the
+// sequential result — the wave costs now come from the shared run cache,
+// so this exercises the singleflight path under the race detector.
+func TestQueueDeterminismConcurrent(t *testing.T) {
+	cfg := queueCfg(44, 1.0)
+	cfg.SLO = units.Duration(60)
+	want, err := SimulateQueue(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.MeanE2E != b.MeanE2E || a.Waves != b.Waves {
-		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	const n = 8
+	got := make([]*QueueMetrics, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = SimulateQueue(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if *got[i] != *want {
+			t.Errorf("goroutine %d diverged: %+v vs %+v", i, got[i], want)
+		}
 	}
 }

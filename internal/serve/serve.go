@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"helmsim/internal/core"
+	"helmsim/internal/runcache"
 	"helmsim/internal/stats"
 	"helmsim/internal/units"
 	"helmsim/internal/workload"
@@ -59,7 +60,7 @@ func (s *Server) Serve(prompts []workload.Prompt) (*Metrics, error) {
 		}
 		rc := s.cfg
 		rc.Batch = hi - lo
-		res, err := core.Run(rc)
+		res, err := runcache.Run(rc)
 		if err != nil {
 			return nil, fmt.Errorf("serve: batch [%d,%d): %w", lo, hi, err)
 		}

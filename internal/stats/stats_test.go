@@ -72,6 +72,16 @@ func TestPercentile(t *testing.T) {
 	if got := Percentile(nil, 50); !math.IsNaN(got) {
 		t.Errorf("Percentile(nil) = %v, want NaN", got)
 	}
+	if got := Percentile([]float64{}, 0); !math.IsNaN(got) {
+		t.Errorf("Percentile(empty) = %v, want NaN", got)
+	}
+	// Unsorted input must give the order statistics of the sorted data.
+	unsorted := []float64{9, 1, 5, 3, 7}
+	for _, c := range []struct{ p, want float64 }{{0, 1}, {25, 3}, {50, 5}, {75, 7}, {100, 9}} {
+		if got := Percentile(unsorted, c.p); got != c.want {
+			t.Errorf("Percentile(unsorted, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
 	// Percentile must not reorder the caller's slice.
 	orig := []float64{5, 1, 3}
 	Percentile(orig, 50)
