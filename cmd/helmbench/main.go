@@ -18,6 +18,7 @@ import (
 
 	"helmsim/internal/experiments"
 	"helmsim/internal/runcache"
+	"helmsim/internal/tensor"
 )
 
 func main() {
@@ -27,8 +28,10 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel   = flag.Int("parallel", 0, "worker count (<=0: GOMAXPROCS); results print in id order regardless")
 		cacheStats = flag.Bool("cachestats", false, "print run-cache hit/miss/dedup counts to stderr")
+		threads    = flag.Int("threads", 0, "tensor-kernel worker count (<=0: GOMAXPROCS); results are identical at any setting")
 	)
 	flag.Parse()
+	tensor.SetParallelism(*threads)
 
 	if *list {
 		for _, e := range experiments.All() {

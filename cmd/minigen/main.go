@@ -21,6 +21,7 @@ import (
 	"helmsim/internal/infer"
 	"helmsim/internal/model"
 	"helmsim/internal/quant"
+	"helmsim/internal/tensor"
 )
 
 func main() {
@@ -36,15 +37,18 @@ func main() {
 		quantize = flag.Bool("quantize", false, "store the checkpoint 4-bit quantized")
 		ckpt     = flag.String("ckpt", "", "checkpoint path (default: temp file)")
 		batch    = flag.Int("batch", 1, "sequences decoded in lockstep (weights fetched once per layer per step)")
+		threads  = flag.Int("threads", 0, "tensor-kernel worker count (<=0: GOMAXPROCS); output is identical at any setting")
+		prefetch = flag.Bool("prefetch", true, "fetch+dequantize layer L+1 in the background while layer L computes")
 	)
 	flag.Parse()
-	if err := run(*arch, *hidden, *heads, *blocks, *vocab, *seed, *prompt, *gen, *quantize, *ckpt, *batch); err != nil {
+	tensor.SetParallelism(*threads)
+	if err := run(*arch, *hidden, *heads, *blocks, *vocab, *seed, *prompt, *gen, *quantize, *ckpt, *batch, *prefetch); err != nil {
 		fmt.Fprintln(os.Stderr, "minigen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV string, gen int, quantize bool, ckptPath string, batch int) error {
+func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV string, gen int, quantize bool, ckptPath string, batch int, prefetch bool) error {
 	if batch < 1 {
 		return fmt.Errorf("non-positive batch %d", batch)
 	}
@@ -119,23 +123,37 @@ func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV st
 
 	start := time.Now()
 	var outputs [][]int
+	var prefetchHits, prefetchMisses int
 	if batch == 1 {
-		engine, err := infer.New(cfg, store)
+		var engine *infer.Engine
+		if prefetch {
+			engine, err = infer.NewPrefetched(cfg, store)
+		} else {
+			engine, err = infer.New(cfg, store)
+		}
 		if err != nil {
 			return err
 		}
+		defer engine.Close()
 		out, err := engine.Generate(prompt, gen)
 		if err != nil {
 			return err
 		}
 		outputs = [][]int{out}
+		prefetchHits, prefetchMisses = engine.PrefetchStats()
 	} else {
 		// Lockstep batch: every sequence shares one weight fetch per layer
 		// per step (vary the prompts slightly so the outputs differ).
-		be, err := infer.NewBatch(cfg, store, batch)
+		var be *infer.BatchEngine
+		if prefetch {
+			be, err = infer.NewBatchPrefetched(cfg, store, batch)
+		} else {
+			be, err = infer.NewBatch(cfg, store, batch)
+		}
 		if err != nil {
 			return err
 		}
+		defer be.Close()
 		prompts := make([][]int, batch)
 		for i := range prompts {
 			p := append([]int(nil), prompt...)
@@ -145,6 +163,7 @@ func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV st
 		if outputs, err = be.GenerateBatch(prompts, gen); err != nil {
 			return err
 		}
+		prefetchHits, prefetchMisses = be.PrefetchStats()
 	}
 	elapsed := time.Since(start)
 
@@ -152,7 +171,10 @@ func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV st
 	for i, out := range outputs {
 		fmt.Printf("seq %d:     %v\n", i, out)
 	}
-	fmt.Printf("served out-of-core: %d tensor reads from disk, %.1f tok/s wall\n",
-		store.Reads, float64(gen*batch)/elapsed.Seconds())
+	fmt.Printf("served out-of-core: %d tensor reads from disk, %.1f tok/s wall (threads=%d)\n",
+		store.Reads(), float64(gen*batch)/elapsed.Seconds(), tensor.Parallelism())
+	if prefetch {
+		fmt.Printf("layer prefetch: %d background hits, %d foreground misses\n", prefetchHits, prefetchMisses)
+	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"helmsim/internal/infer"
 	"helmsim/internal/quant"
+	"helmsim/internal/tensor"
 )
 
 // This file re-exports the executable inference engine: real forward
@@ -55,3 +56,24 @@ func WriteWeightFile(w io.Writer, m Model, src *infer.MemStore, quantized bool) 
 	}
 	return infer.WriteCheckpoint(w, m, src, qc)
 }
+
+// PrefetchStore wraps a WeightStore so layer L+1 is fetched (and
+// dequantized) on a background goroutine while layer L computes — the
+// executable form of the zig-zag schedule's load/compute overlap
+// (Listing 1). Close it (or the engine built over it) when done.
+type PrefetchStore = infer.PrefetchStore
+
+// NewPrefetchStore builds a prefetching wrapper over a backing store.
+var NewPrefetchStore = infer.NewPrefetch
+
+// NewPrefetchedEngine / NewPrefetchedBatchEngine build engines with the
+// prefetch pipeline already stacked in front of the backing store.
+var (
+	NewPrefetchedEngine      = infer.NewPrefetched
+	NewPrefetchedBatchEngine = infer.NewBatchPrefetched
+)
+
+// SetInferenceParallelism sets the tensor-kernel worker count (n <= 0
+// resets to GOMAXPROCS) and returns the previous setting. Kernel outputs
+// are bit-identical at every setting.
+var SetInferenceParallelism = tensor.SetParallelism

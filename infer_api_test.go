@@ -68,7 +68,29 @@ func TestPublicInferenceFlow(t *testing.T) {
 			t.Fatalf("in-memory and file serving diverged at %d: %v vs %v", i, out, out2)
 		}
 	}
-	if fs.Reads == 0 {
+	if fs.Reads() == 0 {
 		t.Errorf("file store served without disk reads")
+	}
+
+	// Prefetched out-of-core serving: same tokens, layers arriving via the
+	// background pipeline, at an explicit parallelism setting.
+	prev := helmsim.SetInferenceParallelism(2)
+	defer helmsim.SetInferenceParallelism(prev)
+	eng3, err := helmsim.NewPrefetchedEngine(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng3.Close()
+	out3, err := eng3.Generate([]int{1, 2, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != out3[i] {
+			t.Fatalf("prefetched serving diverged at %d: %v vs %v", i, out, out3)
+		}
+	}
+	if hits, _ := eng3.PrefetchStats(); hits == 0 {
+		t.Error("prefetcher never hit")
 	}
 }

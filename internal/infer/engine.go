@@ -19,11 +19,12 @@ type blockCache struct {
 
 // Engine executes a decoder-only transformer incrementally.
 type Engine struct {
-	cfg     model.Config
-	weights WeightStore
-	layers  []model.Layer
-	cache   []blockCache
-	pos     int // positions already cached
+	cfg      model.Config
+	weights  WeightStore
+	layers   []model.Layer
+	cache    []blockCache
+	pos      int            // positions already cached
+	prefetch *PrefetchStore // non-nil when built by NewPrefetched
 }
 
 // New builds an engine over the model and weight store.
@@ -40,6 +41,42 @@ func New(cfg model.Config, w WeightStore) (*Engine, error) {
 		layers:  cfg.Layers(),
 		cache:   make([]blockCache, cfg.Blocks),
 	}, nil
+}
+
+// NewPrefetched is New with a PrefetchStore (and a per-layer memo, so
+// repeated same-layer tensor requests hit the bundle once) in front of
+// the backing store: layer L+1 streams in while layer L computes. Close
+// the engine to stop the prefetcher.
+func NewPrefetched(cfg model.Config, w WeightStore) (*Engine, error) {
+	ps, err := NewPrefetch(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	e, err := New(cfg, newLayerMemo(ps))
+	if err != nil {
+		ps.Close()
+		return nil, err
+	}
+	e.prefetch = ps
+	return e, nil
+}
+
+// PrefetchStats reports (hits, misses) of the prefetcher, or zeros for a
+// plain New engine.
+func (e *Engine) PrefetchStats() (hits, misses int) {
+	if e.prefetch == nil {
+		return 0, 0
+	}
+	return e.prefetch.Stats()
+}
+
+// Close stops the background prefetcher, if any. Engines over plain
+// stores need no teardown and return nil.
+func (e *Engine) Close() error {
+	if e.prefetch == nil {
+		return nil
+	}
+	return e.prefetch.Close()
 }
 
 // Reset clears the KV cache and position counter.

@@ -203,8 +203,8 @@ func TestQuantizedServingCloseToRaw(t *testing.T) {
 	}
 	// Dequant happened once per projection tensor per forward: 2 blocks x
 	// (4 attn + 2 ffn) + 2 embedding tables.
-	if qs.Dequants < 10 {
-		t.Errorf("dequant counter = %d, expected per-use decompression", qs.Dequants)
+	if qs.Dequants() < 10 {
+		t.Errorf("dequant counter = %d, expected per-use decompression", qs.Dequants())
 	}
 }
 

@@ -3,6 +3,7 @@ package infer
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"helmsim/internal/checkpoint"
 	"helmsim/internal/model"
@@ -21,9 +22,13 @@ func TensorKey(layer int, name string) string {
 // FSDAX) model.
 type FileStore struct {
 	ix *checkpoint.Indexed
-	// Reads counts tensor fetches (observable I/O).
-	Reads int
+	// reads counts tensor fetches (observable I/O); atomic because the
+	// prefetcher reads the file from a background goroutine.
+	reads atomic.Int64
 }
+
+// Reads reports the tensor fetches so far.
+func (s *FileStore) Reads() int { return int(s.reads.Load()) }
 
 // OpenFileStore opens a checkpoint as a weight store.
 func OpenFileStore(path string) (*FileStore, error) {
@@ -40,7 +45,7 @@ func (s *FileStore) Tensor(layer int, name string) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.Reads++
+	s.reads.Add(1)
 	return e.Data, nil
 }
 

@@ -50,7 +50,7 @@ func TestFileStoreOutOfCoreGeneration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fs.Reads == 0 {
+	if fs.Reads() == 0 {
 		t.Fatal("no disk reads recorded — not out-of-core")
 	}
 

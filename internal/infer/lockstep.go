@@ -2,6 +2,7 @@ package infer
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"helmsim/internal/model"
 	"helmsim/internal/tensor"
@@ -16,8 +17,10 @@ type layerMemo struct {
 	backing WeightStore
 	layer   int
 	cache   map[string][]float32
-	// Fetches counts backing-store accesses (observable reuse).
-	Fetches int
+	// fetches counts backing-store accesses (observable reuse); atomic so
+	// counter reads stay well-defined while a prefetching backing store
+	// runs in the background.
+	fetches atomic.Int64
 }
 
 // newLayerMemo wraps a store.
@@ -26,11 +29,12 @@ func newLayerMemo(backing WeightStore) *layerMemo {
 }
 
 // Tensor implements WeightStore: a request for a new layer evicts the
-// previous layer's tensors.
+// previous layer's tensors (the map is cleared and reused, not
+// reallocated — the memo changes layer once per layer per step).
 func (m *layerMemo) Tensor(layer int, name string) ([]float32, error) {
 	if layer != m.layer {
 		m.layer = layer
-		m.cache = map[string][]float32{}
+		clear(m.cache)
 	}
 	if d, ok := m.cache[name]; ok {
 		return d, nil
@@ -39,7 +43,7 @@ func (m *layerMemo) Tensor(layer int, name string) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.Fetches++
+	m.fetches.Add(1)
 	m.cache[name] = d
 	return d, nil
 }
@@ -56,9 +60,10 @@ type seqState struct {
 // layer L+1, so each layer's weights are fetched (and dequantized) exactly
 // once per step regardless of the batch size.
 type BatchEngine struct {
-	eng  *Engine
-	memo *layerMemo
-	seqs []seqState
+	eng      *Engine
+	memo     *layerMemo
+	seqs     []seqState
+	prefetch *PrefetchStore // non-nil when built by NewBatchPrefetched
 }
 
 // NewBatch builds a lockstep engine for nSeqs sequences.
@@ -78,8 +83,44 @@ func NewBatch(cfg model.Config, w WeightStore, nSeqs int) (*BatchEngine, error) 
 	return b, nil
 }
 
+// NewBatchPrefetched is NewBatch with a PrefetchStore between the
+// per-layer memo and the backing store: while Step computes layer L,
+// layer L+1 is fetched (and dequantized) in the background — Listing 1's
+// overlap, executable. Close the engine to stop the prefetcher.
+func NewBatchPrefetched(cfg model.Config, w WeightStore, nSeqs int) (*BatchEngine, error) {
+	ps, err := NewPrefetch(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	b, err := NewBatch(cfg, ps, nSeqs)
+	if err != nil {
+		ps.Close()
+		return nil, err
+	}
+	b.prefetch = ps
+	return b, nil
+}
+
+// PrefetchStats reports (hits, misses) of the prefetcher, or zeros for a
+// plain NewBatch engine.
+func (b *BatchEngine) PrefetchStats() (hits, misses int) {
+	if b.prefetch == nil {
+		return 0, 0
+	}
+	return b.prefetch.Stats()
+}
+
+// Close stops the background prefetcher, if any. The engine stays usable
+// for weight stores that need no teardown.
+func (b *BatchEngine) Close() error {
+	if b.prefetch == nil {
+		return nil
+	}
+	return b.prefetch.Close()
+}
+
 // WeightFetches reports backing-store tensor fetches so far.
-func (b *BatchEngine) WeightFetches() int { return b.memo.Fetches }
+func (b *BatchEngine) WeightFetches() int { return int(b.memo.fetches.Load()) }
 
 // Len reports the sequence count.
 func (b *BatchEngine) Len() int { return len(b.seqs) }

@@ -79,7 +79,7 @@ func TestLockstepWeightReuse(t *testing.T) {
 		if _, err := be.GenerateBatch(prompts, 4); err != nil {
 			t.Fatal(err)
 		}
-		return be.WeightFetches(), qs.Dequants
+		return be.WeightFetches(), qs.Dequants()
 	}
 	f1, d1 := fetchesFor(1)
 	f8, d8 := fetchesFor(8)

@@ -1,0 +1,203 @@
+package infer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"helmsim/internal/model"
+)
+
+// PrefetchStore overlaps the next layer's weight fetch — and, when the
+// backing store is quantized or on disk, its dequantization and I/O —
+// with the current layer's compute: the executable counterpart of
+// Listing 1's load_weight(i, j+1) ∥ compute(i, j). The first request for
+// a tensor of layer L hands back the prefetched bundle (or fetches it
+// synchronously on a miss) and immediately starts a background fetch of
+// the schedule's next layer; because the schedule cycles input-embed →
+// blocks → output-embed → input-embed (the zig-zag's per-step wrap), the
+// output layer's prefetch warms the next step's embedding.
+//
+// Single-buffered by design: at most one layer is in flight, so peak
+// residency stays at two layers (current + next). Errors from the
+// background fetch surface on the first request for that layer, and
+// cancelling the construction context (or calling Close) stops the
+// prefetcher and fails subsequent fetches cleanly.
+//
+// The store is safe for concurrent use; it is *tuned* for one lockstep
+// consumer walking layers in schedule order. Multiple engines at
+// different layers stay correct but evict each other's bundles.
+type PrefetchStore struct {
+	backing WeightStore
+	next    map[int]int      // layer index -> successor in the schedule cycle
+	names   map[int][]string // layer index -> tensor names, spec order
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu           sync.Mutex
+	cur          *layerBundle
+	pending      *fetchTicket
+	hits, misses int
+}
+
+// layerBundle is one layer's tensors, fully fetched (or the error that
+// interrupted the fetch).
+type layerBundle struct {
+	layer int
+	data  map[string][]float32
+	err   error
+}
+
+// fetchTicket tracks one in-flight background fetch.
+type fetchTicket struct {
+	layer  int
+	done   chan struct{}
+	bundle *layerBundle // set before done closes
+}
+
+// NewPrefetch wraps a weight store with single-buffered next-layer
+// prefetch for the given model. Callers should Close it to stop the
+// background fetcher.
+func NewPrefetch(cfg model.Config, backing WeightStore) (*PrefetchStore, error) {
+	return NewPrefetchContext(context.Background(), cfg, backing)
+}
+
+// NewPrefetchContext is NewPrefetch under a cancellation context:
+// cancelling ctx aborts any in-flight fetch and fails later fetches.
+func NewPrefetchContext(ctx context.Context, cfg model.Config, backing WeightStore) (*PrefetchStore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if backing == nil {
+		return nil, fmt.Errorf("infer: nil weight store")
+	}
+	layers := cfg.Layers()
+	s := &PrefetchStore{
+		backing: backing,
+		next:    make(map[int]int, len(layers)),
+		names:   make(map[int][]string, len(layers)),
+	}
+	for i, l := range layers {
+		s.next[l.Index] = layers[(i+1)%len(layers)].Index
+		names := make([]string, len(l.Weights))
+		for j, w := range l.Weights {
+			names[j] = w.Name
+		}
+		s.names[l.Index] = names
+	}
+	s.ctx, s.cancel = context.WithCancel(ctx)
+	return s, nil
+}
+
+// Tensor implements WeightStore. Requests for names outside the model's
+// layer specs (e.g. the engine's w_norm/w_ln probe) pass through to the
+// backing store so its error surfaces unchanged.
+func (s *PrefetchStore) Tensor(layer int, name string) ([]float32, error) {
+	b, err := s.bundle(layer)
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := b.data[name]; ok {
+		return d, nil
+	}
+	return s.backing.Tensor(layer, name)
+}
+
+// bundle returns the requested layer's tensors, consuming the pending
+// prefetch when it matches, fetching in the foreground when it does not,
+// and starting the next layer's background fetch either way.
+func (s *PrefetchStore) bundle(layer int) (*layerBundle, error) {
+	s.mu.Lock()
+	if b := s.cur; b != nil && b.layer == layer {
+		s.mu.Unlock()
+		return b, b.err
+	}
+	if t := s.pending; t != nil && t.layer == layer {
+		s.pending = nil
+		s.mu.Unlock()
+		<-t.done
+		s.mu.Lock()
+		s.hits++
+		b := t.bundle
+		s.install(b)
+		s.mu.Unlock()
+		return b, b.err
+	}
+	s.mu.Unlock()
+
+	// Foreground path: the prefetcher did not have this layer (first
+	// access, or a second consumer off-schedule).
+	b := s.fetchLayer(layer)
+	s.mu.Lock()
+	s.misses++
+	s.install(b)
+	s.mu.Unlock()
+	return b, b.err
+}
+
+// install publishes a fetched bundle as current and kicks off the next
+// layer's prefetch (single-buffered: never while one is in flight, and
+// never for a layer that errored or was cancelled). Caller holds mu.
+func (s *PrefetchStore) install(b *layerBundle) {
+	s.cur = b
+	if b.err != nil || s.pending != nil || s.ctx.Err() != nil {
+		return
+	}
+	next, ok := s.next[b.layer]
+	if !ok {
+		return
+	}
+	t := &fetchTicket{layer: next, done: make(chan struct{})}
+	s.pending = t
+	go func() {
+		t.bundle = s.fetchLayer(next)
+		close(t.done)
+	}()
+}
+
+// fetchLayer reads every tensor of a layer from the backing store,
+// checking for cancellation between tensors.
+func (s *PrefetchStore) fetchLayer(layer int) *layerBundle {
+	names, ok := s.names[layer]
+	if !ok {
+		return &layerBundle{layer: layer, err: fmt.Errorf("infer: prefetch: unknown layer %d", layer)}
+	}
+	b := &layerBundle{layer: layer, data: make(map[string][]float32, len(names))}
+	for _, name := range names {
+		if err := s.ctx.Err(); err != nil {
+			b.err = fmt.Errorf("infer: prefetch L%d cancelled: %w", layer, err)
+			return b
+		}
+		d, err := s.backing.Tensor(layer, name)
+		if err != nil {
+			b.err = fmt.Errorf("infer: prefetch L%d/%s: %w", layer, name, err)
+			return b
+		}
+		b.data[name] = d
+	}
+	return b
+}
+
+// Stats reports prefetch hits (layer was ready or in flight when first
+// requested) and misses (fetched in the foreground).
+func (s *PrefetchStore) Stats() (hits, misses int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Close cancels the prefetcher and waits for any in-flight fetch, so no
+// background work outlives the store. Fetches after Close fail with the
+// cancellation error.
+func (s *PrefetchStore) Close() error {
+	s.cancel()
+	s.mu.Lock()
+	t := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	if t != nil {
+		<-t.done
+	}
+	return nil
+}

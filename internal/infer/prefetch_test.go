@@ -1,0 +1,333 @@
+package infer
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"helmsim/internal/model"
+	"helmsim/internal/quant"
+	"helmsim/internal/tensor"
+)
+
+// Prefetched execution is a pure overlap optimization: greedy outputs
+// must match the plain engine exactly, for both architectures and for
+// raw and quantized backings.
+func TestPrefetchMatchesDirect(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mc   func() model.Config
+	}{
+		{"opt", tinyOPT},
+		{"llama", tinyLlama},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mc := tc.mc()
+			raw, err := RandomWeights(mc, 31, 0.08)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs, err := Quantize(mc, raw, quant.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, store := range []WeightStore{raw, qs} {
+				plain, err := New(mc, store)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := plain.Generate([]int{1, 2, 3}, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pre, err := NewPrefetched(mc, store)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := pre.Generate([]int{1, 2, 3}, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := pre.Close(); err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%T: prefetched diverged at %d: %v vs %v", store, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The prefetcher must hit after the cold start: one foreground fetch for
+// the very first layer, then every layer arrives via the background
+// fetch — including across step boundaries (output-embed wraps to
+// input-embed). And the weight traffic must be unchanged: one dequant
+// per quantized tensor per layer visit, same as the plain memo path.
+func TestPrefetchHitsAndWeightTraffic(t *testing.T) {
+	mc := tinyOPT()
+	raw, err := RandomWeights(mc, 5, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countFor := func(prefetched bool) (dequants, hits, misses int) {
+		qs, err := Quantize(mc, raw, quant.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prompts := [][]int{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+		var be *BatchEngine
+		if prefetched {
+			be, err = NewBatchPrefetched(mc, qs, len(prompts))
+		} else {
+			be, err = NewBatch(mc, qs, len(prompts))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer be.Close()
+		if _, err := be.GenerateBatch(prompts, 5); err != nil {
+			t.Fatal(err)
+		}
+		h, m := be.PrefetchStats()
+		return qs.Dequants(), h, m
+	}
+	dPlain, _, _ := countFor(false)
+	dPre, hits, misses := countFor(true)
+	if dPre != dPlain {
+		t.Errorf("prefetch changed dequant traffic: %d vs %d", dPre, dPlain)
+	}
+	if misses != 1 {
+		t.Errorf("prefetch misses = %d, want 1 (cold start only)", misses)
+	}
+	if hits == 0 {
+		t.Error("prefetcher never hit")
+	}
+}
+
+// GenerateBatch output must be byte-identical at parallelism 1, 2 and
+// GOMAXPROCS, with and without prefetch, on a model large enough to
+// engage the parallel kernel paths.
+func TestGenerateBatchParallelismInvariance(t *testing.T) {
+	defer tensor.SetParallelism(tensor.Parallelism())
+	mc := model.Config{
+		Name: "OPT-par", Hidden: 96, Heads: 4, Blocks: 2,
+		Vocab: 640, MaxSeq: 64, DTypeBytes: 2,
+	}
+	raw, err := RandomWeights(mc, 13, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Quantize(mc, raw, quant.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := [][]int{{1, 2, 3}, {9, 4}, {7, 7, 7, 7}, {600, 2}}
+	run := func(par int, prefetched bool) [][]int {
+		prev := tensor.SetParallelism(par)
+		defer tensor.SetParallelism(prev)
+		var be *BatchEngine
+		var err error
+		if prefetched {
+			be, err = NewBatchPrefetched(mc, qs, len(prompts))
+		} else {
+			be, err = NewBatch(mc, qs, len(prompts))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer be.Close()
+		out, err := be.GenerateBatch(prompts, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1, false)
+	levels := []int{1, 2, runtime.GOMAXPROCS(0), 6}
+	for _, par := range levels {
+		for _, prefetched := range []bool{false, true} {
+			got := run(par, prefetched)
+			for i := range want {
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("par=%d prefetch=%v: seq %d token %d = %d, want %d",
+							par, prefetched, i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// failStore fails every fetch of one layer — the backing-store error must
+// surface from the engine even when the failing fetch ran in the
+// background.
+type failStore struct {
+	backing WeightStore
+	layer   int
+}
+
+func (f *failStore) Tensor(layer int, name string) ([]float32, error) {
+	if layer == f.layer {
+		return nil, fmt.Errorf("synthetic I/O failure at L%d", layer)
+	}
+	return f.backing.Tensor(layer, name)
+}
+
+func TestPrefetchErrorPropagation(t *testing.T) {
+	mc := tinyOPT()
+	raw, err := RandomWeights(mc, 2, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewPrefetched(mc, &failStore{backing: raw, layer: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, err = eng.Generate([]int{1, 2}, 2)
+	if err == nil {
+		t.Fatal("background fetch failure did not surface")
+	}
+	if !strings.Contains(err.Error(), "synthetic I/O failure") {
+		t.Errorf("error lost its cause: %v", err)
+	}
+}
+
+func TestPrefetchContextCancellation(t *testing.T) {
+	mc := tinyOPT()
+	raw, err := RandomWeights(mc, 2, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ps, err := NewPrefetchContext(ctx, mc, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if _, err := ps.Tensor(0, "w_token"); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// A fresh layer after cancellation must fail with the context error.
+	if _, err := ps.Tensor(3, "w_q"); err == nil {
+		t.Error("fetch after cancellation succeeded")
+	}
+	// Close after cancel is clean and idempotent.
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchValidation(t *testing.T) {
+	mc := tinyOPT()
+	if _, err := NewPrefetch(mc, nil); err == nil {
+		t.Error("nil backing accepted")
+	}
+	bad := mc
+	bad.Hidden = 0
+	raw, _ := RandomWeights(mc, 1, 0.08)
+	if _, err := NewPrefetch(bad, raw); err == nil {
+		t.Error("invalid config accepted")
+	}
+	// Unknown layers error instead of deadlocking.
+	ps, err := NewPrefetch(mc, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if _, err := ps.Tensor(999, "w_q"); err == nil {
+		t.Error("unknown layer accepted")
+	}
+}
+
+// Two lockstep engines drive one shared PrefetchStore over one FileStore
+// concurrently — the -race gate for the whole fetch path (file reads,
+// dequantization, bundle swaps). Off-schedule interleaving may evict
+// bundles, but outputs must still match the serial reference exactly.
+func TestSharedPrefetchStoreConcurrentEngines(t *testing.T) {
+	mc := tinyOPT()
+	raw, err := RandomWeights(mc, 41, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shared.hlmc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := quant.Default()
+	if err := WriteCheckpoint(f, mc, raw, &qc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	prompts := [][]int{{1, 2, 3}, {9, 4}}
+	// Serial reference over the same checkpoint.
+	ref, err := NewBatch(mc, fs, len(prompts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.GenerateBatch(prompts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ps, err := NewPrefetch(mc, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for e := 0; e < 2; e++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			be, err := NewBatch(mc, ps, len(prompts))
+			if err != nil {
+				errs[e] = err
+				return
+			}
+			got, err := be.GenerateBatch(prompts, 5)
+			if err != nil {
+				errs[e] = err
+				return
+			}
+			for i := range want {
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						errs[e] = fmt.Errorf("engine %d seq %d token %d: %d != %d", e, i, j, got[i][j], want[i][j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package infer
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"helmsim/internal/model"
 	"helmsim/internal/quant"
@@ -111,9 +112,13 @@ func isBiasParam(name string) bool {
 type QuantStore struct {
 	q   map[storeKey]*quant.Tensor
 	raw map[storeKey][]float32
-	// Dequants counts decompression calls (observable cost).
-	Dequants int
+	// dequants counts decompression calls (observable cost); atomic so
+	// the prefetcher's background dequantization can race foreground use.
+	dequants atomic.Int64
 }
+
+// Dequants reports the decompression calls so far.
+func (s *QuantStore) Dequants() int { return int(s.dequants.Load()) }
 
 // Quantize compresses a raw store under cfg for the given model.
 func Quantize(cfg model.Config, src *MemStore, qc quant.Config) (*QuantStore, error) {
@@ -152,6 +157,6 @@ func (s *QuantStore) Tensor(layer int, name string) ([]float32, error) {
 	if !ok {
 		return nil, fmt.Errorf("infer: missing tensor L%d/%s", layer, name)
 	}
-	s.Dequants++
+	s.dequants.Add(1)
 	return t.Dequantize(), nil
 }

@@ -1,0 +1,120 @@
+// Package parallel is the shared worker pool the executable engine's
+// compute kernels run on: internal/tensor's matmuls/norms/activations and
+// internal/quant's group dequantization all split their index spaces over
+// one process-wide set of long-lived workers, so no kernel call ever
+// spawns goroutines of its own.
+//
+// The contract that makes parallel execution safe to adopt everywhere is
+// determinism: For splits [0, n) into contiguous chunks and every index
+// belongs to exactly one chunk, so a kernel whose chunk body performs the
+// same per-index arithmetic as its serial loop produces bit-identical
+// output at any worker count. The worker count is a process-wide knob
+// (Set/N, surfaced as tensor.SetParallelism) defaulting to GOMAXPROCS.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	confMu  sync.RWMutex
+	workers = runtime.GOMAXPROCS(0)
+)
+
+// Set configures the worker count used by For; n <= 0 resets to
+// GOMAXPROCS. It returns the previous setting so callers can restore it.
+func Set(n int) int {
+	confMu.Lock()
+	defer confMu.Unlock()
+	prev := workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	workers = n
+	return prev
+}
+
+// N reports the configured worker count.
+func N() int {
+	confMu.RLock()
+	defer confMu.RUnlock()
+	return workers
+}
+
+// The pool: long-lived goroutines blocked on an unbounded-in-practice
+// buffered channel. Workers are spawned lazily up to the largest chunk
+// count ever requested and then reused for the life of the process; an
+// idle worker costs one parked goroutine.
+var (
+	poolMu  sync.Mutex
+	tasks   chan func()
+	spawned int
+)
+
+// maxSpawn bounds the worker count against pathological Set values.
+const maxSpawn = 256
+
+func ensureWorkers(n int) {
+	if n > maxSpawn {
+		n = maxSpawn
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if tasks == nil {
+		tasks = make(chan func(), 4*maxSpawn)
+	}
+	for spawned < n {
+		go func() {
+			for f := range tasks {
+				f()
+			}
+		}()
+		spawned++
+	}
+}
+
+// For runs body over the contiguous chunks of [0, n), at most N() of
+// them and each at least grain indices long (so small inputs stay on the
+// calling goroutine with zero synchronization). The caller's goroutine
+// executes the first chunk itself and For returns only when every chunk
+// has finished.
+//
+// body must not call For recursively: nested calls would have pool
+// workers waiting on pool workers.
+func For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := N()
+	if maxChunks := (n + grain - 1) / grain; chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if chunks <= 1 {
+		body(0, n)
+		return
+	}
+	ensureWorkers(chunks - 1)
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for c := 1; c < chunks; c++ {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		tasks <- func() {
+			defer wg.Done()
+			body(lo, hi)
+		}
+	}
+	body(0, size)
+	wg.Wait()
+}

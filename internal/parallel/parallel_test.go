@@ -1,0 +1,92 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSetAndN(t *testing.T) {
+	prev := Set(3)
+	defer Set(prev)
+	if N() != 3 {
+		t.Errorf("N = %d after Set(3)", N())
+	}
+	if got := Set(7); got != 3 {
+		t.Errorf("Set returned %d, want previous 3", got)
+	}
+	// Non-positive resets to GOMAXPROCS.
+	Set(0)
+	if N() != runtime.GOMAXPROCS(0) {
+		t.Errorf("N = %d after Set(0), want GOMAXPROCS %d", N(), runtime.GOMAXPROCS(0))
+	}
+}
+
+// Every index of [0, n) is visited exactly once, at any worker count and
+// grain, including the degenerate shapes (n < workers, n == 0, grain > n).
+func TestForCoversEachIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		prev := Set(w)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			for _, grain := range []int{1, 16, 2048} {
+				counts := make([]int32, n)
+				For(n, grain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[i], 1)
+					}
+				})
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("w=%d n=%d grain=%d: index %d visited %d times", w, n, grain, i, c)
+					}
+				}
+			}
+		}
+		Set(prev)
+	}
+}
+
+// Small inputs must not leave the calling goroutine (grain gating).
+func TestForSmallInputsRunInline(t *testing.T) {
+	prev := Set(8)
+	defer Set(prev)
+	var mu sync.Mutex
+	calls := 0
+	For(10, 100, func(lo, hi int) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		if lo != 0 || hi != 10 {
+			t.Errorf("chunk [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("%d chunks for n=10 grain=100, want 1", calls)
+	}
+}
+
+// Concurrent For calls share the pool without deadlock or cross-talk.
+func TestForConcurrentCallers(t *testing.T) {
+	prev := Set(4)
+	defer Set(prev)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			For(10000, 1, func(lo, hi int) {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				sum.Add(s)
+			})
+			if want := int64(10000*9999) / 2; sum.Load() != want {
+				t.Errorf("sum = %d, want %d", sum.Load(), want)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"helmsim/internal/parallel"
 	"helmsim/internal/units"
 )
 
@@ -162,20 +163,31 @@ func (t *Tensor) Bytes() units.Bytes {
 }
 
 // Dequantize decodes the tensor back to float32.
+//
+// Groups are independent (each owns a disjoint output range and only
+// reads the packed buffer), so the decode tiles over the shared worker
+// pool (tensor.SetParallelism) — per-use decompression is the serving
+// path's recurring compute, and it scales with cores. Output is
+// bit-identical at any worker count.
 func (t *Tensor) Dequantize() []float32 {
 	out := make([]float32, t.n)
-	for g := range t.mins {
-		lo := g * t.cfg.GroupSize
-		hi := lo + t.cfg.GroupSize
-		if hi > t.n {
-			hi = t.n
+	// ~16Ki elements per tile at the default group size keeps tiny
+	// tensors (biases, norms) on the calling goroutine.
+	grain := 1 + (1<<14)/t.cfg.GroupSize
+	parallel.For(len(t.mins), grain, func(glo, ghi int) {
+		for g := glo; g < ghi; g++ {
+			lo := g * t.cfg.GroupSize
+			hi := lo + t.cfg.GroupSize
+			if hi > t.n {
+				hi = t.n
+			}
+			gmin := t.mins[g].Float32()
+			scale := t.scales[g].Float32()
+			for i := lo; i < hi; i++ {
+				out[i] = gmin + float32(t.getQ(i))*scale
+			}
 		}
-		gmin := t.mins[g].Float32()
-		scale := t.scales[g].Float32()
-		for i := lo; i < hi; i++ {
-			out[i] = gmin + float32(t.getQ(i))*scale
-		}
-	}
+	})
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"helmsim/internal/parallel"
 	"helmsim/internal/units"
 )
 
@@ -314,5 +315,33 @@ func TestCompressedBytesForOPT175B(t *testing.T) {
 	}
 	if got >= units.Bytes(elems)*2 {
 		t.Errorf("compression did not shrink")
+	}
+}
+
+// Dequantize must be bit-identical at every worker count: each group owns
+// a disjoint output range, so tiling cannot change a single element.
+func TestDequantizeParallelInvariance(t *testing.T) {
+	x := make([]float32, 1<<16+37) // odd tail group
+	for i := range x {
+		x[i] = float32(math.Sin(float64(i))) * float32(i%113)
+	}
+	for _, cfg := range []Config{{Bits: 4, GroupSize: 64}, {Bits: 2, GroupSize: 3}, {Bits: 8, GroupSize: 1000}} {
+		tensor, err := Quantize(x, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := parallel.Set(1)
+		want := tensor.Dequantize()
+		for _, par := range []int{2, 8} {
+			parallel.Set(par)
+			got := tensor.Dequantize()
+			for i := range want {
+				if got[i] != want[i] {
+					parallel.Set(prev)
+					t.Fatalf("cfg %+v par %d: elem %d = %v, want %v", cfg, par, i, got[i], want[i])
+				}
+			}
+		}
+		parallel.Set(prev)
 	}
 }

@@ -1,0 +1,111 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randMat fills a matrix with seeded Gaussian values.
+func randMat(r, c int, seed int64) Mat {
+	rng := rand.New(rand.NewSource(seed))
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// benchParallelisms are the worker counts every kernel benchmark sweeps:
+// serial, and the machine's GOMAXPROCS.
+func benchParallelisms() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// benchAtParallelism runs body under each worker count as a sub-benchmark.
+func benchAtParallelism(b *testing.B, body func(b *testing.B)) {
+	for _, par := range benchParallelisms() {
+		b.Run(map[bool]string{true: "p1", false: "pN"}[par == 1], func(b *testing.B) {
+			prev := SetParallelism(par)
+			defer SetParallelism(prev)
+			body(b)
+		})
+	}
+}
+
+// Prefill shape: a tall activation against a square projection.
+func BenchmarkMatMulPrefill(b *testing.B) {
+	a := randMat(128, 512, 1)
+	w := randMat(512, 512, 2)
+	benchAtParallelism(b, func(b *testing.B) {
+		b.SetBytes(int64(a.R) * int64(a.C) * int64(w.C) * 4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMul(a, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Decode shape: one row against a wide FFN matrix (column-tiled path).
+func BenchmarkMatMulDecode(b *testing.B) {
+	a := randMat(1, 512, 3)
+	w := randMat(512, 2048, 4)
+	benchAtParallelism(b, func(b *testing.B) {
+		b.SetBytes(int64(a.C) * int64(w.C) * 4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMul(a, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Logit shape: one row against a token table (MatMulT row split).
+func BenchmarkMatMulTLogits(b *testing.B) {
+	a := randMat(1, 512, 5)
+	table := randMat(8192, 512, 6)
+	benchAtParallelism(b, func(b *testing.B) {
+		b.SetBytes(int64(a.C) * int64(table.R) * 4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMulT(a, table); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkLayerNorm(b *testing.B) {
+	x := randMat(256, 1024, 7)
+	gamma := make([]float32, x.C)
+	beta := make([]float32, x.C)
+	for i := range gamma {
+		gamma[i] = 1
+	}
+	benchAtParallelism(b, func(b *testing.B) {
+		b.SetBytes(int64(len(x.Data)) * 4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := LayerNorm(x, gamma, beta, 1e-5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGELU(b *testing.B) {
+	x := randMat(256, 2048, 8)
+	benchAtParallelism(b, func(b *testing.B) {
+		b.SetBytes(int64(len(x.Data)) * 4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x.GELU()
+		}
+	})
+}

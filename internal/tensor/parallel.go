@@ -1,0 +1,48 @@
+package tensor
+
+import "helmsim/internal/parallel"
+
+// Parallelism thresholds: kernels below these sizes run on the calling
+// goroutine — the crossover where splitting pays for its synchronization.
+const (
+	// minParallelFlops gates the matmuls (R*K*C multiply-adds).
+	minParallelFlops = 1 << 16
+	// minColTile is the narrowest output-column tile a worker takes, so
+	// column splits keep streaming cache lines.
+	minColTile = 64
+	// minParallelElems gates the element-wise and per-row kernels.
+	minParallelElems = 1 << 15
+	// rowGrain batches rows for the per-row kernels (norms, softmax).
+	rowGrain = 4
+	// elemGrain batches elements for the activations.
+	elemGrain = 1 << 12
+)
+
+// SetParallelism sets the worker count shared by every kernel in this
+// package (and internal/quant's dequantizer); n <= 0 resets to
+// GOMAXPROCS. It returns the previous value so callers can restore it.
+// Output of every kernel is bit-identical at any setting; the workers
+// come from one shared pool, so no kernel call spawns goroutines.
+func SetParallelism(n int) int { return parallel.Set(n) }
+
+// Parallelism reports the configured worker count.
+func Parallelism() int { return parallel.N() }
+
+// forRows runs body over row ranges of an r-row matrix when the total
+// element count warrants it, inline otherwise.
+func forRows(r, elems int, body func(lo, hi int)) {
+	if elems < minParallelElems || parallel.N() == 1 {
+		body(0, r)
+		return
+	}
+	parallel.For(r, rowGrain, body)
+}
+
+// forElems runs body over index ranges of a length-n buffer.
+func forElems(n int, body func(lo, hi int)) {
+	if n < minParallelElems || parallel.N() == 1 {
+		body(0, n)
+		return
+	}
+	parallel.For(n, elemGrain, body)
+}

@@ -1,0 +1,188 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+// refMatMul is the textbook triple loop — no skips, no tiling — used as
+// the semantics oracle for the production kernel.
+func refMatMul(a, b Mat) Mat {
+	out := New(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < b.C; j++ {
+			var s float32
+			for k := 0; k < a.C; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// eqBits compares float32s including NaN (bit-level agreement on
+// NaN-ness; NaN payloads may differ).
+func eqBits(x, y float32) bool {
+	if math.IsNaN(float64(x)) || math.IsNaN(float64(y)) {
+		return math.IsNaN(float64(x)) && math.IsNaN(float64(y))
+	}
+	return x == y
+}
+
+// Property: MatMul agrees with the reference kernel on inputs containing
+// NaN and ±Inf — 0·NaN must stay NaN, so no term may be skipped
+// (regression for the old `av == 0` fast path, which broke exactly this).
+func TestMatMulNaNInfParity(t *testing.T) {
+	specials := []float32{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)), 0, -0}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, k, c := 1+rng.Intn(5), 1+rng.Intn(6), 1+rng.Intn(5)
+		a, b := New(r, k), New(k, c)
+		fill := func(m Mat) {
+			for i := range m.Data {
+				switch rng.Intn(4) {
+				case 0:
+					m.Data[i] = specials[rng.Intn(len(specials))]
+				case 1:
+					m.Data[i] = 0
+				default:
+					m.Data[i] = float32(rng.NormFloat64())
+				}
+			}
+		}
+		fill(a)
+		fill(b)
+		got, err := MatMul(a, b)
+		if err != nil {
+			return false
+		}
+		want := refMatMul(a, b)
+		for i := range got.Data {
+			if !eqBits(got.Data[i], want.Data[i]) {
+				t.Logf("seed %d: elem %d = %v, want %v", seed, i, got.Data[i], want.Data[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A zero row times a NaN column is NaN, pinned explicitly.
+func TestMatMulZeroTimesNaN(t *testing.T) {
+	a, _ := FromSlice(1, 2, []float32{0, 0})
+	b, _ := FromSlice(2, 1, []float32{float32(math.NaN()), 1})
+	out, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(out.At(0, 0))) {
+		t.Errorf("0 @ NaN = %v, want NaN", out.At(0, 0))
+	}
+}
+
+// parLevels are the worker counts the invariance tests sweep.
+func parLevels() []int {
+	levels := []int{1, 2, runtime.GOMAXPROCS(0)}
+	if levels[2] < 2 {
+		levels[2] = 4 // still exercise multi-worker splits on 1-CPU hosts
+	}
+	return levels
+}
+
+// Kernels must be bit-identical at parallelism 1, 2 and GOMAXPROCS, on
+// shapes large enough to actually engage the parallel paths (tall for row
+// tiles, single-row for column tiles).
+func TestKernelParallelismInvariance(t *testing.T) {
+	defer SetParallelism(Parallelism())
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ r, k, c int }{
+		{64, 96, 80},  // row-tiled
+		{1, 256, 512}, // column-tiled (decode shape)
+		{3, 128, 300}, // fewer rows than workers
+	}
+	for _, sh := range shapes {
+		a, b := New(sh.r, sh.k), New(sh.k, sh.c)
+		bt := New(sh.c, sh.k)
+		for i := range a.Data {
+			a.Data[i] = float32(rng.NormFloat64())
+		}
+		for i := range b.Data {
+			b.Data[i] = float32(rng.NormFloat64())
+		}
+		for i := range bt.Data {
+			bt.Data[i] = float32(rng.NormFloat64())
+		}
+		gamma := make([]float32, sh.k)
+		beta := make([]float32, sh.k)
+		for i := range gamma {
+			gamma[i] = float32(rng.NormFloat64())
+			beta[i] = float32(rng.NormFloat64())
+		}
+
+		type result struct{ mm, mmt, ln, rms, gelu, silu, sm []float32 }
+		runAll := func(par int) result {
+			prev := SetParallelism(par)
+			defer SetParallelism(prev)
+			mm, err := MatMul(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mmt, err := MatMulT(a, bt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ln, err := LayerNorm(a, gamma, beta, 1e-5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rms, err := RMSNorm(a, gamma, 1e-5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := a.Clone()
+			g.GELU()
+			s := a.Clone()
+			s.SiLU()
+			sm := a.Clone()
+			sm.SoftmaxRows()
+			return result{mm.Data, mmt.Data, ln.Data, rms.Data, g.Data, s.Data, sm.Data}
+		}
+
+		base := runAll(1)
+		for _, par := range parLevels()[1:] {
+			got := runAll(par)
+			check := func(name string, want, have []float32) {
+				for i := range want {
+					if want[i] != have[i] {
+						t.Fatalf("shape %dx%dx%d %s: par %d diverges from serial at %d (%v vs %v)",
+							sh.r, sh.k, sh.c, name, par, i, have[i], want[i])
+					}
+				}
+			}
+			check("matmul", base.mm, got.mm)
+			check("matmulT", base.mmt, got.mmt)
+			check("layernorm", base.ln, got.ln)
+			check("rmsnorm", base.rms, got.rms)
+			check("gelu", base.gelu, got.gelu)
+			check("silu", base.silu, got.silu)
+			check("softmax", base.sm, got.sm)
+		}
+	}
+}
+
+func TestSetParallelismRoundTrip(t *testing.T) {
+	prev := SetParallelism(5)
+	if Parallelism() != 5 {
+		t.Errorf("Parallelism = %d after SetParallelism(5)", Parallelism())
+	}
+	if got := SetParallelism(prev); got != 5 {
+		t.Errorf("SetParallelism returned %d, want 5", got)
+	}
+}

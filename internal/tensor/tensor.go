@@ -3,15 +3,23 @@
 // matrices, matmul, softmax, layer/RMS norm, and the GELU/SiLU
 // activations of the OPT and LLaMA decoder blocks.
 //
-// These are straightforward cache-friendly loops, not a BLAS: the engine
-// exists to execute the paper's computation faithfully at laptop scale
-// (tiny models), while the performance questions are answered by the
-// calibrated simulator.
+// These are straightforward cache-friendly loops, not a BLAS — but they
+// are parallel: the matmuls, norms and activations split their index
+// spaces over the shared worker pool of internal/parallel (row tiles when
+// the batch is tall, output-column tiles when it is not), and every split
+// preserves the serial per-element accumulation order, so output is
+// bit-identical at any SetParallelism value. The engine exists to execute
+// the paper's computation faithfully at laptop scale, while the
+// performance questions are answered by the calibrated simulator;
+// parallel kernels are what make the executable grounding fast enough for
+// real batch/seq sweeps (cf. HeteGen's multi-core CPU path).
 package tensor
 
 import (
 	"fmt"
 	"math"
+
+	"helmsim/internal/parallel"
 )
 
 // Mat is a row-major matrix.
@@ -55,47 +63,110 @@ func (m Mat) Clone() Mat {
 }
 
 // MatMul computes a @ b for a (r x k) and b (k x c).
+//
+// The work is split over the shared worker pool (see SetParallelism):
+// row tiles when there are enough rows, column tiles of the output when
+// there are not (a decode step's activation has a single row). Either
+// split leaves every output element's k-accumulation order untouched, so
+// the result is bit-identical to the serial loop at any worker count —
+// including NaN/Inf propagation, since no term is ever skipped.
 func MatMul(a, b Mat) (Mat, error) {
 	if a.C != b.R {
 		return Mat{}, fmt.Errorf("tensor: matmul shape mismatch (%dx%d)@(%dx%d)", a.R, a.C, b.R, b.C)
 	}
 	out := New(a.R, b.C)
-	for i := 0; i < a.R; i++ {
+	if a.R*a.C*b.C < minParallelFlops || parallel.N() == 1 {
+		matMulRows(a, b, out, 0, a.R)
+		return out, nil
+	}
+	if a.R >= parallel.N() {
+		parallel.For(a.R, 1, func(lo, hi int) { matMulRows(a, b, out, lo, hi) })
+	} else {
+		parallel.For(b.C, minColTile, func(lo, hi int) { matMulCols(a, b, out, lo, hi) })
+	}
+	return out, nil
+}
+
+// matMulRows accumulates output rows [lo, hi) — each row owned by one
+// worker, k-order identical to the serial kernel.
+func matMulRows(a, b, out Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k := 0; k < a.C; k++ {
 			av := arow[k]
-			if av == 0 {
-				continue
-			}
 			brow := b.Row(k)
 			for j := range orow {
 				orow[j] += av * brow[j]
 			}
 		}
 	}
-	return out, nil
+}
+
+// matMulCols accumulates output columns [lo, hi) across all rows — the
+// split used when the batch has fewer rows than workers.
+func matMulCols(a, b, out Mat, lo, hi int) {
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)[lo:hi]
+		for k := 0; k < a.C; k++ {
+			av := arow[k]
+			brow := b.Row(k)[lo:hi]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
 }
 
 // MatMulT computes a @ bᵀ for a (r x k) and b (c x k) — the layout of
-// output-embedding logits against a token table.
+// output-embedding logits against a token table. Parallel like MatMul:
+// each output element is an independent dot product, so any contiguous
+// split is bit-identical to serial.
 func MatMulT(a, b Mat) (Mat, error) {
 	if a.C != b.C {
 		return Mat{}, fmt.Errorf("tensor: matmulT shape mismatch (%dx%d)@(%dx%d)T", a.R, a.C, b.R, b.C)
 	}
 	out := New(a.R, b.R)
-	for i := 0; i < a.R; i++ {
-		arow := a.Row(i)
-		for j := 0; j < b.R; j++ {
-			brow := b.Row(j)
-			var s float32
-			for k := range arow {
-				s += arow[k] * brow[k]
+	if a.R*a.C*b.R < minParallelFlops || parallel.N() == 1 {
+		matMulTRows(a, b, out, 0, a.R)
+		return out, nil
+	}
+	if a.R >= parallel.N() {
+		parallel.For(a.R, 1, func(lo, hi int) { matMulTRows(a, b, out, lo, hi) })
+	} else {
+		// One query row against a large token table: split the table.
+		parallel.For(b.R, minColTile, func(lo, hi int) {
+			for i := 0; i < a.R; i++ {
+				arow := a.Row(i)
+				orow := out.Row(i)
+				for j := lo; j < hi; j++ {
+					orow[j] = dot(arow, b.Row(j))
+				}
 			}
-			out.Set(i, j, s)
-		}
+		})
 	}
 	return out, nil
+}
+
+// matMulTRows fills output rows [lo, hi) of a @ bᵀ.
+func matMulTRows(a, b, out Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.R; j++ {
+			orow[j] = dot(arow, b.Row(j))
+		}
+	}
+}
+
+// dot is the serial inner product both matmul variants reduce to.
+func dot(x, y []float32) float32 {
+	var s float32
+	for k := range x {
+		s += x[k] * y[k]
+	}
+	return s
 }
 
 // AddBias adds a length-C bias vector to every row in place.
@@ -130,9 +201,14 @@ func (m Mat) Scale(s float32) {
 	}
 }
 
-// SoftmaxRows applies a numerically stable softmax to each row in place.
+// SoftmaxRows applies a numerically stable softmax to each row in place
+// (rows are independent, so row tiles parallelize bit-identically).
 func (m Mat) SoftmaxRows() {
-	for i := 0; i < m.R; i++ {
+	forRows(m.R, len(m.Data), func(lo, hi int) { m.softmaxRows(lo, hi) })
+}
+
+func (m Mat) softmaxRows(lo, hi int) {
+	for i := lo; i < hi; i++ {
 		row := m.Row(i)
 		maxV := float32(math.Inf(-1))
 		for _, v := range row {
@@ -161,24 +237,26 @@ func LayerNorm(x Mat, gamma, beta []float32, eps float32) (Mat, error) {
 		return Mat{}, fmt.Errorf("tensor: layernorm params %d/%d for width %d", len(gamma), len(beta), x.C)
 	}
 	out := New(x.R, x.C)
-	for i := 0; i < x.R; i++ {
-		row := x.Row(i)
-		var mean float64
-		for _, v := range row {
-			mean += float64(v)
+	forRows(x.R, len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Row(i)
+			var mean float64
+			for _, v := range row {
+				mean += float64(v)
+			}
+			mean /= float64(len(row))
+			var varsum float64
+			for _, v := range row {
+				d := float64(v) - mean
+				varsum += d * d
+			}
+			inv := 1 / math.Sqrt(varsum/float64(len(row))+float64(eps))
+			orow := out.Row(i)
+			for j, v := range row {
+				orow[j] = float32((float64(v)-mean)*inv)*gamma[j] + beta[j]
+			}
 		}
-		mean /= float64(len(row))
-		var varsum float64
-		for _, v := range row {
-			d := float64(v) - mean
-			varsum += d * d
-		}
-		inv := 1 / math.Sqrt(varsum/float64(len(row))+float64(eps))
-		orow := out.Row(i)
-		for j, v := range row {
-			orow[j] = float32((float64(v)-mean)*inv)*gamma[j] + beta[j]
-		}
-	}
+	})
 	return out, nil
 }
 
@@ -188,18 +266,20 @@ func RMSNorm(x Mat, gamma []float32, eps float32) (Mat, error) {
 		return Mat{}, fmt.Errorf("tensor: rmsnorm params %d for width %d", len(gamma), x.C)
 	}
 	out := New(x.R, x.C)
-	for i := 0; i < x.R; i++ {
-		row := x.Row(i)
-		var ms float64
-		for _, v := range row {
-			ms += float64(v) * float64(v)
+	forRows(x.R, len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Row(i)
+			var ms float64
+			for _, v := range row {
+				ms += float64(v) * float64(v)
+			}
+			inv := 1 / math.Sqrt(ms/float64(len(row))+float64(eps))
+			orow := out.Row(i)
+			for j, v := range row {
+				orow[j] = float32(float64(v)*inv) * gamma[j]
+			}
 		}
-		inv := 1 / math.Sqrt(ms/float64(len(row))+float64(eps))
-		orow := out.Row(i)
-		for j, v := range row {
-			orow[j] = float32(float64(v)*inv) * gamma[j]
-		}
-	}
+	})
 	return out, nil
 }
 
@@ -207,18 +287,22 @@ func RMSNorm(x Mat, gamma []float32, eps float32) (Mat, error) {
 // (OPT's FFN activation).
 func (m Mat) GELU() {
 	const c = 0.7978845608028654 // sqrt(2/pi)
-	for i, v := range m.Data {
-		x := float64(v)
-		m.Data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
-	}
+	forElems(len(m.Data), func(lo, hi int) {
+		for i, v := range m.Data[lo:hi] {
+			x := float64(v)
+			m.Data[lo+i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+		}
+	})
 }
 
 // SiLU applies x*sigmoid(x) in place (LLaMA's gate activation).
 func (m Mat) SiLU() {
-	for i, v := range m.Data {
-		x := float64(v)
-		m.Data[i] = float32(x / (1 + math.Exp(-x)))
-	}
+	forElems(len(m.Data), func(lo, hi int) {
+		for i, v := range m.Data[lo:hi] {
+			x := float64(v)
+			m.Data[lo+i] = float32(x / (1 + math.Exp(-x)))
+		}
+	})
 }
 
 // Mul multiplies element-wise in place (the gated-FFN product).
