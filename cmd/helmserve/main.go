@@ -11,7 +11,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"time"
 
@@ -34,15 +33,17 @@ func main() {
 		n         = flag.Int("n", 200, "arrivals to simulate")
 		seed      = flag.Int64("seed", 1, "arrival seed")
 		slo       = flag.Duration("slo", 0, "end-to-end latency SLO (0 = off)")
+		maxQueue  = flag.Int("max-queue", 0, "admission bound on the waiting line (0 = unbounded)")
+		maxWait   = flag.Duration("max-wait", 0, "renege bound on queueing delay (0 = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*modelName, *memName, *polName, *compress, *capSize, *rate, *n, *seed, *slo); err != nil {
+	if err := run(*modelName, *memName, *polName, *compress, *capSize, *rate, *n, *seed, *slo, *maxQueue, *maxWait); err != nil {
 		fmt.Fprintln(os.Stderr, "helmserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, memName, polName string, compress bool, capSize int, rate float64, n int, seed int64, slo time.Duration) error {
+func run(modelName, memName, polName string, compress bool, capSize int, rate float64, n int, seed int64, slo time.Duration, maxQueue int, maxWait time.Duration) error {
 	cfg, err := model.ByName(modelName)
 	if err != nil {
 		return err
@@ -71,6 +72,8 @@ func run(modelName, memName, polName string, compress bool, capSize int, rate fl
 		NumPrompts:  n,
 		Seed:        seed,
 		SLO:         units.Duration(slo.Seconds()),
+		MaxQueue:    maxQueue,
+		MaxWait:     units.Duration(maxWait.Seconds()),
 	})
 	if err != nil {
 		return err
@@ -86,8 +89,10 @@ func run(modelName, memName, polName string, compress bool, capSize int, rate fl
 	t.AddRow("throughput", fmt.Sprintf("%.3f prompts/s", m.PromptsPerSec))
 	t.AddRow("queue delay mean / p99", fmt.Sprintf("%.1fs / %.1fs", m.MeanQueueDelay.Seconds(), m.P99QueueDelay.Seconds()))
 	t.AddRow("E2E latency mean / p99", fmt.Sprintf("%.1fs / %.1fs", m.MeanE2E.Seconds(), m.P99E2E.Seconds()))
-	if !math.IsNaN(m.SLOAttainment) {
-		t.AddRow(fmt.Sprintf("SLO (%v) attainment", slo), fmt.Sprintf("%.1f%%", m.SLOAttainment*100))
+	if maxQueue > 0 || maxWait > 0 {
+		t.AddRow("admitted / shed (queue full / max wait)",
+			fmt.Sprintf("%d / %d / %d", m.Admitted, m.ShedQueueFull, m.ShedMaxWait))
 	}
+	t.AddRow(fmt.Sprintf("SLO (%v) attainment", slo), m.SLOAttainmentString())
 	return t.Render(os.Stdout)
 }

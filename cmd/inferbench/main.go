@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"runtime"
 	"time"
 
+	"helmsim/internal/fault"
 	"helmsim/internal/infer"
 	"helmsim/internal/model"
 	"helmsim/internal/quant"
@@ -43,6 +45,22 @@ type Result struct {
 	Identical *bool `json:"identical,omitempty"`
 }
 
+// Chaos is the fault-injection experiment: the same lockstep generation
+// over the on-disk store, but with a seeded transient-read fault plan
+// between checkpoint and engine. Identical output with zero errors is
+// the resilience claim; DegradedFetches counts background prefetches
+// that failed and were absorbed by foreground retries.
+type Chaos struct {
+	FaultRate       float64 `json:"fault_rate"`
+	FaultSeed       int64   `json:"fault_seed"`
+	Retries         int     `json:"retries"`
+	Accesses        int64   `json:"accesses"`
+	Transients      int64   `json:"transients"`
+	DegradedFetches int     `json:"degraded_fetches"`
+	ElapsedNs       int64   `json:"elapsed_ns"`
+	Identical       bool    `json:"identical"`
+}
+
 // Report is the BENCH_2.json document.
 type Report struct {
 	Schema     string   `json:"schema"`
@@ -54,6 +72,7 @@ type Report struct {
 	Gen        int      `json:"gen"`
 	Runs       int      `json:"runs"`
 	Results    []Result `json:"results"`
+	Chaos      *Chaos   `json:"chaos,omitempty"`
 	Note       string   `json:"note,omitempty"`
 }
 
@@ -68,12 +87,16 @@ func main() {
 		gen     = flag.Int("gen", 6, "tokens generated per sequence")
 		runs    = flag.Int("runs", 3, "timing repetitions (best is reported)")
 		quick   = flag.Bool("quick", false, "shrink sizes for CI smoke runs")
+
+		faultRate = flag.Float64("fault-rate", 0.05, "chaos experiment: transient fault probability per tensor read (0 disables)")
+		faultSeed = flag.Int64("fault-seed", 42, "chaos experiment: fault plan seed")
+		retries   = flag.Int("retries", 8, "chaos experiment: max foreground retries per failed fetch")
 	)
 	flag.Parse()
 	if *quick {
 		*hidden, *blocks, *vocab, *gen, *runs = 128, 2, 512, 3, 1
 	}
-	if err := run(*out, *threads, *hidden, *blocks, *vocab, *batch, *gen, *runs); err != nil {
+	if err := run(*out, *threads, *hidden, *blocks, *vocab, *batch, *gen, *runs, *faultRate, *faultSeed, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "inferbench:", err)
 		os.Exit(1)
 	}
@@ -94,7 +117,7 @@ func best(runs int, fn func() error) (time.Duration, error) {
 	return bestD, nil
 }
 
-func run(out string, threads, hidden, blocks, vocab, batch, gen, runs int) error {
+func run(out string, threads, hidden, blocks, vocab, batch, gen, runs int, faultRate float64, faultSeed int64, retries int) error {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
@@ -270,6 +293,42 @@ func run(out string, threads, hidden, blocks, vocab, batch, gen, runs int) error
 		return err
 	}
 
+	// --- Chaos: generation under injected transient read faults ----------
+	if faultRate > 0 {
+		want, err := generate(fs, true)
+		if err != nil {
+			return err
+		}
+		faults, err := fault.NewStore(fs, fault.Plan{Seed: faultSeed, TransientRate: faultRate})
+		if err != nil {
+			return err
+		}
+		be, err := infer.NewBatchPrefetchedResilient(mc, faults, batch, infer.Retry{Max: retries})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		got, err := be.GenerateBatchContext(context.Background(), prompts, gen)
+		elapsed := time.Since(start)
+		degraded := be.DegradedFetches()
+		if cerr := be.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("chaos generation failed (rate %.2f, seed %d): %w", faultRate, faultSeed, err)
+		}
+		st := faults.Stats()
+		rep.Chaos = &Chaos{
+			FaultRate: faultRate, FaultSeed: faultSeed, Retries: retries,
+			Accesses: st.Accesses, Transients: st.Transients,
+			DegradedFetches: degraded, ElapsedNs: elapsed.Nanoseconds(),
+			Identical: equalTokens(want, got),
+		}
+		if !rep.Chaos.Identical {
+			return fmt.Errorf("chaos generation diverged from the fault-free run")
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -281,6 +340,11 @@ func run(out string, threads, hidden, blocks, vocab, batch, gen, runs int) error
 	for _, r := range rep.Results {
 		fmt.Printf("%-40s serial %10.3fms  parallel %10.3fms  speedup %.2fx\n",
 			r.Name, float64(r.SerialNs)/1e6, float64(r.ParallelNs)/1e6, r.Speedup)
+	}
+	if c := rep.Chaos; c != nil {
+		fmt.Printf("%-40s %d/%d reads failed, %d degraded fetches, identical=%v (%.3fms)\n",
+			fmt.Sprintf("chaos_rate%.2f_seed%d", c.FaultRate, c.FaultSeed),
+			c.Transients, c.Accesses, c.DegradedFetches, c.Identical, float64(c.ElapsedNs)/1e6)
 	}
 	fmt.Printf("wrote %s (threads=%d, gomaxprocs=%d)\n", out, threads, rep.GoMaxProcs)
 	return nil

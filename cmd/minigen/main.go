@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"helmsim/internal/fault"
 	"helmsim/internal/infer"
 	"helmsim/internal/model"
 	"helmsim/internal/quant"
@@ -39,16 +41,23 @@ func main() {
 		batch    = flag.Int("batch", 1, "sequences decoded in lockstep (weights fetched once per layer per step)")
 		threads  = flag.Int("threads", 0, "tensor-kernel worker count (<=0: GOMAXPROCS); output is identical at any setting")
 		prefetch = flag.Bool("prefetch", true, "fetch+dequantize layer L+1 in the background while layer L computes")
+
+		faultRate = flag.Float64("fault-rate", 0, "inject transient read errors at this per-tensor probability (chaos mode)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan (reproducible chaos)")
+		retries   = flag.Int("retries", 3, "max foreground retries per transiently failed fetch")
+		timeout   = flag.Duration("timeout", 0, "per-generation deadline (0 = none)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*threads)
-	if err := run(*arch, *hidden, *heads, *blocks, *vocab, *seed, *prompt, *gen, *quantize, *ckpt, *batch, *prefetch); err != nil {
+	if err := run(*arch, *hidden, *heads, *blocks, *vocab, *seed, *prompt, *gen, *quantize, *ckpt, *batch, *prefetch,
+		*faultRate, *faultSeed, *retries, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "minigen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV string, gen int, quantize bool, ckptPath string, batch int, prefetch bool) error {
+func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV string, gen int, quantize bool, ckptPath string, batch int, prefetch bool,
+	faultRate float64, faultSeed int64, retries int, timeout time.Duration) error {
 	if batch < 1 {
 		return fmt.Errorf("non-positive batch %d", batch)
 	}
@@ -121,34 +130,64 @@ func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV st
 	}
 	defer store.Close()
 
+	// Chaos mode: slot a seeded fault injector between the checkpoint
+	// store and the engine; foreground retries absorb what the injector
+	// throws.
+	var weightSrc infer.WeightStore = store
+	var faults *fault.Store
+	if faultRate > 0 {
+		faults, err = fault.NewStore(store, fault.Plan{Seed: faultSeed, TransientRate: faultRate})
+		if err != nil {
+			return err
+		}
+		weightSrc = faults
+	}
+	retry := infer.Retry{Max: retries}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	var outputs [][]int
-	var prefetchHits, prefetchMisses int
+	var prefetchHits, prefetchMisses, degraded int
 	if batch == 1 {
 		var engine *infer.Engine
 		if prefetch {
-			engine, err = infer.NewPrefetched(cfg, store)
+			engine, err = infer.NewPrefetchedResilient(cfg, weightSrc, retry)
 		} else {
-			engine, err = infer.New(cfg, store)
+			rs, rerr := infer.NewResilient(weightSrc, retry)
+			if rerr != nil {
+				return rerr
+			}
+			engine, err = infer.New(cfg, rs)
 		}
 		if err != nil {
 			return err
 		}
 		defer engine.Close()
-		out, err := engine.Generate(prompt, gen)
+		out, err := engine.GenerateContext(ctx, prompt, gen)
 		if err != nil {
 			return err
 		}
 		outputs = [][]int{out}
 		prefetchHits, prefetchMisses = engine.PrefetchStats()
+		degraded = engine.DegradedFetches()
 	} else {
 		// Lockstep batch: every sequence shares one weight fetch per layer
 		// per step (vary the prompts slightly so the outputs differ).
 		var be *infer.BatchEngine
 		if prefetch {
-			be, err = infer.NewBatchPrefetched(cfg, store, batch)
+			be, err = infer.NewBatchPrefetchedResilient(cfg, weightSrc, batch, retry)
 		} else {
-			be, err = infer.NewBatch(cfg, store, batch)
+			rs, rerr := infer.NewResilient(weightSrc, retry)
+			if rerr != nil {
+				return rerr
+			}
+			be, err = infer.NewBatch(cfg, rs, batch)
 		}
 		if err != nil {
 			return err
@@ -160,10 +199,11 @@ func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV st
 			p[len(p)-1] = (p[len(p)-1] + i) % vocab
 			prompts[i] = p
 		}
-		if outputs, err = be.GenerateBatch(prompts, gen); err != nil {
+		if outputs, err = be.GenerateBatchContext(ctx, prompts, gen); err != nil {
 			return err
 		}
 		prefetchHits, prefetchMisses = be.PrefetchStats()
+		degraded = be.DegradedFetches()
 	}
 	elapsed := time.Since(start)
 
@@ -175,6 +215,11 @@ func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV st
 		store.Reads(), float64(gen*batch)/elapsed.Seconds(), tensor.Parallelism())
 	if prefetch {
 		fmt.Printf("layer prefetch: %d background hits, %d foreground misses\n", prefetchHits, prefetchMisses)
+	}
+	if faults != nil {
+		st := faults.Stats()
+		fmt.Printf("chaos: %d/%d reads failed transiently (seed %d), %d degraded fetches, output unharmed\n",
+			st.Transients, st.Accesses, faultSeed, degraded)
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package helmsim
 import (
 	"io"
 
+	"helmsim/internal/checkpoint"
+	"helmsim/internal/fault"
 	"helmsim/internal/infer"
 	"helmsim/internal/quant"
 	"helmsim/internal/tensor"
@@ -77,3 +79,53 @@ var (
 // resets to GOMAXPROCS) and returns the previous setting. Kernel outputs
 // are bit-identical at every setting.
 var SetInferenceParallelism = tensor.SetParallelism
+
+// --- Resilience ---------------------------------------------------------
+
+// RetryPolicy bounds foreground retries of transiently failed weight
+// fetches, with deterministic backoff through an injectable clock.
+type RetryPolicy = infer.Retry
+
+// ResilientStore wraps a WeightStore with bounded retries: transient
+// read errors are retried under the policy, permanent errors (corruption,
+// closed checkpoint, missing tensor) surface immediately.
+type ResilientStore = infer.ResilientStore
+
+// NewResilientStore wraps a backing store with a retry policy.
+var NewResilientStore = infer.NewResilient
+
+// NewResilientPrefetchedEngine / NewResilientPrefetchedBatchEngine build
+// prefetched engines whose foreground paths retry transient failures: a
+// failed background prefetch degrades to a retried foreground fetch
+// (counted by DegradedFetches) instead of failing the generation.
+var (
+	NewResilientPrefetchedEngine      = infer.NewPrefetchedResilient
+	NewResilientPrefetchedBatchEngine = infer.NewBatchPrefetchedResilient
+)
+
+// FaultPlan is a seeded, reproducible fault-injection plan: transient
+// read errors, payload bit flips, and latency spikes at configured
+// rates or exact access indices.
+type FaultPlan = fault.Plan
+
+// FaultStore wraps a WeightStore with fault injection under a plan —
+// the chaos harness for the out-of-core serving path.
+type FaultStore = fault.Store
+
+// NewFaultStore builds a fault-injecting store wrapper.
+var NewFaultStore = fault.NewStore
+
+// NewFaultReaderAt wraps an io.ReaderAt with fault injection, for
+// slotting storage-tier corruption under a checkpoint index.
+var NewFaultReaderAt = fault.NewReaderAt
+
+// IsTransientFault classifies an error as retryable.
+var IsTransientFault = fault.IsTransient
+
+// ErrCheckpointCorrupt is returned (wrapped) whenever checkpoint bytes
+// fail CRC or structural validation — corrupt weights are never served.
+var ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+
+// ErrCheckpointClosed is returned (wrapped) by reads against a closed
+// checkpoint index.
+var ErrCheckpointClosed = checkpoint.ErrClosed

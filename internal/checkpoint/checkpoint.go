@@ -9,7 +9,15 @@
 //
 //	magic "HLMC" | version u32 | name length u16 | model name
 //	tensor count u32
-//	per tensor: name length u16 | name | kind u8 | payload length u64 | payload
+//	per tensor (v1): name length u16 | name | kind u8 | payload length u64 | payload
+//	per tensor (v2): name length u16 | name | kind u8 | payload length u64 | crc32 u32 | payload
+//
+// Version 2 adds a per-record CRC32 (IEEE) over the record header and
+// payload, so a flipped bit anywhere in a record surfaces as a typed
+// ErrCorrupt instead of silently becoming garbage floats — the integrity
+// property an out-of-core server re-reading every weight from a
+// failure-prone tier on every token depends on. The writer always emits
+// version 2; readers accept both versions.
 //
 // Raw payloads are IEEE-754 binary16 element streams; quantized payloads
 // are quant.Tensor.MarshalBinary blobs.
@@ -18,7 +26,9 @@ package checkpoint
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -27,9 +37,23 @@ import (
 
 // Format constants.
 const (
-	magic   = uint32(0x484c4d43) // "HLMC"
-	version = uint32(1)
+	magic = uint32(0x484c4d43) // "HLMC"
+	// versionNoCRC is the legacy record format without integrity checks.
+	versionNoCRC = uint32(1)
+	// versionCRC adds the per-record CRC32; the writer always emits it.
+	versionCRC = uint32(2)
 )
+
+// ErrCorrupt is the typed corruption error: any record whose bytes are
+// inconsistent — CRC mismatch, truncated payload, malformed header or
+// undecodable payload — yields an error wrapping it, never a silently
+// wrong tensor. Classify with errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("checkpoint: corrupt record")
+
+// ErrClosed is returned (wrapped) by operations on a closed Indexed
+// checkpoint, so engine/store teardown ordering mistakes surface as a
+// clear typed error instead of a raw file error.
+var ErrClosed = errors.New("checkpoint: closed")
 
 // Kind tags a tensor's encoding.
 type Kind uint8
@@ -39,6 +63,22 @@ const (
 	KindRawFP16 Kind = iota
 	KindGWQ
 )
+
+// recordCRC computes the v2 record checksum: CRC32 (IEEE) over the
+// record header (name length, name, kind, payload length) followed by
+// the payload, so a flip anywhere in the record is caught.
+func recordCRC(name string, kind Kind, payload []byte) uint32 {
+	le := binary.LittleEndian
+	var hdr []byte
+	hdr = le.AppendUint16(hdr, uint16(len(name)))
+	hdr = append(hdr, name...)
+	hdr = append(hdr, byte(kind))
+	hdr = le.AppendUint64(hdr, uint64(len(payload)))
+	h := crc32.NewIEEE()
+	h.Write(hdr)
+	h.Write(payload)
+	return h.Sum32()
+}
 
 // Writer emits a checkpoint. Close must be called to flush.
 type Writer struct {
@@ -65,7 +105,7 @@ func NewWriter(w io.Writer, modelName string, tensors int) (*Writer, error) {
 	var hdr []byte
 	le := binary.LittleEndian
 	hdr = le.AppendUint32(hdr, magic)
-	hdr = le.AppendUint32(hdr, version)
+	hdr = le.AppendUint32(hdr, versionCRC)
 	hdr = le.AppendUint16(hdr, uint16(len(modelName)))
 	hdr = append(hdr, modelName...)
 	hdr = le.AppendUint32(hdr, uint32(tensors))
@@ -75,7 +115,7 @@ func NewWriter(w io.Writer, modelName string, tensors int) (*Writer, error) {
 	return &Writer{w: bw, name: modelName, declared: uint32(tensors)}, nil
 }
 
-// writeEntry emits one tensor record.
+// writeEntry emits one tensor record with its integrity checksum.
 func (w *Writer) writeEntry(name string, kind Kind, payload []byte) error {
 	if w.count >= w.declared {
 		return fmt.Errorf("checkpoint: writing tensor %q beyond the declared %d", name, w.declared)
@@ -89,6 +129,7 @@ func (w *Writer) writeEntry(name string, kind Kind, payload []byte) error {
 	hdr = append(hdr, name...)
 	hdr = append(hdr, byte(kind))
 	hdr = le.AppendUint64(hdr, uint64(len(payload)))
+	hdr = le.AppendUint32(hdr, recordCRC(name, kind, payload))
 	if _, err := w.w.Write(hdr); err != nil {
 		return err
 	}
@@ -138,9 +179,46 @@ type Entry struct {
 	StoredBytes int
 }
 
+// decodePayload turns a record's payload into an Entry. Undecodable
+// payloads are corruption by definition: on the CRC path they cannot
+// occur without a matching checksum forgery, and on the legacy path they
+// are exactly the silent bit rot the typed error exists to name.
+func decodePayload(name string, kind Kind, payload []byte) (*Entry, error) {
+	e := &Entry{Name: name, Kind: kind, StoredBytes: len(payload)}
+	le := binary.LittleEndian
+	switch kind {
+	case KindRawFP16:
+		if len(payload)%2 != 0 {
+			return nil, fmt.Errorf("checkpoint: tensor %q has odd fp16 payload: %w", name, ErrCorrupt)
+		}
+		e.Data = make([]float32, len(payload)/2)
+		for i := range e.Data {
+			e.Data[i] = quant.Float16(le.Uint16(payload[2*i:])).Float32()
+		}
+	case KindGWQ:
+		var t quant.Tensor
+		if err := t.UnmarshalBinary(payload); err != nil {
+			return nil, fmt.Errorf("checkpoint: tensor %q: %v: %w", name, err, ErrCorrupt)
+		}
+		e.Data = t.Dequantize()
+	default:
+		return nil, fmt.Errorf("checkpoint: tensor %q has unknown kind %d: %w", name, kind, ErrCorrupt)
+	}
+	return e, nil
+}
+
+// readVersion parses and validates the version field.
+func readVersion(v uint32) (uint32, error) {
+	if v != versionNoCRC && v != versionCRC {
+		return 0, fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+	return v, nil
+}
+
 // Reader streams a checkpoint.
 type Reader struct {
 	r         *bufio.Reader
+	version   uint32
 	modelName string
 	remaining uint32
 }
@@ -156,8 +234,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if got := le.Uint32(hdr[0:]); got != magic {
 		return nil, fmt.Errorf("checkpoint: bad magic %#x", got)
 	}
-	if got := le.Uint32(hdr[4:]); got != version {
-		return nil, fmt.Errorf("checkpoint: unsupported version %d", got)
+	ver, err := readVersion(le.Uint32(hdr[4:]))
+	if err != nil {
+		return nil, err
 	}
 	nameLen := int(le.Uint16(hdr[8:]))
 	name := make([]byte, nameLen)
@@ -168,17 +247,48 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, cnt[:]); err != nil {
 		return nil, fmt.Errorf("checkpoint: tensor count: %w", err)
 	}
-	return &Reader{r: br, modelName: string(name), remaining: le.Uint32(cnt[:])}, nil
+	return &Reader{r: br, version: ver, modelName: string(name), remaining: le.Uint32(cnt[:])}, nil
 }
 
 // ModelName reports the checkpoint's model.
 func (r *Reader) ModelName() string { return r.modelName }
 
+// Version reports the checkpoint's format version.
+func (r *Reader) Version() int { return int(r.version) }
+
 // Remaining reports how many tensors are left to stream.
 func (r *Reader) Remaining() int { return int(r.remaining) }
 
+// corruptRead classifies a mid-record read failure: a record that ends
+// early is corrupt (truncation), any other I/O failure passes through.
+func corruptRead(err error) error {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return fmt.Errorf("%v: %w", err, ErrCorrupt)
+	}
+	return err
+}
+
+// readPayload reads n declared payload bytes without trusting the length
+// field: memory grows in bounded chunks as data actually arrives, so a
+// corrupt length fails with truncation instead of a giant up-front
+// allocation.
+func readPayload(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		step := min(n-uint64(len(buf)), chunk)
+		old := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[old:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
 // Next streams the next tensor, decoding it to float32. It returns io.EOF
-// after the last tensor.
+// after the last tensor. Records whose bytes are inconsistent yield an
+// error wrapping ErrCorrupt.
 func (r *Reader) Next() (*Entry, error) {
 	if r.remaining == 0 {
 		return nil, io.EOF
@@ -186,45 +296,38 @@ func (r *Reader) Next() (*Entry, error) {
 	le := binary.LittleEndian
 	var nl [2]byte
 	if _, err := io.ReadFull(r.r, nl[:]); err != nil {
-		return nil, fmt.Errorf("checkpoint: tensor header: %w", err)
+		return nil, fmt.Errorf("checkpoint: tensor header: %w", corruptRead(err))
 	}
 	name := make([]byte, le.Uint16(nl[:]))
 	if _, err := io.ReadFull(r.r, name); err != nil {
-		return nil, fmt.Errorf("checkpoint: tensor name: %w", err)
+		return nil, fmt.Errorf("checkpoint: tensor name: %w", corruptRead(err))
 	}
 	var kp [9]byte
 	if _, err := io.ReadFull(r.r, kp[:]); err != nil {
-		return nil, fmt.Errorf("checkpoint: tensor %q meta: %w", name, err)
+		return nil, fmt.Errorf("checkpoint: tensor %q meta: %w", name, corruptRead(err))
 	}
 	kind := Kind(kp[0])
 	payloadLen := le.Uint64(kp[1:])
 	if payloadLen > 1<<40 {
-		return nil, fmt.Errorf("checkpoint: tensor %q payload unreasonably large (%d)", name, payloadLen)
+		return nil, fmt.Errorf("checkpoint: tensor %q payload unreasonably large (%d): %w", name, payloadLen, ErrCorrupt)
 	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(r.r, payload); err != nil {
-		return nil, fmt.Errorf("checkpoint: tensor %q payload: %w", name, err)
+	var wantCRC uint32
+	if r.version >= versionCRC {
+		var cb [4]byte
+		if _, err := io.ReadFull(r.r, cb[:]); err != nil {
+			return nil, fmt.Errorf("checkpoint: tensor %q crc: %w", name, corruptRead(err))
+		}
+		wantCRC = le.Uint32(cb[:])
+	}
+	payload, err := readPayload(r.r, payloadLen)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: tensor %q payload: %w", name, corruptRead(err))
+	}
+	if r.version >= versionCRC {
+		if got := recordCRC(string(name), kind, payload); got != wantCRC {
+			return nil, fmt.Errorf("checkpoint: tensor %q crc mismatch (stored %#x, computed %#x): %w", name, wantCRC, got, ErrCorrupt)
+		}
 	}
 	r.remaining--
-
-	e := &Entry{Name: string(name), Kind: kind, StoredBytes: len(payload)}
-	switch kind {
-	case KindRawFP16:
-		if len(payload)%2 != 0 {
-			return nil, fmt.Errorf("checkpoint: tensor %q has odd fp16 payload", name)
-		}
-		e.Data = make([]float32, len(payload)/2)
-		for i := range e.Data {
-			e.Data[i] = quant.Float16(le.Uint16(payload[2*i:])).Float32()
-		}
-	case KindGWQ:
-		var t quant.Tensor
-		if err := t.UnmarshalBinary(payload); err != nil {
-			return nil, fmt.Errorf("checkpoint: tensor %q: %w", name, err)
-		}
-		e.Data = t.Dequantize()
-	default:
-		return nil, fmt.Errorf("checkpoint: tensor %q has unknown kind %d", name, kind)
-	}
-	return e, nil
+	return decodePayload(string(name), kind, payload)
 }

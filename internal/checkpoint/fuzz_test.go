@@ -2,13 +2,16 @@ package checkpoint
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 )
 
 // FuzzReader hardens the streaming checkpoint parser: arbitrary bytes must
 // either parse into consistent entries or be rejected with an error —
-// never panic, never allocate unbounded memory from a length field.
+// never panic, never allocate unbounded memory from a length field. With
+// the version-2 CRC records, every record-level rejection must also be
+// typed ErrCorrupt, so resilience layers can classify it as permanent.
 func FuzzReader(f *testing.F) {
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf, "fuzz-model", 2)
@@ -24,14 +27,33 @@ func FuzzReader(f *testing.F) {
 	if err := w.Close(); err != nil {
 		f.Fatal(err)
 	}
-	valid := buf.Bytes()
+	valid := buf.Bytes() // version 2, CRC per record
 	f.Add(valid)
+	// Truncated payload: the final bytes belong to tensor "b"'s payload.
+	f.Add(valid[:len(valid)-1])
 	f.Add(valid[:len(valid)/2])
+	// Flipped record-header byte (first record starts after the 20-byte
+	// file header: magic+version+namelen+"fuzz-model"+count).
+	hdrFlip := bytes.Clone(valid)
+	hdrFlip[21] ^= 0x40
+	f.Add(hdrFlip)
+	// Flipped payload byte.
+	payloadFlip := bytes.Clone(valid)
+	payloadFlip[len(payloadFlip)-2] ^= 0x04
+	f.Add(payloadFlip)
+	// Flipped CRC byte and legacy corruption seed.
 	corrupted := bytes.Clone(valid)
 	corrupted[6] ^= 0x7f
 	f.Add(corrupted)
 	f.Add([]byte("HLMC"))
 	f.Add([]byte{})
+	// A hand-built version-1 stream keeps the legacy path in the corpus.
+	v1 := writeV1("fuzz-v1", []struct {
+		name string
+		data []float32
+	}{{"a", []float32{1, 2}}})
+	f.Add(v1)
+	f.Add(v1[:len(v1)-1])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
@@ -44,7 +66,13 @@ func FuzzReader(f *testing.F) {
 				return
 			}
 			if err != nil {
-				return // corruption detected mid-stream is fine
+				// Record-level rejections are corruption by definition
+				// here: the only reader under a bytes.Reader that can
+				// fail mid-record is one looking at inconsistent bytes.
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("record error not typed ErrCorrupt: %v", err)
+				}
+				return
 			}
 			if e.Name == "" && len(e.Data) == 0 && e.StoredBytes != 0 {
 				t.Fatalf("inconsistent empty entry: %+v", e)

@@ -5,26 +5,35 @@ import (
 	"fmt"
 	"io"
 	"os"
-
-	"helmsim/internal/quant"
+	"sync/atomic"
 )
 
 // entryMeta locates one tensor inside the file.
 type entryMeta struct {
 	kind   Kind
-	offset int64
+	offset int64 // payload start
 	length int64
+	crc    uint32 // v2 record checksum; unused for v1
 }
 
-// Indexed is a random-access view of a checkpoint file: the header and
-// tensor directory are scanned once, payloads stay on disk and are read
-// and decoded per request — the out-of-core weight access pattern, where
-// a 300 GB checkpoint serves layer by layer from storage.
+// Indexed is a random-access view of a checkpoint: the header and tensor
+// directory are scanned once, payloads stay on the backing reader and
+// are read and decoded per request — the out-of-core weight access
+// pattern, where a 300 GB checkpoint serves layer by layer from storage.
+//
+// The backing reader is any io.ReaderAt (OpenIndexed supplies a file),
+// which is where fault injection slots in: wrap the reader and every
+// payload fetch goes through the injector. Version-2 checkpoints verify
+// each record's CRC on every ReadTensor, so storage-tier bit flips
+// surface as ErrCorrupt instead of garbage floats.
 type Indexed struct {
-	f         *os.File
+	r         io.ReaderAt
+	closer    io.Closer // nil when the caller owns the reader
+	version   uint32
 	modelName string
 	entries   map[string]entryMeta
 	order     []string
+	closed    atomic.Bool
 }
 
 // OpenIndexed opens and indexes a checkpoint file.
@@ -33,12 +42,39 @@ func OpenIndexed(path string) (*Indexed, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Indexed{f: f, entries: make(map[string]entryMeta)}
-	if err := ix.scan(); err != nil {
+	ix, err := NewIndexed(f)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
+	ix.closer = f
 	return ix, nil
+}
+
+// NewIndexed indexes a checkpoint served from any io.ReaderAt. The
+// caller retains ownership of the reader; Close only marks the index
+// closed.
+func NewIndexed(r io.ReaderAt) (*Indexed, error) {
+	if r == nil {
+		return nil, fmt.Errorf("checkpoint: nil reader")
+	}
+	ix := &Indexed{r: r, entries: make(map[string]entryMeta)}
+	if err := ix.scan(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// readAt is io.ReaderAt.ReadAt with full-buffer semantics.
+func (ix *Indexed) readAt(p []byte, off int64) error {
+	n, err := ix.r.ReadAt(p, off)
+	if err != nil && !(err == io.EOF && n == len(p)) {
+		return err
+	}
+	if n < len(p) {
+		return io.ErrUnexpectedEOF
+	}
+	return nil
 }
 
 // scan reads the header and walks the tensor directory without loading
@@ -46,23 +82,25 @@ func OpenIndexed(path string) (*Indexed, error) {
 func (ix *Indexed) scan() error {
 	le := binary.LittleEndian
 	var hdr [10]byte
-	if _, err := io.ReadFull(ix.f, hdr[:]); err != nil {
+	if err := ix.readAt(hdr[:], 0); err != nil {
 		return fmt.Errorf("checkpoint: header: %w", err)
 	}
 	if got := le.Uint32(hdr[0:]); got != magic {
 		return fmt.Errorf("checkpoint: bad magic %#x", got)
 	}
-	if got := le.Uint32(hdr[4:]); got != version {
-		return fmt.Errorf("checkpoint: unsupported version %d", got)
+	ver, err := readVersion(le.Uint32(hdr[4:]))
+	if err != nil {
+		return err
 	}
+	ix.version = ver
 	nameLen := int64(le.Uint16(hdr[8:]))
 	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(ix.f, name); err != nil {
+	if err := ix.readAt(name, 10); err != nil {
 		return fmt.Errorf("checkpoint: model name: %w", err)
 	}
 	ix.modelName = string(name)
 	var cnt [4]byte
-	if _, err := io.ReadFull(ix.f, cnt[:]); err != nil {
+	if err := ix.readAt(cnt[:], 10+nameLen); err != nil {
 		return fmt.Errorf("checkpoint: count: %w", err)
 	}
 	n := le.Uint32(cnt[:])
@@ -70,35 +108,49 @@ func (ix *Indexed) scan() error {
 	off := int64(10) + nameLen + 4
 	for i := uint32(0); i < n; i++ {
 		var nl [2]byte
-		if _, err := ix.f.ReadAt(nl[:], off); err != nil {
-			return fmt.Errorf("checkpoint: tensor %d header: %w", i, err)
+		if err := ix.readAt(nl[:], off); err != nil {
+			return fmt.Errorf("checkpoint: tensor %d header: %w", i, corruptRead(err))
 		}
 		tn := make([]byte, le.Uint16(nl[:]))
-		if _, err := ix.f.ReadAt(tn, off+2); err != nil {
-			return fmt.Errorf("checkpoint: tensor %d name: %w", i, err)
+		if err := ix.readAt(tn, off+2); err != nil {
+			return fmt.Errorf("checkpoint: tensor %d name: %w", i, corruptRead(err))
 		}
 		var kp [9]byte
 		metaOff := off + 2 + int64(len(tn))
-		if _, err := ix.f.ReadAt(kp[:], metaOff); err != nil {
-			return fmt.Errorf("checkpoint: tensor %q meta: %w", tn, err)
+		if err := ix.readAt(kp[:], metaOff); err != nil {
+			return fmt.Errorf("checkpoint: tensor %q meta: %w", tn, corruptRead(err))
 		}
 		payloadLen := int64(le.Uint64(kp[1:]))
 		if payloadLen < 0 || payloadLen > 1<<40 {
-			return fmt.Errorf("checkpoint: tensor %q has bad payload length %d", tn, payloadLen)
+			return fmt.Errorf("checkpoint: tensor %q has bad payload length %d: %w", tn, payloadLen, ErrCorrupt)
 		}
+		m := entryMeta{kind: Kind(kp[0]), length: payloadLen}
+		payloadOff := metaOff + 9
+		if ver >= versionCRC {
+			var cb [4]byte
+			if err := ix.readAt(cb[:], payloadOff); err != nil {
+				return fmt.Errorf("checkpoint: tensor %q crc: %w", tn, corruptRead(err))
+			}
+			m.crc = le.Uint32(cb[:])
+			payloadOff += 4
+		}
+		m.offset = payloadOff
 		key := string(tn)
 		if _, dup := ix.entries[key]; dup {
 			return fmt.Errorf("checkpoint: duplicate tensor %q", key)
 		}
-		ix.entries[key] = entryMeta{kind: Kind(kp[0]), offset: metaOff + 9, length: payloadLen}
+		ix.entries[key] = m
 		ix.order = append(ix.order, key)
-		off = metaOff + 9 + payloadLen
+		off = payloadOff + payloadLen
 	}
 	return nil
 }
 
 // ModelName reports the checkpoint's model.
 func (ix *Indexed) ModelName() string { return ix.modelName }
+
+// Version reports the checkpoint's format version.
+func (ix *Indexed) Version() int { return int(ix.version) }
 
 // Names lists the tensor names in file order.
 func (ix *Indexed) Names() []string { return append([]string(nil), ix.order...) }
@@ -109,38 +161,40 @@ func (ix *Indexed) Has(name string) bool {
 	return ok
 }
 
-// ReadTensor fetches and decodes one tensor from disk.
+// ReadTensor fetches and decodes one tensor from storage, verifying the
+// record CRC on version-2 checkpoints. After Close it fails with
+// ErrClosed; corrupt records fail with ErrCorrupt.
 func (ix *Indexed) ReadTensor(name string) (*Entry, error) {
+	if ix.closed.Load() {
+		return nil, fmt.Errorf("checkpoint: tensor %q: %w", name, ErrClosed)
+	}
 	m, ok := ix.entries[name]
 	if !ok {
 		return nil, fmt.Errorf("checkpoint: no tensor %q", name)
 	}
-	payload := make([]byte, m.length)
-	if _, err := ix.f.ReadAt(payload, m.offset); err != nil {
-		return nil, fmt.Errorf("checkpoint: tensor %q payload: %w", name, err)
+	payload, err := readPayload(io.NewSectionReader(ix.r, m.offset, m.length), uint64(m.length))
+	if err != nil {
+		if ix.closed.Load() {
+			return nil, fmt.Errorf("checkpoint: tensor %q: %w", name, ErrClosed)
+		}
+		return nil, fmt.Errorf("checkpoint: tensor %q payload: %w", name, corruptRead(err))
 	}
-	e := &Entry{Name: name, Kind: m.kind, StoredBytes: len(payload)}
-	le := binary.LittleEndian
-	switch m.kind {
-	case KindRawFP16:
-		if len(payload)%2 != 0 {
-			return nil, fmt.Errorf("checkpoint: tensor %q has odd fp16 payload", name)
+	if ix.version >= versionCRC {
+		if got := recordCRC(name, m.kind, payload); got != m.crc {
+			return nil, fmt.Errorf("checkpoint: tensor %q crc mismatch (stored %#x, computed %#x): %w", name, m.crc, got, ErrCorrupt)
 		}
-		e.Data = make([]float32, len(payload)/2)
-		for i := range e.Data {
-			e.Data[i] = quant.Float16(le.Uint16(payload[2*i:])).Float32()
-		}
-	case KindGWQ:
-		var t quant.Tensor
-		if err := t.UnmarshalBinary(payload); err != nil {
-			return nil, fmt.Errorf("checkpoint: tensor %q: %w", name, err)
-		}
-		e.Data = t.Dequantize()
-	default:
-		return nil, fmt.Errorf("checkpoint: tensor %q has unknown kind %d", name, m.kind)
 	}
-	return e, nil
+	return decodePayload(name, m.kind, payload)
 }
 
-// Close releases the file.
-func (ix *Indexed) Close() error { return ix.f.Close() }
+// Close releases the backing file (when opened via OpenIndexed) and
+// fails subsequent reads with ErrClosed. Close is idempotent.
+func (ix *Indexed) Close() error {
+	if ix.closed.Swap(true) {
+		return nil
+	}
+	if ix.closer != nil {
+		return ix.closer.Close()
+	}
+	return nil
+}

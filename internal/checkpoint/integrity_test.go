@@ -1,0 +1,233 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"helmsim/internal/quant"
+)
+
+// writeV1 hand-encodes a legacy (version 1, no CRC) checkpoint so the
+// compatibility path is tested against real old-format bytes, not
+// against whatever the current writer happens to emit.
+func writeV1(modelName string, tensors []struct {
+	name string
+	data []float32
+}) []byte {
+	le := binary.LittleEndian
+	var out []byte
+	out = le.AppendUint32(out, magic)
+	out = le.AppendUint32(out, versionNoCRC)
+	out = le.AppendUint16(out, uint16(len(modelName)))
+	out = append(out, modelName...)
+	out = le.AppendUint32(out, uint32(len(tensors)))
+	for _, t := range tensors {
+		out = le.AppendUint16(out, uint16(len(t.name)))
+		out = append(out, t.name...)
+		out = append(out, byte(KindRawFP16))
+		out = le.AppendUint64(out, uint64(2*len(t.data)))
+		for _, v := range t.data {
+			out = le.AppendUint16(out, uint16(quant.ToFloat16(v)))
+		}
+	}
+	return out
+}
+
+// The writer now emits version 2; version-1 files must still stream and
+// index identically (minus integrity checking).
+func TestV1CheckpointsStillLoad(t *testing.T) {
+	blob := writeV1("old-model", []struct {
+		name string
+		data []float32
+	}{
+		{"L000/w_token", []float32{1, 2, 3, 4}},
+		{"L001/w_q", []float32{0.5, -0.5}},
+	})
+
+	r, err := NewReader(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 1 {
+		t.Errorf("version = %d, want 1", r.Version())
+	}
+	if r.ModelName() != "old-model" {
+		t.Errorf("model = %q", r.ModelName())
+	}
+	e, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "L000/w_token" || len(e.Data) != 4 || e.Data[2] != 3 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e, err = r.Next(); err != nil || e.Name != "L001/w_q" {
+		t.Fatalf("entry 2 = %+v, err %v", e, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+
+	ix, err := NewIndexed(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Version() != 1 {
+		t.Errorf("indexed version = %d, want 1", ix.Version())
+	}
+	got, err := ix.ReadTensor("L001/w_q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 0.5 || got.Data[1] != -0.5 {
+		t.Fatalf("v1 indexed read = %v", got.Data)
+	}
+}
+
+// v2Checkpoint builds a two-tensor version-2 checkpoint and returns its
+// bytes and the byte offset where the first record starts.
+func v2Checkpoint(t *testing.T) (blob []byte, recordStart int) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "m2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRaw("alpha", []float32{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	qt, err := quant.Quantize(make([]float32, 256), quant.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteQuantized("beta", qt); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), 10 + len("m2") + 4
+}
+
+// Every single-bit flip inside a record — header bytes, CRC field, or
+// payload — must surface as ErrCorrupt from the streaming reader, never
+// as a silently wrong tensor.
+func TestCRCDetectsEveryRecordFlip(t *testing.T) {
+	blob, start := v2Checkpoint(t)
+	for pos := start; pos < len(blob); pos++ {
+		bad := append([]byte(nil), blob...)
+		bad[pos] ^= 0x10
+		r, err := NewReader(bytes.NewReader(bad))
+		if err != nil {
+			t.Fatalf("pos %d: header rejected: %v", pos, err)
+		}
+		sawCorrupt := false
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("flip at %d: error not typed ErrCorrupt: %v", pos, err)
+				}
+				sawCorrupt = true
+				break
+			}
+		}
+		if !sawCorrupt {
+			t.Fatalf("flip at byte %d decoded successfully", pos)
+		}
+	}
+}
+
+// Truncating the stream anywhere inside the record region must also be
+// typed corruption.
+func TestCRCDetectsTruncation(t *testing.T) {
+	blob, start := v2Checkpoint(t)
+	for _, cut := range []int{start + 1, start + 10, len(blob) - 1, len(blob) - 7} {
+		r, err := NewReader(bytes.NewReader(blob[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header rejected: %v", cut, err)
+		}
+		var lastErr error
+		for {
+			_, err := r.Next()
+			if err != nil {
+				lastErr = err
+				break
+			}
+		}
+		if lastErr == io.EOF || !errors.Is(lastErr, ErrCorrupt) {
+			t.Errorf("cut at %d: err = %v, want ErrCorrupt", cut, lastErr)
+		}
+	}
+}
+
+// The indexed reader must verify CRCs per ReadTensor: corrupt the
+// payload bytes after indexing and the read fails typed.
+func TestIndexedReadVerifiesCRC(t *testing.T) {
+	blob, _ := v2Checkpoint(t)
+	ix, err := NewIndexed(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Version() != 2 {
+		t.Fatalf("version = %d, want 2", ix.Version())
+	}
+	if _, err := ix.ReadTensor("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the last record (payloads are at the tail
+	// of each record, so the final bytes belong to "beta").
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-3] ^= 0x01
+	ix2, err := NewIndexed(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ix2.ReadTensor("beta")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted payload read err = %v, want ErrCorrupt", err)
+	}
+	// The untouched record still reads.
+	if _, err := ix2.ReadTensor("alpha"); err != nil {
+		t.Fatalf("clean record failed: %v", err)
+	}
+}
+
+// Operations on a closed Indexed fail with the typed ErrClosed, not a
+// raw os file error, and Close is idempotent.
+func TestIndexedClosedIsTyped(t *testing.T) {
+	blob, _ := v2Checkpoint(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m2.hlmc")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := OpenIndexed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.ReadTensor("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	_, err = ix.ReadTensor("alpha")
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close err = %v, want ErrClosed", err)
+	}
+	if errors.Is(err, os.ErrClosed) {
+		t.Errorf("raw os error leaked: %v", err)
+	}
+}

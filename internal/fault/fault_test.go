@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// memStore is a trivial backing store for injection tests.
+type memStore struct{ calls int }
+
+func (m *memStore) Tensor(layer int, name string) ([]float32, error) {
+	m.calls++
+	return []float32{1, 2, 3, 4}, nil
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{TransientRate: -0.1},
+		{TransientRate: 1.5},
+		{CorruptRate: 2},
+		{SpikeRate: -1},
+		{FailAtAccess: -3},
+		{CorruptAtAccess: -1},
+		{Spike: -time.Second},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d accepted: %+v", i, p)
+		}
+	}
+	if _, err := NewStore(nil, Plan{}); err == nil {
+		t.Error("nil backing accepted")
+	}
+	if _, err := NewReaderAt(nil, Plan{}); err == nil {
+		t.Error("nil reader accepted")
+	}
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	ms := &memStore{}
+	s, err := NewStore(ms, Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d, err := s.Tensor(0, "w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d[0] != 1 {
+			t.Fatalf("data altered: %v", d)
+		}
+	}
+	st := s.Stats()
+	if st.Transients != 0 || st.Corruptions != 0 || st.Spikes != 0 {
+		t.Errorf("zero plan injected: %+v", st)
+	}
+	if st.Accesses != 50 {
+		t.Errorf("accesses = %d, want 50", st.Accesses)
+	}
+}
+
+func TestTransientInjectionIsSeededAndTyped(t *testing.T) {
+	seq := func(seed int64) []bool {
+		s, err := NewStore(&memStore{}, Plan{Seed: seed, TransientRate: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 200; i++ {
+			_, err := s.Tensor(0, "w")
+			if err != nil && !IsTransient(err) {
+				t.Fatalf("injected error is not transient: %v", err)
+			}
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at access %d", i)
+		}
+	}
+	var fails int
+	for _, f := range a {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("rate 0.3 produced %d/%d failures", fails, len(a))
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestFailExactlyAtAccess(t *testing.T) {
+	s, err := NewStore(&memStore{}, Plan{FailAtAccess: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		_, err := s.Tensor(0, "w")
+		if (err != nil) != (i == 3) {
+			t.Errorf("access %d: err = %v", i, err)
+		}
+		if i == 3 && !errors.Is(err, ErrTransient) {
+			t.Errorf("fail-at error not transient: %v", err)
+		}
+	}
+}
+
+func TestStoreCorruptionFlipsCopyNotBacking(t *testing.T) {
+	ms := &memStore{}
+	s, err := NewStore(ms, Plan{CorruptAtAccess: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Tensor(0, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 3, 4}
+	diff := 0
+	for i := range d {
+		if d[i] != want[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption changed %d elements, want exactly 1: %v", diff, d)
+	}
+	// The next access is clean again and the backing data was untouched.
+	d2, err := s.Tensor(0, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d2 {
+		if d2[i] != want[i] {
+			t.Fatalf("backing data corrupted: %v", d2)
+		}
+	}
+}
+
+func TestReaderAtInjection(t *testing.T) {
+	base := bytes.NewReader([]byte("the quick brown fox jumps over the lazy dog"))
+	var slept []time.Duration
+	ra, err := NewReaderAt(base, Plan{
+		FailAtAccess:    2,
+		CorruptAtAccess: 3,
+		SpikeRate:       1,
+		Spike:           5 * time.Millisecond,
+		Sleep:           func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 9)
+	if _, err := ra.ReadAt(buf, 4); err != nil { // access 1: clean
+		t.Fatal(err)
+	}
+	if string(buf) != "quick bro" {
+		t.Fatalf("clean read altered: %q", buf)
+	}
+	if _, err := ra.ReadAt(buf, 4); err == nil || !IsTransient(err) { // access 2: fails
+		t.Fatalf("access 2: err = %v, want transient", err)
+	}
+	if _, err := ra.ReadAt(buf, 4); err != nil { // access 3: corrupted
+		t.Fatal(err)
+	}
+	if string(buf) == "quick bro" {
+		t.Fatal("corrupting read returned clean bytes")
+	}
+	if len(slept) != 3 {
+		t.Errorf("spike sleeps = %d, want 3 (every access)", len(slept))
+	}
+	st := ra.Stats()
+	if st.Accesses != 3 || st.Transients != 1 || st.Corruptions != 1 || st.Spikes != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDisarmPausesInjection(t *testing.T) {
+	s, err := NewStore(&memStore{}, Plan{TransientRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev := s.SetArmed(false); !prev {
+		t.Error("injector did not start armed")
+	}
+	if _, err := s.Tensor(0, "w"); err != nil {
+		t.Fatalf("disarmed injector failed: %v", err)
+	}
+	if st := s.Stats(); st.Accesses != 0 {
+		t.Errorf("disarmed access counted: %+v", st)
+	}
+	s.SetArmed(true)
+	if _, err := s.Tensor(0, "w"); err == nil {
+		t.Error("armed rate-1 injector passed")
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	wrapped := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrTransient))
+	if !IsTransient(wrapped) {
+		t.Error("wrapped ErrTransient not classified transient")
+	}
+	if IsTransient(io.EOF) || IsTransient(nil) {
+		t.Error("non-transient classified transient")
+	}
+	if IsTransient(errors.New("transient-looking but untyped")) {
+		t.Error("string matching leaked into classification")
+	}
+	if !IsTransient(markerErr{}) {
+		t.Error("Transient() bool marker not honored")
+	}
+}
+
+// markerErr carries transience via the method convention rather than the
+// sentinel.
+type markerErr struct{}
+
+func (markerErr) Error() string   { return "marked" }
+func (markerErr) Transient() bool { return true }
+
+func TestErrorMessagesCarryContext(t *testing.T) {
+	s, err := NewStore(&memStore{}, Plan{FailAtAccess: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Tensor(7, "w_q")
+	if err == nil || !strings.Contains(err.Error(), "L7/w_q") {
+		t.Errorf("injected error lost tensor identity: %v", err)
+	}
+}

@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// TensorStore is the weight-store shape this package wraps; it matches
+// infer.WeightStore structurally so the injector needs no dependency on
+// the engine.
+type TensorStore interface {
+	Tensor(layer int, name string) ([]float32, error)
+}
+
+// Store injects faults at tensor granularity: each Tensor call is one
+// access of the plan. Transient failures return an error wrapping
+// ErrTransient; corruption flips one bit of one element in a copy of
+// the fetched tensor (the backing store's data is never touched).
+type Store struct {
+	injector
+	backing TensorStore
+}
+
+// NewStore wraps a weight store with the plan's faults.
+func NewStore(backing TensorStore, plan Plan) (*Store, error) {
+	if backing == nil {
+		return nil, fmt.Errorf("fault: nil backing store")
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{injector: newInjector(plan), backing: backing}, nil
+}
+
+// Tensor implements the weight-store interface with injection.
+func (s *Store) Tensor(layer int, name string) ([]float32, error) {
+	o, armed := s.decide()
+	if !armed {
+		return s.backing.Tensor(layer, name)
+	}
+	if o.spike {
+		s.sleep()
+	}
+	if o.fail {
+		return nil, fmt.Errorf("fault: injected read error at access %d (L%d/%s): %w", o.access, layer, name, ErrTransient)
+	}
+	data, err := s.backing.Tensor(layer, name)
+	if err != nil {
+		return nil, err
+	}
+	if o.corrupt && len(data) > 0 {
+		flipped := append([]float32(nil), data...)
+		i := int(o.bitIndex % int64(len(flipped)))
+		bit := uint32(1) << uint(o.bitIndex%32)
+		flipped[i] = math.Float32frombits(math.Float32bits(flipped[i]) ^ bit)
+		return flipped, nil
+	}
+	return data, nil
+}

@@ -1,0 +1,455 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"helmsim/internal/checkpoint"
+	"helmsim/internal/fault"
+	"helmsim/internal/model"
+	"helmsim/internal/quant"
+)
+
+// noSleep is the injectable clock for retry backoff in tests.
+func noSleep(time.Duration) {}
+
+// flakyStore fails the first failures calls with a transient error, then
+// serves from the backing store.
+type flakyStore struct {
+	backing  WeightStore
+	failures int
+	calls    int
+}
+
+func (f *flakyStore) Tensor(layer int, name string) ([]float32, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return nil, fmt.Errorf("flaky: %w", fault.ErrTransient)
+	}
+	return f.backing.Tensor(layer, name)
+}
+
+// permStore always fails with a permanent (untyped) error.
+type permStore struct{ calls int }
+
+func (p *permStore) Tensor(layer int, name string) ([]float32, error) {
+	p.calls++
+	return nil, errors.New("disk on fire")
+}
+
+func TestResilientStoreRetriesTransients(t *testing.T) {
+	mc := tinyOPT()
+	raw, err := RandomWeights(mc, 3, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewResilient(&flakyStore{backing: raw, failures: 2}, Retry{Max: 3, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rs.Tensor(0, "w_token")
+	if err != nil {
+		t.Fatalf("transient failures not absorbed: %v", err)
+	}
+	if len(d) == 0 {
+		t.Fatal("empty tensor")
+	}
+	if rs.Retries() != 2 || rs.Recovered() != 1 {
+		t.Errorf("retries = %d, recovered = %d; want 2, 1", rs.Retries(), rs.Recovered())
+	}
+}
+
+func TestResilientStoreDoesNotRetryPermanentErrors(t *testing.T) {
+	ps := &permStore{}
+	rs, err := NewResilient(ps, Retry{Max: 5, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Tensor(0, "w_q"); err == nil {
+		t.Fatal("permanent error swallowed")
+	}
+	if ps.calls != 1 {
+		t.Errorf("permanent error was retried %d times", ps.calls-1)
+	}
+	if rs.Retries() != 0 {
+		t.Errorf("retries = %d, want 0", rs.Retries())
+	}
+}
+
+func TestResilientStoreExhaustionStaysTyped(t *testing.T) {
+	fs := &flakyStore{backing: nil, failures: 1 << 30} // never recovers
+	rs, err := NewResilient(fs, Retry{Max: 2, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rs.Tensor(1, "w_k")
+	if err == nil {
+		t.Fatal("exhausted retries returned success")
+	}
+	if !fault.IsTransient(err) {
+		t.Errorf("exhaustion lost transient typing: %v", err)
+	}
+	if fs.calls != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", fs.calls)
+	}
+	if _, err := NewResilient(nil, Retry{}); err == nil {
+		t.Error("nil backing accepted")
+	}
+	if _, err := NewResilient(fs, Retry{Max: -1}); err == nil {
+		t.Error("negative retry accepted")
+	}
+}
+
+// writeTestCheckpoint stores quantized weights for mc and returns the
+// path.
+func writeTestCheckpoint(t *testing.T, mc model.Config, seed int64) string {
+	t.Helper()
+	raw, err := RandomWeights(mc, seed, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "chaos.hlmc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := quant.Default()
+	if err := WriteCheckpoint(f, mc, raw, &qc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The acceptance chaos run: a seeded 5% transient-read fault plan over a
+// FileStore must not change a prefetched engine's output — every failed
+// background fetch degrades to a foreground retry (DegradedFetches > 0)
+// and the generation completes with zero errors and byte-identical
+// tokens.
+func TestChaosTransientFaultsAreAbsorbed(t *testing.T) {
+	mc := tinyOPT()
+	path := writeTestCheckpoint(t, mc, 17)
+	prompt := []int{1, 2, 3}
+	const gen = 12
+
+	// Fault-free reference.
+	clean, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	ref, err := NewPrefetched(mc, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Generate(prompt, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same checkpoint behind a 5% transient fault plan.
+	faulty, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faulty.Close()
+	fs, err := fault.NewStore(faulty, fault.Plan{Seed: 99, TransientRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewPrefetchedResilient(mc, fs, Retry{Max: 12, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	got, err := eng.Generate(prompt, gen)
+	if err != nil {
+		t.Fatalf("generation failed under 5%% transient faults: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d diverged under faults: %v vs %v", i, got, want)
+		}
+	}
+	st := fs.Stats()
+	if st.Transients == 0 {
+		t.Fatal("plan injected no faults — chaos run proved nothing")
+	}
+	if eng.DegradedFetches() == 0 {
+		t.Errorf("transients injected (%d) but DegradedFetches = 0", st.Transients)
+	}
+	t.Logf("chaos: %d accesses, %d transients, %d degraded fetches", st.Accesses, st.Transients, eng.DegradedFetches())
+}
+
+// Silent storage-tier bit flips must surface as checkpoint.ErrCorrupt —
+// the generation fails typed, it never emits wrong tokens.
+func TestChaosCorruptionIsDetectedNeverWrongTokens(t *testing.T) {
+	mc := tinyOPT()
+	path := writeTestCheckpoint(t, mc, 23)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ra, err := fault.NewReaderAt(f, fault.Plan{Seed: 7, CorruptRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.SetArmed(false) // index cleanly ...
+	ix, err := checkpoint.NewIndexed(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewFileStore(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.SetArmed(true) // ... then corrupt every payload read
+	eng, err := New(mc, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Generate([]int{1, 2}, 4)
+	if err == nil {
+		t.Fatalf("corrupted reads produced tokens: %v", out)
+	}
+	if !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("corruption not typed ErrCorrupt: %v", err)
+	}
+	if fault.IsTransient(err) {
+		t.Errorf("corruption classified transient (would be retried forever): %v", err)
+	}
+}
+
+// A resilient engine must also refuse corrupt data rather than retry it
+// into the output: ErrCorrupt is permanent, so the retry layer gives up
+// immediately.
+func TestChaosCorruptionNotRetried(t *testing.T) {
+	mc := tinyOPT()
+	path := writeTestCheckpoint(t, mc, 29)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ra, err := fault.NewReaderAt(f, fault.Plan{Seed: 11, CorruptRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.SetArmed(false)
+	ix, err := checkpoint.NewIndexed(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewFileStore(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.SetArmed(true)
+	eng, err := NewPrefetchedResilient(mc, store, Retry{Max: 4, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, err = eng.Generate([]int{1, 2}, 4)
+	if !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt through the resilient path, got %v", err)
+	}
+}
+
+// Two engines share one fault-wrapped FileStore concurrently — the -race
+// gate for the injector, the degraded-fetch path, and the retry
+// counters. Both outputs must match the fault-free serial reference.
+func TestChaosSharedFaultStoreConcurrentEngines(t *testing.T) {
+	mc := tinyOPT()
+	path := writeTestCheckpoint(t, mc, 41)
+	prompt := []int{1, 2, 3}
+	const gen = 6
+
+	clean, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	ref, err := New(mc, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Generate(prompt, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faulty.Close()
+	fs, err := fault.NewStore(faulty, fault.Plan{Seed: 5, TransientRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for e := 0; e < 2; e++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng, err := NewPrefetchedResilient(mc, fs, Retry{Max: 16, Sleep: noSleep})
+			if err != nil {
+				errs[e] = err
+				return
+			}
+			defer eng.Close()
+			got, err := eng.Generate(prompt, gen)
+			if err != nil {
+				errs[e] = fmt.Errorf("engine %d: %w", e, err)
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					errs[e] = fmt.Errorf("engine %d token %d: %d != %d", e, i, got[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := fs.Stats(); st.Transients == 0 {
+		t.Error("shared chaos run injected no faults")
+	}
+}
+
+// Closing the FileStore underneath a live engine must surface the typed
+// checkpoint.ErrClosed — not a raw *os.File error — and closing the
+// engine afterwards stays clean (the Close-ordering regression).
+func TestCloseOrderingSurfacesTypedClosedError(t *testing.T) {
+	mc := tinyOPT()
+	path := writeTestCheckpoint(t, mc, 59)
+	store, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewPrefetched(mc, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Generate([]int{1, 2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Generate([]int{3}, 2)
+	if err == nil {
+		t.Fatal("generation over a closed store succeeded")
+	}
+	if !errors.Is(err, checkpoint.ErrClosed) {
+		t.Fatalf("want checkpoint.ErrClosed, got %v", err)
+	}
+	if errors.Is(err, os.ErrClosed) {
+		t.Errorf("raw os error leaked through: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Errorf("engine Close after store Close: %v", err)
+	}
+	// Closing the store again stays a clean no-op.
+	if err := store.Close(); err != nil {
+		t.Errorf("second store Close: %v", err)
+	}
+}
+
+// MemStore and QuantStore hand out copies: a caller scribbling on a
+// returned tensor must not corrupt the store for later layer visits.
+func TestStoreTensorsAreCopies(t *testing.T) {
+	mc := tinyOPT()
+	raw, err := RandomWeights(mc, 61, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Quantize(mc, raw, quant.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		store WeightStore
+		name  string
+	}{
+		{raw, "w_token"}, // MemStore raw weight
+		{raw, "w_ln"},    // MemStore norm gain
+		{qs, "w_ln"},     // QuantStore raw (uncompressed) param
+		{qs, "b_ln"},     // QuantStore bias
+	} {
+		layer := 1
+		if tc.name == "w_token" {
+			layer = 0
+		}
+		before, err := tc.store.Tensor(layer, tc.name)
+		if err != nil {
+			t.Fatalf("%T/%s: %v", tc.store, tc.name, err)
+		}
+		orig := append([]float32(nil), before...)
+		for i := range before {
+			before[i] = 12345 // scribble
+		}
+		after, err := tc.store.Tensor(layer, tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range after {
+			if after[i] != orig[i] {
+				t.Fatalf("%T/%s: caller mutation corrupted the store at elem %d", tc.store, tc.name, i)
+			}
+		}
+	}
+}
+
+// Per-generation contexts bound a generation: cancellation and deadlines
+// abort between forward passes with the context's error.
+func TestGenerateContextDeadline(t *testing.T) {
+	mc := tinyOPT()
+	raw, err := RandomWeights(mc, 67, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(mc, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.GenerateContext(ctx, []int{1, 2}, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled generation err = %v, want context.Canceled", err)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	be, err := NewBatch(mc, raw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = be.GenerateBatchContext(dctx, [][]int{{1}, {2}}, 4)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired batch generation err = %v, want context.DeadlineExceeded", err)
+	}
+	// An unexpired context changes nothing.
+	ok, err := eng.GenerateContext(context.Background(), []int{1, 2}, 2)
+	if err != nil || len(ok) != 2 {
+		t.Errorf("clean context generation: %v, %v", ok, err)
+	}
+}

@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -48,7 +49,14 @@ func New(cfg model.Config, w WeightStore) (*Engine, error) {
 // the backing store: layer L+1 streams in while layer L computes. Close
 // the engine to stop the prefetcher.
 func NewPrefetched(cfg model.Config, w WeightStore) (*Engine, error) {
-	ps, err := NewPrefetch(cfg, w)
+	return NewPrefetchedResilient(cfg, w, Retry{})
+}
+
+// NewPrefetchedResilient is NewPrefetched with a foreground retry
+// policy: a transiently failed background fetch degrades to a retried
+// foreground fetch instead of failing the generation.
+func NewPrefetchedResilient(cfg model.Config, w WeightStore, r Retry) (*Engine, error) {
+	ps, err := NewPrefetchResilient(cfg, w, r)
 	if err != nil {
 		return nil, err
 	}
@@ -68,6 +76,15 @@ func (e *Engine) PrefetchStats() (hits, misses int) {
 		return 0, 0
 	}
 	return e.prefetch.Stats()
+}
+
+// DegradedFetches reports how many background prefetches failed and
+// were absorbed by foreground retries (zero for a plain New engine).
+func (e *Engine) DegradedFetches() int {
+	if e.prefetch == nil {
+		return 0
+	}
+	return e.prefetch.DegradedFetches()
 }
 
 // Close stops the background prefetcher, if any. Engines over plain
@@ -425,11 +442,25 @@ func (e *Engine) output(x tensor.Mat) (tensor.Mat, error) {
 
 // Generate runs greedy decoding: prefill the prompt, then emit n tokens.
 func (e *Engine) Generate(prompt []int, n int) ([]int, error) {
+	return e.GenerateContext(context.Background(), prompt, n)
+}
+
+// GenerateContext is Generate under a per-generation context: the
+// deadline or cancellation is checked between forward passes, so a
+// stalled storage tier bounds the damage to one token's worth of work
+// instead of hanging the request forever.
+func (e *Engine) GenerateContext(ctx context.Context, prompt []int, n int) ([]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(prompt) == 0 {
 		return nil, fmt.Errorf("infer: empty prompt")
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("infer: non-positive generation length %d", n)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("infer: generation aborted before prefill: %w", err)
 	}
 	logits, err := e.Forward(prompt)
 	if err != nil {
@@ -439,6 +470,9 @@ func (e *Engine) Generate(prompt []int, n int) ([]int, error) {
 	next := logits.ArgmaxRow(0)
 	out = append(out, next)
 	for len(out) < n {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("infer: generation aborted after %d/%d tokens: %w", len(out), n, err)
+		}
 		if logits, err = e.Forward([]int{next}); err != nil {
 			return nil, err
 		}

@@ -39,6 +39,17 @@ func OpenFileStore(path string) (*FileStore, error) {
 	return &FileStore{ix: ix}, nil
 }
 
+// NewFileStore serves weights from an already-indexed checkpoint — the
+// hook for slotting a fault-injecting (or otherwise wrapped)
+// io.ReaderAt under the store via checkpoint.NewIndexed. Closing the
+// store closes the index.
+func NewFileStore(ix *checkpoint.Indexed) (*FileStore, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("infer: nil checkpoint index")
+	}
+	return &FileStore{ix: ix}, nil
+}
+
 // Tensor implements WeightStore.
 func (s *FileStore) Tensor(layer int, name string) ([]float32, error) {
 	e, err := s.ix.ReadTensor(TensorKey(layer, name))

@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -88,7 +89,14 @@ func NewBatch(cfg model.Config, w WeightStore, nSeqs int) (*BatchEngine, error) 
 // layer L+1 is fetched (and dequantized) in the background — Listing 1's
 // overlap, executable. Close the engine to stop the prefetcher.
 func NewBatchPrefetched(cfg model.Config, w WeightStore, nSeqs int) (*BatchEngine, error) {
-	ps, err := NewPrefetch(cfg, w)
+	return NewBatchPrefetchedResilient(cfg, w, nSeqs, Retry{})
+}
+
+// NewBatchPrefetchedResilient is NewBatchPrefetched with a foreground
+// retry policy: a transiently failed background fetch degrades to a
+// retried foreground fetch instead of failing the whole wave.
+func NewBatchPrefetchedResilient(cfg model.Config, w WeightStore, nSeqs int, r Retry) (*BatchEngine, error) {
+	ps, err := NewPrefetchResilient(cfg, w, r)
 	if err != nil {
 		return nil, err
 	}
@@ -108,6 +116,16 @@ func (b *BatchEngine) PrefetchStats() (hits, misses int) {
 		return 0, 0
 	}
 	return b.prefetch.Stats()
+}
+
+// DegradedFetches reports how many background prefetches failed and
+// were absorbed by foreground retries (zero for a plain NewBatch
+// engine).
+func (b *BatchEngine) DegradedFetches() int {
+	if b.prefetch == nil {
+		return 0
+	}
+	return b.prefetch.DegradedFetches()
 }
 
 // Close stops the background prefetcher, if any. The engine stays usable
@@ -204,6 +222,16 @@ func (b *BatchEngine) Step(tokens [][]int) ([]tensor.Mat, error) {
 // GenerateBatch runs greedy decoding for every prompt in lockstep and
 // returns n tokens per sequence.
 func (b *BatchEngine) GenerateBatch(prompts [][]int, n int) ([][]int, error) {
+	return b.GenerateBatchContext(context.Background(), prompts, n)
+}
+
+// GenerateBatchContext is GenerateBatch under a per-generation context:
+// the deadline or cancellation is checked between lockstep steps, so a
+// stalled storage tier cannot hang the wave indefinitely.
+func (b *BatchEngine) GenerateBatchContext(ctx context.Context, prompts [][]int, n int) ([][]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(prompts) != len(b.seqs) {
 		return nil, fmt.Errorf("infer: %d prompts for %d sequences", len(prompts), len(b.seqs))
 	}
@@ -219,6 +247,9 @@ func (b *BatchEngine) GenerateBatch(prompts [][]int, n int) ([][]int, error) {
 	}
 	out := make([][]int, len(prompts))
 	for t := 0; t < n; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("infer: batch generation aborted after %d/%d steps: %w", t, n, err)
+		}
 		logits, err := b.Step(step)
 		if err != nil {
 			return nil, err

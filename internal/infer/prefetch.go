@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"helmsim/internal/fault"
 	"helmsim/internal/model"
 )
 
@@ -24,6 +25,13 @@ import (
 // cancelling the construction context (or calling Close) stops the
 // prefetcher and fails subsequent fetches cleanly.
 //
+// The store degrades gracefully under storage faults: a failed
+// *background* fetch does not poison the generation — the consuming
+// call retries the layer in the foreground (with the store's bounded
+// Retry policy when one is configured) and the DegradedFetches counter
+// records the event. Only when the foreground retry also fails does the
+// error surface to the engine.
+//
 // The store is safe for concurrent use; it is *tuned* for one lockstep
 // consumer walking layers in schedule order. Multiple engines at
 // different layers stay correct but evict each other's bundles.
@@ -31,6 +39,7 @@ type PrefetchStore struct {
 	backing WeightStore
 	next    map[int]int      // layer index -> successor in the schedule cycle
 	names   map[int][]string // layer index -> tensor names, spec order
+	retry   Retry            // foreground re-attempt policy (zero: none)
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -39,6 +48,7 @@ type PrefetchStore struct {
 	cur          *layerBundle
 	pending      *fetchTicket
 	hits, misses int
+	degraded     int // background fetches that failed and were retried in the foreground
 }
 
 // layerBundle is one layer's tensors, fully fetched (or the error that
@@ -63,10 +73,27 @@ func NewPrefetch(cfg model.Config, backing WeightStore) (*PrefetchStore, error) 
 	return NewPrefetchContext(context.Background(), cfg, backing)
 }
 
+// NewPrefetchResilient is NewPrefetch with a foreground retry policy:
+// transiently failed fetches — background ones consumed by the engine,
+// and foreground misses — are re-attempted up to the policy's bound
+// with its deterministic backoff.
+func NewPrefetchResilient(cfg model.Config, backing WeightStore, r Retry) (*PrefetchStore, error) {
+	return NewPrefetchResilientContext(context.Background(), cfg, backing, r)
+}
+
 // NewPrefetchContext is NewPrefetch under a cancellation context:
 // cancelling ctx aborts any in-flight fetch and fails later fetches.
 func NewPrefetchContext(ctx context.Context, cfg model.Config, backing WeightStore) (*PrefetchStore, error) {
+	return NewPrefetchResilientContext(ctx, cfg, backing, Retry{})
+}
+
+// NewPrefetchResilientContext combines a cancellation context with a
+// foreground retry policy.
+func NewPrefetchResilientContext(ctx context.Context, cfg model.Config, backing WeightStore, r Retry) (*PrefetchStore, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
 		return nil, err
 	}
 	if backing == nil {
@@ -77,6 +104,7 @@ func NewPrefetchContext(ctx context.Context, cfg model.Config, backing WeightSto
 		backing: backing,
 		next:    make(map[int]int, len(layers)),
 		names:   make(map[int][]string, len(layers)),
+		retry:   r,
 	}
 	for i, l := range layers {
 		s.next[l.Index] = layers[(i+1)%len(layers)].Index
@@ -117,9 +145,21 @@ func (s *PrefetchStore) bundle(layer int) (*layerBundle, error) {
 		s.pending = nil
 		s.mu.Unlock()
 		<-t.done
+		b := t.bundle
+		if b.err != nil && s.ctx.Err() == nil {
+			// Graceful degradation: the background fetch failed, but the
+			// generation is not poisoned — re-fetch the layer in the
+			// foreground (with retries, when configured) and only
+			// surface an error if that fails too.
+			b = s.fetchLayerRetry(layer)
+			s.mu.Lock()
+			s.degraded++
+			s.install(b)
+			s.mu.Unlock()
+			return b, b.err
+		}
 		s.mu.Lock()
 		s.hits++
-		b := t.bundle
 		s.install(b)
 		s.mu.Unlock()
 		return b, b.err
@@ -128,12 +168,28 @@ func (s *PrefetchStore) bundle(layer int) (*layerBundle, error) {
 
 	// Foreground path: the prefetcher did not have this layer (first
 	// access, or a second consumer off-schedule).
-	b := s.fetchLayer(layer)
+	b := s.fetchLayerRetry(layer)
 	s.mu.Lock()
 	s.misses++
 	s.install(b)
 	s.mu.Unlock()
 	return b, b.err
+}
+
+// fetchLayerRetry is fetchLayer under the store's foreground retry
+// policy: transient failures are re-attempted with deterministic
+// backoff; permanent ones (corruption, closed checkpoint, cancellation)
+// surface immediately.
+func (s *PrefetchStore) fetchLayerRetry(layer int) *layerBundle {
+	b := s.fetchLayer(layer)
+	for attempt := 1; b.err != nil && attempt <= s.retry.Max; attempt++ {
+		if !fault.IsTransient(b.err) || s.ctx.Err() != nil {
+			break
+		}
+		s.retry.pause(attempt)
+		b = s.fetchLayer(layer)
+	}
+	return b
 }
 
 // install publishes a fetched bundle as current and kicks off the next
@@ -185,6 +241,15 @@ func (s *PrefetchStore) Stats() (hits, misses int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.hits, s.misses
+}
+
+// DegradedFetches reports how many background fetches failed and were
+// recovered (or definitively failed) by a foreground retry — the
+// observable count of storage faults the generation absorbed.
+func (s *PrefetchStore) DegradedFetches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
 }
 
 // Close cancels the prefetcher and waits for any in-flight fetch, so no

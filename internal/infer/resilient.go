@@ -1,0 +1,130 @@
+package infer
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"helmsim/internal/fault"
+)
+
+// Retry bounds and paces re-attempts after transient weight-store
+// failures. Errors are classified through fault.IsTransient: only
+// retryable failures (injected or real I/O hiccups marked transient)
+// are re-attempted; permanent ones — corruption, missing tensors,
+// closed checkpoints, cancelled contexts — surface immediately.
+//
+// Backoff is deterministic by design: an out-of-core serving
+// experiment must be reproducible fault-for-fault, so there is no
+// jitter, and tests inject a recording Sleep to keep wall time at zero.
+type Retry struct {
+	// Max is the number of re-attempts after the first try (0 disables
+	// retrying).
+	Max int
+	// Backoff returns the pause before re-attempt n (1-based); nil uses
+	// DefaultBackoff.
+	Backoff func(attempt int) time.Duration
+	// Sleep is the injectable clock; nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetry is the serving default: three re-attempts with
+// exponential backoff.
+func DefaultRetry() Retry { return Retry{Max: 3} }
+
+// Validate rejects nonsensical policies.
+func (r Retry) Validate() error {
+	if r.Max < 0 {
+		return fmt.Errorf("infer: negative retry count %d", r.Max)
+	}
+	return nil
+}
+
+// DefaultBackoff is deterministic exponential backoff: 1 ms, 2 ms,
+// 4 ms, ... capped at 50 ms.
+func DefaultBackoff(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	if attempt > 6 {
+		return 50 * time.Millisecond
+	}
+	d := time.Millisecond << (attempt - 1)
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+// pause sleeps before re-attempt n using the policy's clock.
+func (r Retry) pause(attempt int) {
+	b := r.Backoff
+	if b == nil {
+		b = DefaultBackoff
+	}
+	d := b(attempt)
+	if d <= 0 {
+		return
+	}
+	if r.Sleep != nil {
+		r.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// ResilientStore wraps a weight store with bounded, deterministic
+// retrying of transient failures — the foreground half of the serving
+// path's fault tolerance (the prefetcher's degraded-fetch recovery is
+// the background half). It is safe for concurrent use when the backing
+// store is.
+type ResilientStore struct {
+	backing WeightStore
+	retry   Retry
+	// retries counts re-attempts performed; recovered counts calls that
+	// returned data after at least one transient failure.
+	retries   atomic.Int64
+	recovered atomic.Int64
+}
+
+// NewResilient wraps a store with the retry policy.
+func NewResilient(backing WeightStore, r Retry) (*ResilientStore, error) {
+	if backing == nil {
+		return nil, fmt.Errorf("infer: nil weight store")
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &ResilientStore{backing: backing, retry: r}, nil
+}
+
+// Retries reports the re-attempts performed so far.
+func (s *ResilientStore) Retries() int { return int(s.retries.Load()) }
+
+// Recovered reports the calls that succeeded after at least one
+// transient failure.
+func (s *ResilientStore) Recovered() int { return int(s.recovered.Load()) }
+
+// Tensor implements WeightStore with bounded retries.
+func (s *ResilientStore) Tensor(layer int, name string) ([]float32, error) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var d []float32
+		d, err = s.backing.Tensor(layer, name)
+		if err == nil {
+			if attempt > 0 {
+				s.recovered.Add(1)
+			}
+			return d, nil
+		}
+		if attempt >= s.retry.Max || !fault.IsTransient(err) {
+			break
+		}
+		s.retries.Add(1)
+		s.retry.pause(attempt + 1)
+	}
+	if s.retry.Max > 0 && fault.IsTransient(err) {
+		return nil, fmt.Errorf("infer: L%d/%s failed after %d attempts: %w", layer, name, s.retry.Max+1, err)
+	}
+	return nil, err
+}

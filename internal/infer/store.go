@@ -46,13 +46,16 @@ func (s *MemStore) Put(layer int, name string, data []float32) {
 	s.m[storeKey{layer, name}] = data
 }
 
-// Tensor implements WeightStore.
+// Tensor implements WeightStore. The returned slice is the caller's to
+// own: it is a copy, so mutating it cannot corrupt the store for every
+// later layer visit (engines hand tensors to kernels and caches whose
+// lifetime the store cannot see).
 func (s *MemStore) Tensor(layer int, name string) ([]float32, error) {
 	d, ok := s.m[storeKey{layer, name}]
 	if !ok {
 		return nil, fmt.Errorf("infer: missing tensor L%d/%s", layer, name)
 	}
-	return d, nil
+	return append([]float32(nil), d...), nil
 }
 
 // RandomWeights builds a complete raw store for the model with seeded
@@ -147,11 +150,15 @@ func Quantize(cfg model.Config, src *MemStore, qc quant.Config) (*QuantStore, er
 	return out, nil
 }
 
-// Tensor implements WeightStore, decompressing on demand.
+// Tensor implements WeightStore, decompressing on demand. Like
+// MemStore, raw (norm/bias) tensors come back as copies: the quantized
+// path already returns a fresh dequantization per call, and handing out
+// the store's own raw slices would let one caller's mutation silently
+// corrupt every later layer's computation.
 func (s *QuantStore) Tensor(layer int, name string) ([]float32, error) {
 	key := storeKey{layer, name}
 	if d, ok := s.raw[key]; ok {
-		return d, nil
+		return append([]float32(nil), d...), nil
 	}
 	t, ok := s.q[key]
 	if !ok {

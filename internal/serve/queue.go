@@ -28,6 +28,15 @@ type QueueConfig struct {
 	// SLO is the end-to-end latency bound used for attainment reporting
 	// (0 disables).
 	SLO units.Duration
+	// MaxQueue bounds the waiting line (M/M/1/K-style admission): a
+	// prompt arriving while MaxQueue others wait is shed immediately
+	// rather than admitted. 0 means unbounded.
+	MaxQueue int
+	// MaxWait bounds queueing delay: a prompt that has waited longer
+	// than MaxWait reneges — it is removed (and counted shed) when the
+	// dispatcher next assembles a wave, instead of being served hopelessly
+	// late. 0 means unbounded patience.
+	MaxWait units.Duration
 }
 
 // QueueMetrics aggregates an online-serving simulation.
@@ -41,17 +50,37 @@ type QueueMetrics struct {
 	MeanQueueDelay, P99QueueDelay units.Duration
 	// MeanE2E and P99E2E describe arrival-to-completion latency.
 	MeanE2E, P99E2E units.Duration
-	// SLOAttainment is the fraction of requests finishing within the SLO
-	// (NaN when no SLO configured).
+	// SLOAttainment is the fraction of admitted requests finishing within
+	// the SLO (NaN when no SLO configured). Shed requests are excluded:
+	// admission control trades completeness for the latency of what it
+	// does serve, and the attainment figure reports exactly that.
 	SLOAttainment float64
+	// Admitted counts requests actually served; it plus the shed counters
+	// equals the arrival count.
+	Admitted int
+	// ShedQueueFull counts arrivals rejected because MaxQueue others were
+	// already waiting.
+	ShedQueueFull int
+	// ShedMaxWait counts requests that reneged after waiting past
+	// MaxWait.
+	ShedMaxWait int
 	// Utilization is the server's busy fraction over the serving window —
 	// first arrival to last completion. The idle lead-in before the first
 	// request exists says nothing about the server, so it is excluded.
 	Utilization float64
-	// PromptsPerSec is completed prompts per second over the same
+	// PromptsPerSec is admitted completions per second over the same
 	// first-arrival-to-completion window. Note the unit: this is request
 	// throughput, not the tokens-per-second Throughput of sched.Result.
 	PromptsPerSec float64
+}
+
+// SLOAttainmentString formats attainment for reports: "n/a" when no SLO
+// was configured (SLOAttainment is NaN), a percentage otherwise.
+func (m *QueueMetrics) SLOAttainmentString() string {
+	if math.IsNaN(m.SLOAttainment) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*m.SLOAttainment)
 }
 
 // SimulateQueue runs the online-serving simulation. Wave costs come from
@@ -68,6 +97,12 @@ func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 	}
 	if qc.NumPrompts <= 0 {
 		return nil, fmt.Errorf("serve: non-positive prompt count %d", qc.NumPrompts)
+	}
+	if qc.MaxQueue < 0 {
+		return nil, fmt.Errorf("serve: negative queue bound %d", qc.MaxQueue)
+	}
+	if qc.MaxWait < 0 {
+		return nil, fmt.Errorf("serve: negative wait bound %v", qc.MaxWait)
 	}
 
 	// Arrival times (Poisson process).
@@ -96,18 +131,45 @@ func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 	var queueDelays, e2es []float64
 	busy := 0.0
 	clock := 0.0
-	next := 0 // next unserved arrival
+	queue := make([]int, 0, qc.Run.Batch) // admitted, waiting arrivals
+	next := 0                             // next unprocessed arrival
 	met := 0
-	for next < len(arrivals) {
-		if clock < arrivals[next] {
+	for next < len(arrivals) || len(queue) > 0 {
+		if len(queue) == 0 && clock < arrivals[next] {
 			clock = arrivals[next] // idle until work exists
 		}
-		// Take everything that has arrived, up to the cap.
-		hi := next
-		for hi < len(arrivals) && arrivals[hi] <= clock && hi-next < qc.Run.Batch {
-			hi++
+		// Admit everything that has arrived by now. A prompt arriving to a
+		// full waiting line is shed on the spot — the queue only grows
+		// between waves, so processing arrivals in order sees exactly the
+		// line each one saw.
+		for next < len(arrivals) && arrivals[next] <= clock {
+			if qc.MaxQueue > 0 && len(queue) >= qc.MaxQueue {
+				m.ShedQueueFull++
+			} else {
+				queue = append(queue, next)
+			}
+			next++
 		}
-		batch := hi - next
+		// Prompts whose patience ran out renege as the wave is assembled.
+		if qc.MaxWait > 0 {
+			kept := queue[:0]
+			for _, i := range queue {
+				if clock-arrivals[i] > qc.MaxWait.Seconds() {
+					m.ShedMaxWait++
+				} else {
+					kept = append(kept, i)
+				}
+			}
+			queue = kept
+		}
+		if len(queue) == 0 {
+			continue // everything waiting reneged; idle to the next arrival
+		}
+		// Serve the head of the line, up to the wave cap.
+		batch := len(queue)
+		if batch > qc.Run.Batch {
+			batch = qc.Run.Batch
+		}
 		c, err := cost(batch)
 		if err != nil {
 			return nil, err
@@ -115,7 +177,7 @@ func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 		start := clock
 		clock += c
 		busy += c
-		for i := next; i < hi; i++ {
+		for _, i := range queue[:batch] {
 			qd := start - arrivals[i]
 			e2e := clock - arrivals[i]
 			queueDelays = append(queueDelays, qd)
@@ -124,19 +186,20 @@ func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 				met++
 			}
 		}
+		queue = queue[batch:]
 		m.Waves++
 		m.MeanBatch += float64(batch)
-		next = hi
 	}
 	if m.Waves > 0 {
 		m.MeanBatch /= float64(m.Waves)
 	}
+	m.Admitted = len(e2es)
 	m.MeanQueueDelay = units.Duration(stats.Mean(queueDelays))
 	m.P99QueueDelay = units.Duration(stats.Percentile(queueDelays, 99))
 	m.MeanE2E = units.Duration(stats.Mean(e2es))
 	m.P99E2E = units.Duration(stats.Percentile(e2es, 99))
-	if qc.SLO > 0 {
-		m.SLOAttainment = float64(met) / float64(len(e2es))
+	if qc.SLO > 0 && m.Admitted > 0 {
+		m.SLOAttainment = float64(met) / float64(m.Admitted)
 	} else {
 		m.SLOAttainment = math.NaN()
 	}
@@ -146,7 +209,7 @@ func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 	// both metrics at low arrival rates.
 	if makespan := clock - arrivals[0]; makespan > 0 {
 		m.Utilization = busy / makespan
-		m.PromptsPerSec = float64(qc.NumPrompts) / makespan
+		m.PromptsPerSec = float64(m.Admitted) / makespan
 	}
 	return m, nil
 }

@@ -118,6 +118,88 @@ func TestSLOAttainment(t *testing.T) {
 	}
 }
 
+func TestAdmissionValidation(t *testing.T) {
+	bad := queueCfg(8, 1)
+	bad.MaxQueue = -1
+	if _, err := SimulateQueue(bad); err == nil {
+		t.Errorf("negative queue bound accepted")
+	}
+	bad = queueCfg(8, 1)
+	bad.MaxWait = units.Duration(-1)
+	if _, err := SimulateQueue(bad); err == nil {
+		t.Errorf("negative wait bound accepted")
+	}
+}
+
+// With both bounds off, the admission-control path must be invisible:
+// everything is admitted, nothing shed.
+func TestAdmissionOffAdmitsEverything(t *testing.T) {
+	m, err := SimulateQueue(queueCfg(8, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Admitted != 120 || m.ShedQueueFull != 0 || m.ShedMaxWait != 0 {
+		t.Errorf("unbounded queue shed work: %+v", m)
+	}
+}
+
+// A bounded queue sheds under overload, and every arrival is accounted
+// for: admitted + shed == arrivals. Shedding must also cut the latency
+// of what is served — that is its entire point.
+func TestMaxQueueShedsAndCutsLatency(t *testing.T) {
+	open, err := SimulateQueue(queueCfg(4, 5.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := queueCfg(4, 5.0)
+	qc.MaxQueue = 6
+	bounded, err := SimulateQueue(qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.ShedQueueFull == 0 {
+		t.Fatalf("overloaded bounded queue shed nothing: %+v", bounded)
+	}
+	if got := bounded.Admitted + bounded.ShedQueueFull + bounded.ShedMaxWait; got != 120 {
+		t.Errorf("accounting broken: admitted %d + shed %d+%d != 120",
+			bounded.Admitted, bounded.ShedQueueFull, bounded.ShedMaxWait)
+	}
+	if bounded.P99E2E >= open.P99E2E {
+		t.Errorf("shedding should cut served P99: %v >= %v", bounded.P99E2E, open.P99E2E)
+	}
+}
+
+// Impatient requests renege instead of being served hopelessly late, and
+// every survivor's queueing delay respects the bound.
+func TestMaxWaitReneges(t *testing.T) {
+	qc := queueCfg(4, 5.0)
+	qc.MaxWait = units.Duration(30)
+	m, err := SimulateQueue(qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ShedMaxWait == 0 {
+		t.Fatalf("overload with 30s patience reneged nothing: %+v", m)
+	}
+	if m.Admitted+m.ShedQueueFull+m.ShedMaxWait != 120 {
+		t.Errorf("accounting broken: %+v", m)
+	}
+	if m.MeanQueueDelay > qc.MaxWait {
+		t.Errorf("served mean queue delay %v exceeds the patience bound %v", m.MeanQueueDelay, qc.MaxWait)
+	}
+}
+
+func TestSLOAttainmentString(t *testing.T) {
+	m := &QueueMetrics{SLOAttainment: math.NaN()}
+	if got := m.SLOAttainmentString(); got != "n/a" {
+		t.Errorf("NaN attainment prints %q, want n/a", got)
+	}
+	m.SLOAttainment = 0.985
+	if got := m.SLOAttainmentString(); got != "98.5%" {
+		t.Errorf("attainment prints %q, want 98.5%%", got)
+	}
+}
+
 func TestQueueDeterminism(t *testing.T) {
 	// SLO set so SLOAttainment is a number and the whole struct compares
 	// with ==.
