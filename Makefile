@@ -1,0 +1,36 @@
+# Builder entry points mirroring what CI runs (.github/workflows/ci.yml),
+# so `make lint` locally means the same thing as the required lint job.
+
+GO ?= go
+
+.PHONY: all build test race lint fmt-check vet helmvet vulncheck bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint = exactly the blocking checks of the CI lint job.
+lint: fmt-check vet helmvet
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+helmvet:
+	$(GO) run ./cmd/helmvet ./...
+
+# Report-only in CI; requires network to fetch the scanner.
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
+bench:
+	$(GO) test -bench . -benchtime=1x -short -run '^$$' ./internal/tensor/... ./internal/quant/... ./internal/infer/...

@@ -1,0 +1,72 @@
+// Command helmvet runs the helmvet static-analysis suite — the
+// project's mechanical enforcement of its concurrency, error-handling
+// and determinism invariants (DESIGN.md §3e) — over the named package
+// patterns.
+//
+// Usage:
+//
+//	go run ./cmd/helmvet [-atomiccheck=false] [-errcheckwrap=false]
+//	                     [-determinism=false] [-ctxflow=false] [patterns]
+//
+// Patterns default to ./... . Each analyzer has a boolean flag (default
+// true) so a single check can be switched off. Exit status: 0 clean,
+// 1 findings, 2 usage or load failure.
+//
+// Intentional exceptions are annotated in source:
+//
+//	//lint:helmvet-ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"helmsim/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("helmvet", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	enabled := make(map[string]*bool)
+	for _, a := range analysis.Suite() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(".", patterns, selectAnalyzers(enabled))
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errw, "helmvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers returns the suite filtered to the enabled flags, in
+// suite order.
+func selectAnalyzers(enabled map[string]*bool) []*analysis.Analyzer {
+	var as []*analysis.Analyzer
+	for _, a := range analysis.Suite() {
+		if on := enabled[a.Name]; on == nil || *on {
+			as = append(as, a)
+		}
+	}
+	return as
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"helmsim/internal/analysis"
+)
+
+const (
+	simpkg  = "../../internal/analysis/testdata/src/simpkg"
+	ctxtest = "../../internal/analysis/testdata/src/ctxtest"
+)
+
+// TestFlagDisablesExactlyOneAnalyzer runs the CLI entry point over
+// golden packages that trip determinism and ctxflow, and checks that
+// -determinism=false silences determinism findings and nothing else.
+func TestFlagDisablesExactlyOneAnalyzer(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{simpkg, ctxtest}, &out, &errw); code != 1 {
+		t.Fatalf("exit code %d, want 1 (findings expected)\nstderr: %s", code, errw.String())
+	}
+	full := out.String()
+	if !strings.Contains(full, "determinism:") || !strings.Contains(full, "ctxflow:") {
+		t.Fatalf("baseline run should report determinism and ctxflow findings, got:\n%s", full)
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-determinism=false", simpkg, ctxtest}, &out, &errw); code != 1 {
+		t.Fatalf("exit code %d, want 1 (ctxflow findings remain)\nstderr: %s", code, errw.String())
+	}
+	filtered := out.String()
+	if strings.Contains(filtered, "determinism:") {
+		t.Errorf("-determinism=false still reports determinism findings:\n%s", filtered)
+	}
+	if !strings.Contains(filtered, "ctxflow:") {
+		t.Errorf("-determinism=false silenced ctxflow too:\n%s", filtered)
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-determinism=false", simpkg}, &out, &errw); code != 0 {
+		t.Errorf("exit code %d, want 0 — simpkg has only determinism findings\noutput: %s\nstderr: %s",
+			code, out.String(), errw.String())
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	off, on := false, true
+	enabled := map[string]*bool{"determinism": &off, "ctxflow": &on}
+	var names []string
+	for _, a := range selectAnalyzers(enabled) {
+		names = append(names, a.Name)
+	}
+	want := []string{"atomiccheck", "errcheckwrap", "ctxflow"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("selectAnalyzers = %v, want %v", names, want)
+	}
+	if got := len(selectAnalyzers(nil)); got != len(analysis.Suite()) {
+		t.Errorf("nil flag map selects %d analyzers, want the full suite (%d)", got, len(analysis.Suite()))
+	}
+}
+
+func TestBadFlagExitsUsage(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Errorf("exit code %d, want 2 for unknown flag", code)
+	}
+}

@@ -1,0 +1,105 @@
+// Package analysis implements helmvet, a static-analysis suite that
+// mechanically enforces the engine's concurrency, error-handling and
+// determinism invariants (DESIGN.md §3e). The framework mirrors the
+// shape of golang.org/x/tools/go/analysis — an Analyzer receives a
+// typechecked Pass and reports Diagnostics — but is built on the
+// standard library only, because this module carries no external
+// dependencies. Packages are loaded via `go list -export` and
+// typechecked with the gc export-data importer, so the driver works
+// offline and needs nothing beyond the Go toolchain.
+//
+// Invariants enforced (one analyzer each):
+//
+//   - atomiccheck: a variable accessed through sync/atomic anywhere is
+//     never read or written plainly elsewhere, and atomic.Int64-style
+//     fields are never copied or assigned as values.
+//   - errcheckwrap: sentinel errors (ErrTransient, ErrCorrupt, ...) are
+//     wrapped with %w and classified with errors.Is, never compared
+//     with == or matched as strings.
+//   - determinism: simulation and kernel packages never read the wall
+//     clock, the global math/rand stream, or map iteration order in a
+//     way that can leak into results.
+//   - ctxflow: non-main packages never mint context.Background(); a
+//     function that receives a ctx passes it on.
+//
+// Intentional exceptions carry a
+// `//lint:helmvet-ignore <analyzer> <reason>` directive on or directly
+// above the flagged line; the driver suppresses the finding and fails
+// if the directive is malformed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant check. Run inspects a single
+// typechecked package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Suite returns the full helmvet analyzer suite in stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{AtomicCheck, ErrCheckWrap, Determinism, CtxFlow}
+}
+
+// A Pass carries one typechecked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return isTestFilename(p.Fset.Position(pos).Filename)
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// WithStack walks root in preorder, passing fn the path of ancestor
+// nodes (outermost first, not including n itself). Traversal into n's
+// children is skipped when fn returns false. Analyzers use it where a
+// finding depends on context — the enclosing function, a composite
+// literal, the parent expression — that ast.Inspect alone cannot see.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCheck enforces the engine's counter convention (DESIGN.md §3c):
+// once a variable is accessed through sync/atomic anywhere in a
+// package, every access must be atomic. A plain read next to an
+// atomic.AddInt64 is exactly the mixed-access race that motivated the
+// accessor refactor of the shared-store counters, and it is legal Go —
+// only the race detector (at runtime, on the paths a test happens to
+// drive) or this check (statically, always) will object.
+//
+// Two rules:
+//
+//  1. Any variable or struct field whose address is passed to a
+//     sync/atomic function must not be read or written plainly
+//     elsewhere in the package. Composite-literal keys are exempt —
+//     zero-value construction happens before the value is shared.
+//  2. A field of type sync/atomic.Int64 (Bool, Value, ...) may only be
+//     used as a method receiver (x.ctr.Add(1)) or have its address
+//     taken; assigning or copying it smuggles a non-atomic snapshot
+//     out and defeats the type.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "flags plain reads/writes of variables that are accessed via sync/atomic elsewhere, and copies of atomic.* typed fields",
+	Run:  runAtomicCheck,
+}
+
+func runAtomicCheck(pass *Pass) error {
+	// Pass 1: collect every variable whose address flows into a
+	// sync/atomic call, and remember those sanctioned operand nodes.
+	atomicVars := make(map[*types.Var]bool)
+	sanctioned := make(map[ast.Expr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicPkgFunc(pass, call.Fun) {
+				return true
+			}
+			ue, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true
+			}
+			if v := addressedVar(pass, ue.X); v != nil {
+				atomicVars[v] = true
+				sanctioned[ue.X] = true
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+					fld, _ := sel.Obj().(*types.Var)
+					checkAtomicUse(pass, x, fld, sanctioned, atomicVars, stack)
+					checkAtomicTypedField(pass, x, fld, stack)
+				}
+				return true
+			case *ast.Ident:
+				if len(stack) > 0 {
+					if p, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && p.Sel == x {
+						return true // handled as the SelectorExpr
+					}
+				}
+				// Only uses: the declaration itself is not an access.
+				if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+					checkAtomicUse(pass, x, v, sanctioned, atomicVars, stack)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAtomicUse reports a plain (non-atomic) use of a variable that
+// is accessed atomically elsewhere in the package.
+func checkAtomicUse(pass *Pass, at ast.Expr, v *types.Var, sanctioned map[ast.Expr]bool, atomicVars map[*types.Var]bool, stack []ast.Node) {
+	if v == nil || !atomicVars[v] || sanctioned[at] {
+		return
+	}
+	if len(stack) > 0 {
+		// &v — the pointer itself preserves atomicity (and direct
+		// atomic-call operands are already sanctioned above).
+		if ue, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			return
+		}
+		// Composite-literal construction (S{ctr: 0}) happens before
+		// the value can be shared; allow it.
+		if kv, ok := stack[len(stack)-1].(*ast.KeyValueExpr); ok && kv.Key == at {
+			return
+		}
+	}
+	pass.Reportf(at.Pos(), "%s is accessed via sync/atomic elsewhere; plain access races with it (use sync/atomic or an accessor)", v.Name())
+}
+
+// checkAtomicTypedField reports value copies of fields typed as
+// sync/atomic.Int64 and friends. Legitimate uses keep the field as a
+// method receiver (x.ctr.Load()) or take its address.
+func checkAtomicTypedField(pass *Pass, sel *ast.SelectorExpr, fld *types.Var, stack []ast.Node) {
+	if fld == nil || !isAtomicType(fld.Type()) || len(stack) == 0 {
+		return
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		if p.X == sel {
+			return // x.ctr.Load() — method access
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // &x.ctr — pointer keeps access atomic
+		}
+	}
+	pass.Reportf(sel.Pos(), "%s has type %s; copying or assigning it bypasses atomicity (call its methods instead)", fld.Name(), fld.Type())
+}
+
+// isAtomicPkgFunc reports whether fun denotes a package-level function
+// of sync/atomic (AddInt64, LoadUint32, CompareAndSwapInt32, ...).
+func isAtomicPkgFunc(pass *Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addressedVar resolves &expr operands to a trackable variable: a
+// plain identifier or a struct field selector. Slice and map elements
+// (&counts[i]) are excluded — the container object is not itself the
+// atomic cell.
+func addressedVar(pass *Pass, expr ast.Expr) *types.Var {
+	switch x := expr.(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed cells.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// An ignore directive marks an intentional exception to an invariant:
+//
+//	//lint:helmvet-ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The
+// analyzer name must be one of the suite's (or "all"), and the reason
+// is mandatory — a directive is documentation of why the exception is
+// safe, not a mute button. Malformed directives are themselves
+// findings, so a typoed analyzer name cannot silently disable a check.
+var directiveRE = regexp.MustCompile(`^//lint:helmvet-ignore(?:\s+(\S+))?\s*(.*)$`)
+
+type directive struct {
+	analyzer string
+	line     int
+}
+
+type directiveSet struct {
+	// byFileLine keys are "filename:line" of the directive comment.
+	dirs map[string][]directive
+	fset *token.FileSet
+}
+
+// parseDirectives scans the comments of files for ignore directives.
+// It returns the set plus diagnostics for malformed ones.
+func parseDirectives(fset *token.FileSet, files []*ast.File) (*directiveSet, []Diagnostic) {
+	known := map[string]bool{"all": true}
+	for _, a := range Suite() {
+		known[a.Name] = true
+	}
+	set := &directiveSet{dirs: make(map[string][]directive), fset: fset}
+	var diags []Diagnostic
+	bad := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{Analyzer: "helmvet", Pos: fset.Position(pos), Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				name, reason := m[1], strings.TrimSpace(m[2])
+				switch {
+				case name == "":
+					bad(c.Pos(), "helmvet-ignore directive names no analyzer")
+				case !known[name]:
+					bad(c.Pos(), "helmvet-ignore directive names unknown analyzer "+name)
+				case reason == "":
+					bad(c.Pos(), "helmvet-ignore directive is missing a reason")
+				default:
+					p := fset.Position(c.Pos())
+					key := p.Filename
+					set.dirs[key] = append(set.dirs[key], directive{analyzer: name, line: p.Line})
+				}
+			}
+		}
+	}
+	return set, diags
+}
+
+// suppresses reports whether a well-formed directive on d's line, or
+// the line directly above it, covers d's analyzer.
+func (s *directiveSet) suppresses(d Diagnostic) bool {
+	for _, dir := range s.dirs[d.Pos.Filename] {
+		if dir.analyzer != d.Analyzer && dir.analyzer != "all" {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

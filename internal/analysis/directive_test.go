@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir_test_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// TestDirectiveMalformed checks that a directive missing its analyzer
+// or reason, or naming an unknown analyzer, is itself a finding — a
+// typo must not silently disable a check.
+func TestDirectiveMalformed(t *testing.T) {
+	cases := []struct {
+		name, comment, wantMsg string
+	}{
+		{"no analyzer", "//lint:helmvet-ignore", "names no analyzer"},
+		{"unknown analyzer", "//lint:helmvet-ignore nosuchcheck stale name", "unknown analyzer nosuchcheck"},
+		{"missing reason", "//lint:helmvet-ignore determinism", "missing a reason"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, files := parseOne(t, "package p\n\n"+tc.comment+"\nvar X int\n")
+			_, diags := parseDirectives(fset, files)
+			if len(diags) != 1 {
+				t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+			}
+			if !strings.Contains(diags[0].Message, tc.wantMsg) {
+				t.Errorf("diagnostic %q does not mention %q", diags[0].Message, tc.wantMsg)
+			}
+			if diags[0].Analyzer != "helmvet" {
+				t.Errorf("malformed-directive diagnostic attributed to %q, want helmvet", diags[0].Analyzer)
+			}
+		})
+	}
+}
+
+// TestDirectiveSuppression checks the line rules: a directive covers
+// its own line and the line directly below, for the named analyzer
+// (or all), and nothing else.
+func TestDirectiveSuppression(t *testing.T) {
+	src := `package p
+
+//lint:helmvet-ignore determinism seam
+var a int
+
+//lint:helmvet-ignore all seam
+var b int
+`
+	fset, files := parseOne(t, src)
+	set, diags := parseDirectives(fset, files)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	mk := func(analyzer string, line int) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: "dir_test_src.go", Line: line}}
+	}
+	for _, tc := range []struct {
+		name string
+		d    Diagnostic
+		want bool
+	}{
+		{"named analyzer, line below", mk("determinism", 4), true},
+		{"named analyzer, directive line", mk("determinism", 3), true},
+		{"other analyzer not covered", mk("ctxflow", 4), false},
+		{"two lines below not covered", mk("determinism", 5), false},
+		{"all covers any analyzer", mk("ctxflow", 7), true},
+		{"other file not covered", Diagnostic{Analyzer: "determinism", Pos: token.Position{Filename: "other.go", Line: 4}}, false},
+	} {
+		if got := set.suppresses(tc.d); got != tc.want {
+			t.Errorf("%s: suppresses = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

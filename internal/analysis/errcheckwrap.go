@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrCheckWrap enforces the typed-error discipline of DESIGN.md §3d.
+// The fault and checkpoint layers classify failures by wrapping the
+// package sentinels (fault.ErrTransient, checkpoint.ErrCorrupt,
+// checkpoint.ErrClosed, ...) with %w; retry and degradation decisions
+// are made with errors.Is / fault.IsTransient. A bare == against a
+// sentinel, a non-%w verb in fmt.Errorf, or a string match on
+// err.Error() all silently stop classifying the moment anyone adds a
+// wrapping layer — the retry loop then treats transient faults as
+// permanent and the chaos suites go green while resilience is gone.
+//
+// Three rules:
+//
+//  1. never compare a sentinel with == or != (or a switch case);
+//     errors.Is sees through wrapping, == does not. Comparisons
+//     against nil are of course fine.
+//  2. a sentinel passed to fmt.Errorf must be wrapped with %w, not
+//     stringified with %v/%s — otherwise errors.Is can no longer see
+//     it on the far side.
+//  3. never match on err.Error() text (== or strings.Contains/
+//     HasPrefix/HasSuffix): messages are for humans and change freely.
+//
+// A sentinel is any package-level `Err*` variable whose type satisfies
+// error, in this module or the standard library.
+var ErrCheckWrap = &Analyzer{
+	Name: "errcheckwrap",
+	Doc:  "flags == comparisons against sentinel errors, sentinel wrapping without %w, and string matching on err.Error()",
+	Run:  runErrCheckWrap,
+}
+
+func runErrCheckWrap(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, x)
+				checkErrorStringCompare(pass, x)
+			case *ast.SwitchStmt:
+				checkSentinelSwitch(pass, x)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, x)
+				checkStringsMatch(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		if name := sentinelName(pass, pair[0]); name != "" && !isNilExpr(pass, pair[1]) {
+			pass.Reportf(be.Pos(), "%s compared with %s; wrapped errors slip through — use errors.Is(err, %s)", name, be.Op, name)
+			return
+		}
+	}
+}
+
+func checkSentinelSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name := sentinelName(pass, e); name != "" {
+				pass.Reportf(e.Pos(), "switch case compares %s by identity; wrapped errors slip through — use errors.Is", name)
+			}
+		}
+	}
+}
+
+// checkErrorfWrap maps fmt.Errorf verbs to arguments and flags
+// sentinels formatted with anything but %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass, call.Fun, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		name := sentinelName(pass, arg)
+		if name == "" || i >= len(verbs) {
+			continue
+		}
+		if v := verbs[i]; v != 'w' {
+			pass.Reportf(arg.Pos(), "%s formatted with %%%c; use %%w so errors.Is still matches after wrapping", name, v)
+		}
+	}
+}
+
+// checkErrorStringCompare flags err.Error() == "..." style matching.
+func checkErrorStringCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isErrorStringCall(pass, be.X) || isErrorStringCall(pass, be.Y) {
+		pass.Reportf(be.Pos(), "comparing err.Error() text; messages are not an API — use errors.Is or a typed check")
+	}
+}
+
+// checkStringsMatch flags strings.Contains/HasPrefix/HasSuffix applied
+// to err.Error().
+func checkStringsMatch(pass *Pass, call *ast.CallExpr) {
+	for _, fn := range [...]string{"Contains", "HasPrefix", "HasSuffix", "EqualFold"} {
+		if isPkgFunc(pass, call.Fun, "strings", fn) {
+			for _, arg := range call.Args {
+				if isErrorStringCall(pass, arg) {
+					pass.Reportf(call.Pos(), "strings.%s on err.Error() text; messages are not an API — use errors.Is or a typed check", fn)
+					return
+				}
+			}
+		}
+	}
+}
+
+// sentinelName returns the name of the package-level Err* sentinel
+// expr denotes, or "".
+func sentinelName(pass *Pass, expr ast.Expr) string {
+	var id *ast.Ident
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !implementsError(v.Type()) {
+		return ""
+	}
+	return v.Name()
+}
+
+func isNilExpr(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	return ok && tv.IsNil()
+}
+
+// isErrorStringCall reports whether expr is a call of the Error()
+// method on an error value.
+func isErrorStringCall(pass *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	recv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && implementsError(recv.Type)
+}
+
+func isPkgFunc(pass *Pass, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+func implementsError(t types.Type) bool {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}
+
+// formatVerbs extracts the verb letters of a Printf format string in
+// argument order, counting '*' width/precision as consuming an
+// argument (recorded as '*').
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# .0123456789[]", rune(c)) {
+				i++
+				continue
+			}
+			verbs = append(verbs, rune(c))
+			break
+		}
+	}
+	return verbs
+}

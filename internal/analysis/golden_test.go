@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runGolden runs one analyzer over testdata/src/<dir> packages and
+// checks the findings against `// want "regex"` comments, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest: every
+// diagnostic must match a want on its exact file and line, and every
+// want must be consumed by exactly one diagnostic. Lines without a
+// want comment are the allowed patterns — any finding there fails the
+// test.
+func runGolden(t *testing.T, az *Analyzer, dirs ...string) {
+	t.Helper()
+	var patterns []string
+	for _, d := range dirs {
+		patterns = append(patterns, "./testdata/src/"+d)
+	}
+	diags, err := Run(".", patterns, []*Analyzer{az})
+	if err != nil {
+		t.Fatalf("Run(%v): %v", patterns, err)
+	}
+	wants := collectWants(t, dirs)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.ToSlash(d.Pos.Filename), d.Pos.Line)
+		ws := wants[key]
+		matched := false
+		for _, w := range ws {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.+)$`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans the golden sources for want comments, keyed by
+// "file:line" with the file path as Run reports it (relative to the
+// package dir of this test).
+func collectWants(t *testing.T, dirs []string) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, dir := range dirs {
+		root := filepath.Join("testdata", "src", dir)
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(root, e.Name())
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(f)
+			for line := 1; sc.Scan(); line++ {
+				m := wantRE.FindStringSubmatch(sc.Text())
+				if m == nil {
+					continue
+				}
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: malformed want comment", path, line)
+				}
+				key := fmt.Sprintf("%s:%d", filepath.ToSlash(path), line)
+				for _, a := range args {
+					wants[key] = append(wants[key], &want{re: regexp.MustCompile(a[1])})
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+	return wants
+}

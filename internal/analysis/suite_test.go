@@ -1,0 +1,45 @@
+package analysis
+
+import "testing"
+
+func TestAtomicCheckGolden(t *testing.T) {
+	runGolden(t, AtomicCheck, "atomictest")
+}
+
+func TestErrCheckWrapGolden(t *testing.T) {
+	runGolden(t, ErrCheckWrap, "errwraptest")
+}
+
+// TestDeterminismGolden covers both sides of the package gate: simpkg
+// is named like a simulation package and yields findings, otherpkg is
+// not and must stay silent despite identical code patterns.
+func TestDeterminismGolden(t *testing.T) {
+	runGolden(t, Determinism, "simpkg", "otherpkg")
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, CtxFlow, "ctxtest")
+}
+
+// TestIgnoreDirectiveGolden runs determinism over a file where
+// wall-clock seams carry //lint:helmvet-ignore directives: annotated
+// lines are suppressed, unannotated and wrong-analyzer lines are not.
+func TestIgnoreDirectiveGolden(t *testing.T) {
+	runGolden(t, Determinism, "ignoretest")
+}
+
+func TestSuiteStable(t *testing.T) {
+	names := []string{"atomiccheck", "errcheckwrap", "determinism", "ctxflow"}
+	s := Suite()
+	if len(s) != len(names) {
+		t.Fatalf("Suite() has %d analyzers, want %d", len(s), len(names))
+	}
+	for i, a := range s {
+		if a.Name != names[i] {
+			t.Errorf("Suite()[%d] = %s, want %s", i, a.Name, names[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s is missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package atomictest is golden input for the atomiccheck analyzer.
+package atomictest
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits atomic.Int64
+	cold int64
+}
+
+var total int64
+
+func addTotal()        { atomic.AddInt64(&total, 1) }
+func readTotal() int64 { return total } // want "total is accessed via sync/atomic elsewhere"
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) badRead() int64 {
+	return c.n // want "n is accessed via sync/atomic elsewhere"
+}
+
+func (c *counter) badWrite() {
+	c.n = 0 // want "n is accessed via sync/atomic elsewhere"
+}
+
+func (c *counter) badCopy() atomic.Int64 {
+	return c.hits // want "copying or assigning it bypasses atomicity"
+}
+
+// Allowed patterns: atomic access, typed-cell method calls, plain use
+// of a never-atomic field, and composite-literal construction.
+
+func (c *counter) goodRead() int64  { return atomic.LoadInt64(&c.n) }
+func (c *counter) goodTyped() int64 { return c.hits.Load() }
+func (c *counter) goodCold() int64  { return c.cold }
+
+func newCounter() *counter { return &counter{n: 0, cold: 3} }

@@ -1,0 +1,14 @@
+package ctxtest
+
+import (
+	"context"
+	"testing"
+)
+
+// Allowed pattern: tests are entry points, so minting a root context
+// here is fine — ctxflow exempts _test.go files.
+func TestAllowed(t *testing.T) {
+	if err := step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+// Package ctxtest is golden input for the ctxflow analyzer.
+package ctxtest
+
+import "context"
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+func badMint() error {
+	return step(context.Background()) // want "non-main package mints context.Background"
+}
+
+func badShadow(ctx context.Context) error {
+	return step(context.TODO()) // want "minted while .ctx. is in scope"
+}
+
+func badClosure(ctx context.Context) func() error {
+	return func() error {
+		return step(context.Background()) // want "minted while .ctx. is in scope"
+	}
+}
+
+// Allowed pattern: the caller's context flows to every callee that
+// accepts one.
+
+func goodFlow(ctx context.Context) error {
+	if err := step(ctx); err != nil {
+		return err
+	}
+	return step(ctx)
+}

@@ -1,0 +1,49 @@
+// Package errwraptest is golden input for the errcheckwrap analyzer.
+package errwraptest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var (
+	ErrTransient = errors.New("transient fault")
+	ErrCorrupt   = errors.New("corrupt record")
+)
+
+func badCompare(err error) bool {
+	return err == ErrTransient // want "ErrTransient compared with =="
+}
+
+func badNotEqual(err error) bool {
+	return err != ErrCorrupt // want "ErrCorrupt compared with !="
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrCorrupt: // want "switch case compares ErrCorrupt by identity"
+		return "corrupt"
+	}
+	return ""
+}
+
+func badWrap(name string) error {
+	return fmt.Errorf("load %s: %v", name, ErrTransient) // want "ErrTransient formatted with %v"
+}
+
+func badStringEq(err error) bool {
+	return err.Error() == "transient fault" // want "comparing err.Error"
+}
+
+func badStringMatch(err error) bool {
+	return strings.Contains(err.Error(), "corrupt") // want "strings.Contains on err.Error"
+}
+
+// Allowed patterns: errors.Is classification, %w wrapping, nil checks.
+
+func goodCompare(err error) bool { return errors.Is(err, ErrTransient) }
+
+func goodWrap(name string) error { return fmt.Errorf("load %s: %w", name, ErrCorrupt) }
+
+func goodNil(err error) bool { return err == nil }

@@ -1,0 +1,13 @@
+// Package otherpkg is golden input for the determinism analyzer's
+// package gate: it is not a simulation package, so wall-clock and
+// global-rand use here is allowed and must produce no findings.
+package otherpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func WallClock() int64 { return time.Now().UnixNano() }
+
+func GlobalRand() int { return rand.Intn(10) }

@@ -1,0 +1,72 @@
+// Package core (under its real name) is golden input for the
+// determinism analyzer: the package name places it in the simulation
+// set, so wall-clock reads, global randomness and order-leaking map
+// iteration are findings here.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badClock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func badRand() int {
+	return rand.Intn(10) // want "rand.Intn uses the global process-seeded stream"
+}
+
+func badMapOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration order is randomized"
+		out = append(out, v)
+	}
+	return out
+}
+
+func badMapFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "map iteration order is randomized"
+		sum += v
+	}
+	return sum
+}
+
+// Allowed patterns: seeded streams, commutative integer aggregation,
+// and the collect-keys-then-sort idiom.
+
+func goodRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func goodMapCount(m map[string]int) (n, total int) {
+	for _, v := range m {
+		n++
+		total += v
+	}
+	return n, total
+}
+
+func goodMapSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodMapInvert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}

@@ -222,6 +222,7 @@ func (b *BatchEngine) Step(tokens [][]int) ([]tensor.Mat, error) {
 // GenerateBatch runs greedy decoding for every prompt in lockstep and
 // returns n tokens per sequence.
 func (b *BatchEngine) GenerateBatch(prompts [][]int, n int) ([][]int, error) {
+	//lint:helmvet-ignore ctxflow compatibility shim: the no-ctx API deliberately anchors an undeadlined generation
 	return b.GenerateBatchContext(context.Background(), prompts, n)
 }
 
@@ -230,6 +231,7 @@ func (b *BatchEngine) GenerateBatch(prompts [][]int, n int) ([][]int, error) {
 // stalled storage tier cannot hang the wave indefinitely.
 func (b *BatchEngine) GenerateBatchContext(ctx context.Context, prompts [][]int, n int) ([][]int, error) {
 	if ctx == nil {
+		//lint:helmvet-ignore ctxflow nil-ctx guard: callers passing nil get the documented undeadlined behavior
 		ctx = context.Background()
 	}
 	if len(prompts) != len(b.seqs) {

@@ -70,6 +70,7 @@ type fetchTicket struct {
 // prefetch for the given model. Callers should Close it to stop the
 // background fetcher.
 func NewPrefetch(cfg model.Config, backing WeightStore) (*PrefetchStore, error) {
+	//lint:helmvet-ignore ctxflow compatibility shim: the no-ctx constructor deliberately builds an uncancellable store
 	return NewPrefetchContext(context.Background(), cfg, backing)
 }
 
@@ -78,6 +79,7 @@ func NewPrefetch(cfg model.Config, backing WeightStore) (*PrefetchStore, error) 
 // and foreground misses — are re-attempted up to the policy's bound
 // with its deterministic backoff.
 func NewPrefetchResilient(cfg model.Config, backing WeightStore, r Retry) (*PrefetchStore, error) {
+	//lint:helmvet-ignore ctxflow compatibility shim: the no-ctx constructor deliberately builds an uncancellable store
 	return NewPrefetchResilientContext(context.Background(), cfg, backing, r)
 }
 

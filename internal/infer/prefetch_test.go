@@ -2,11 +2,11 @@ package infer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
-	"strings"
 	"sync"
 	"testing"
 
@@ -175,9 +175,11 @@ type failStore struct {
 	layer   int
 }
 
+var errSynthetic = errors.New("synthetic I/O failure")
+
 func (f *failStore) Tensor(layer int, name string) ([]float32, error) {
 	if layer == f.layer {
-		return nil, fmt.Errorf("synthetic I/O failure at L%d", layer)
+		return nil, fmt.Errorf("%w at L%d", errSynthetic, layer)
 	}
 	return f.backing.Tensor(layer, name)
 }
@@ -197,7 +199,7 @@ func TestPrefetchErrorPropagation(t *testing.T) {
 	if err == nil {
 		t.Fatal("background fetch failure did not surface")
 	}
-	if !strings.Contains(err.Error(), "synthetic I/O failure") {
+	if !errors.Is(err, errSynthetic) {
 		t.Errorf("error lost its cause: %v", err)
 	}
 }
