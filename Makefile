@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt-check vet helmvet vulncheck bench
+.PHONY: all build test race lint fmt-check vet helmvet vulncheck bench daemon-smoke
 
 all: build lint test
 
@@ -34,3 +34,9 @@ vulncheck:
 
 bench:
 	$(GO) test -bench . -benchtime=1x -short -run '^$$' ./internal/tensor/... ./internal/quant/... ./internal/infer/...
+
+# The CI daemon-smoke job: full helmd lifecycle (signals, reload, drain)
+# plus the server chaos test, both under the race detector.
+daemon-smoke:
+	$(GO) test -race -count=2 -run 'TestDaemonLifecycle|TestFlagErrors' ./cmd/helmd/
+	$(GO) test -race -run TestChaosLifecycle ./internal/server/

@@ -1,0 +1,307 @@
+// Command helmd is the live serving daemon over the executable engine:
+// internal/server behind a real listener, with the full operational
+// lifecycle wired to process signals.
+//
+//	POST /v1/generate — run a generation (JSON in/out)
+//	GET  /healthz     — liveness
+//	GET  /readyz      — readiness (503 once draining)
+//	GET  /statz       — counter snapshot
+//
+// SIGHUP hot-reloads the checkpoint: the file is re-opened and
+// CRC-verified, then swapped in atomically; in-flight requests finish
+// on the generation they started on. SIGINT/SIGTERM drain gracefully:
+// /readyz flips unhealthy, admission stops, queued and in-flight
+// requests finish under -drain-timeout, then stragglers are
+// force-cancelled. A clean drain exits 0.
+//
+// Usage:
+//
+//	helmd -hidden 64 -blocks 4 -workers 2 -addr 127.0.0.1:8080
+//	helmd -ckpt /tmp/m.hlmc -hidden 64 -blocks 4 -fault-rate 0.05
+//
+// Without -ckpt, helmd synthesizes a checkpoint for the flag-described
+// architecture in a temp dir and serves that — the self-contained mode
+// the e2e smoke test uses.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"helmsim/internal/fault"
+	"helmsim/internal/infer"
+	"helmsim/internal/model"
+	"helmsim/internal/quant"
+	"helmsim/internal/server"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options carries the parsed flag set into run.
+type options struct {
+	addr string
+	ckpt string
+
+	arch     string
+	hidden   int
+	heads    int
+	blocks   int
+	vocab    int
+	seed     int64
+	quantize bool
+
+	workers    int
+	maxQueue   int
+	maxWait    time.Duration
+	maxTokens  int
+	reqTimeout time.Duration
+	retries    int
+
+	drainTimeout time.Duration
+
+	faultRate float64
+	faultSeed int64
+
+	breaker server.BreakerConfig
+}
+
+// realMain is the whole daemon behind a re-entrant seam: the e2e test
+// drives it in-process, delivering real signals to the test binary.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("helmd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	fs.StringVar(&o.ckpt, "ckpt", "", "checkpoint to serve (default: synthesize one in a temp dir)")
+	fs.StringVar(&o.arch, "arch", "opt", "architecture: opt, llama")
+	fs.IntVar(&o.hidden, "hidden", 64, "hidden dimension")
+	fs.IntVar(&o.heads, "heads", 4, "attention heads")
+	fs.IntVar(&o.blocks, "blocks", 4, "decoder blocks")
+	fs.IntVar(&o.vocab, "vocab", 512, "vocabulary size")
+	fs.Int64Var(&o.seed, "seed", 1, "weight seed for a synthesized checkpoint")
+	fs.BoolVar(&o.quantize, "quantize", false, "synthesize the checkpoint 4-bit quantized")
+	fs.IntVar(&o.workers, "workers", 2, "engine pool size")
+	fs.IntVar(&o.maxQueue, "max-queue", 64, "admission bound on the waiting line (full line sheds 429)")
+	fs.DurationVar(&o.maxWait, "max-wait", 0, "renege bound on queueing delay (0 = unbounded)")
+	fs.IntVar(&o.maxTokens, "max-tokens", 64, "per-request generation cap (and default)")
+	fs.DurationVar(&o.reqTimeout, "request-timeout", 30*time.Second, "server-side deadline per admitted request (0 = none)")
+	fs.IntVar(&o.retries, "retries", 3, "max foreground retries per transiently failed fetch")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful-drain budget before in-flight requests are cancelled")
+	fs.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient read errors at this per-tensor probability (chaos mode)")
+	fs.Int64Var(&o.faultSeed, "fault-seed", 1, "base seed for the fault plan (each reload advances it)")
+	fs.IntVar(&o.breaker.Window, "breaker-window", 0, "breaker sliding-window size (0 = default)")
+	fs.IntVar(&o.breaker.MinSamples, "breaker-min-samples", 0, "observations before the breaker may trip (0 = default)")
+	fs.Float64Var(&o.breaker.TripRate, "breaker-trip-rate", 0, "transient-failure rate that trips the breaker (0 = default)")
+	fs.DurationVar(&o.breaker.Cooldown, "breaker-cooldown", 0, "open-state dwell before a half-open probe (0 = default)")
+	fs.IntVar(&o.breaker.Probes, "breaker-probes", 0, "concurrent half-open probes (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "helmd:", err)
+		return 1
+	}
+	return 0
+}
+
+// modelConfig builds the served architecture from the flags, mirroring
+// minigen's synthesis path.
+func modelConfig(o options) (model.Config, error) {
+	cfg := model.Config{
+		Name: "mini-" + o.arch, Hidden: o.hidden, Heads: o.heads, Blocks: o.blocks,
+		Vocab: o.vocab, MaxSeq: 2048, DTypeBytes: 2,
+	}
+	switch o.arch {
+	case "opt":
+	case "llama":
+		kvHeads := o.heads
+		if o.heads%2 == 0 {
+			kvHeads = o.heads / 2
+		}
+		cfg = cfg.WithLlama(kvHeads, o.hidden*8/3)
+	default:
+		return model.Config{}, fmt.Errorf("unknown arch %q", o.arch)
+	}
+	return cfg, cfg.Validate()
+}
+
+// synthesize writes a fresh checkpoint for cfg into dir and returns its
+// path.
+func synthesize(cfg model.Config, dir string, seed int64, quantize bool) (string, error) {
+	w, err := infer.RandomWeights(cfg, seed, 0.06)
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, cfg.Name+".hlmc")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	var qc *quant.Config
+	if quantize {
+		c := quant.Default()
+		qc = &c
+	}
+	if err := infer.WriteCheckpoint(f, cfg, w, qc); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
+	cfg, err := modelConfig(o)
+	if err != nil {
+		return err
+	}
+	ckpt := o.ckpt
+	if ckpt == "" {
+		dir, err := os.MkdirTemp("", "helmd")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		if ckpt, err = synthesize(cfg, dir, o.seed, o.quantize); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "helmd: synthesized %s (%d params) at %s\n", cfg.Name, cfg.ParamCount(), ckpt)
+	}
+
+	// Every open — startup and each SIGHUP reload — re-verifies the
+	// checkpoint's CRCs before the store is swapped in. In chaos mode a
+	// fresh injector wraps each generation, advancing the seed so reloads
+	// do not replay the same fault sequence.
+	var faultGen atomic.Int64
+	faultGen.Store(o.faultSeed - 1)
+	openStore := func() (infer.WeightStore, io.Closer, error) {
+		fs, err := infer.OpenFileStore(ckpt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := fs.Verify(); err != nil {
+			fs.Close()
+			return nil, nil, fmt.Errorf("checkpoint integrity: %w", err)
+		}
+		if o.faultRate <= 0 {
+			return fs, fs, nil
+		}
+		flaky, err := fault.NewStore(fs, fault.Plan{Seed: faultGen.Add(1), TransientRate: o.faultRate})
+		if err != nil {
+			fs.Close()
+			return nil, nil, err
+		}
+		return flaky, fs, nil
+	}
+
+	// The daemon anchors on Background, not the signal context: SIGTERM
+	// must trigger a graceful drain, with force-cancel reserved for the
+	// drain deadline — not fire the moment the signal lands.
+	//lint:helmvet-ignore ctxflow the daemon must outlive the signal ctx: SIGTERM drains gracefully; force-cancel is reserved for the drain deadline
+	s, err := server.New(context.Background(), server.Config{
+		Model:          cfg,
+		OpenStore:      openStore,
+		Workers:        o.workers,
+		MaxQueue:       o.maxQueue,
+		MaxWait:        o.maxWait,
+		MaxTokens:      o.maxTokens,
+		RequestTimeout: o.reqTimeout,
+		Retry:          infer.Retry{Max: o.retries},
+		Breaker:        o.breaker,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		//lint:helmvet-ignore ctxflow listen failed before serving; drain must run even though the signal ctx may already be done
+		drainCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.Drain(drainCtx)
+		return err
+	}
+	// The smoke test (and any launcher using port 0) parses this line.
+	fmt.Fprintf(stdout, "helmd: listening on %s\n", ln.Addr())
+
+	// SIGHUP → hot reload, on a dedicated channel so it never competes
+	// with the shutdown signals.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	hupDone := make(chan struct{})
+	go func() {
+		defer close(hupDone)
+		for {
+			select {
+			case <-hup:
+				if err := s.Reload(); err != nil {
+					fmt.Fprintln(stderr, "helmd: reload failed, serving generation unchanged:", err)
+				} else {
+					fmt.Fprintf(stderr, "helmd: reloaded checkpoint, now serving generation %d\n", s.Stats().Generation)
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		//lint:helmvet-ignore ctxflow drain budget starts at listener failure, independent of the signal ctx
+		drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		defer cancel()
+		s.Drain(drainCtx)
+		return fmt.Errorf("listener failed: %w", err)
+	case <-ctx.Done():
+	}
+	<-hupDone
+
+	// Graceful shutdown: stop admitting and drain in-flight work first
+	// (readyz already reports 503 via Draining), then close the listener.
+	// Drain before Shutdown so requests admitted a moment before the
+	// signal still complete rather than racing connection teardown.
+	fmt.Fprintln(stderr, "helmd: signal received, draining")
+	//lint:helmvet-ignore ctxflow the signal ctx is already cancelled here; the drain budget must be a fresh deadline
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(drainCtx)
+	//lint:helmvet-ignore ctxflow same: Shutdown needs a live deadline after the signal ctx ended
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		hs.Close()
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+
+	st := s.Stats()
+	fmt.Fprintf(stdout, "helmd: drained: served %d, failed %d, shed %d, force-cancelled %d, reloads %d, transients absorbed %d\n",
+		st.Served, st.Failed, st.ShedQueueFull+st.ShedMaxWait+st.ShedBreakerOpen+st.ShedDraining,
+		st.ForceCancelled, st.Reloads, st.StoreTransients)
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	return nil
+}

@@ -20,11 +20,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"helmsim/internal/fault"
@@ -96,7 +99,15 @@ func main() {
 	if *quick {
 		*hidden, *blocks, *vocab, *gen, *runs = 128, 2, 512, 3, 1
 	}
-	if err := run(*out, *threads, *hidden, *blocks, *vocab, *batch, *gen, *runs, *faultRate, *faultSeed, *retries); err != nil {
+	// Ctrl-C (or SIGTERM) cancels the bench context so a long run dies at
+	// the next generation step instead of finishing the whole suite.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *out, *threads, *hidden, *blocks, *vocab, *batch, *gen, *runs, *faultRate, *faultSeed, *retries); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "inferbench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "inferbench:", err)
 		os.Exit(1)
 	}
@@ -117,7 +128,7 @@ func best(runs int, fn func() error) (time.Duration, error) {
 	return bestD, nil
 }
 
-func run(out string, threads, hidden, blocks, vocab, batch, gen, runs int, faultRate float64, faultSeed int64, retries int) error {
+func run(ctx context.Context, out string, threads, hidden, blocks, vocab, batch, gen, runs int, faultRate float64, faultSeed int64, retries int) error {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
@@ -255,7 +266,7 @@ func run(out string, threads, hidden, blocks, vocab, batch, gen, runs int, fault
 			return nil, err
 		}
 		defer be.Close()
-		return be.GenerateBatch(prompts, gen)
+		return be.GenerateBatchContext(ctx, prompts, gen)
 	}
 	addEndToEnd := func(name string, store infer.WeightStore) error {
 		var serialOut, parOut [][]int
@@ -308,7 +319,7 @@ func run(out string, threads, hidden, blocks, vocab, batch, gen, runs int, fault
 			return err
 		}
 		start := time.Now()
-		got, err := be.GenerateBatchContext(context.Background(), prompts, gen)
+		got, err := be.GenerateBatchContext(ctx, prompts, gen)
 		elapsed := time.Since(start)
 		degraded := be.DegradedFetches()
 		if cerr := be.Close(); cerr != nil && err == nil {

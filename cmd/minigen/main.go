@@ -11,12 +11,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"helmsim/internal/fault"
@@ -49,14 +52,23 @@ func main() {
 	)
 	flag.Parse()
 	tensor.SetParallelism(*threads)
-	if err := run(*arch, *hidden, *heads, *blocks, *vocab, *seed, *prompt, *gen, *quantize, *ckpt, *batch, *prefetch,
+	// Ctrl-C (or SIGTERM) cancels the generation context: the engine
+	// checks it between forward passes, so interruption is prompt and the
+	// checkpoint teardown still runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *arch, *hidden, *heads, *blocks, *vocab, *seed, *prompt, *gen, *quantize, *ckpt, *batch, *prefetch,
 		*faultRate, *faultSeed, *retries, *timeout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "minigen: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "minigen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV string, gen int, quantize bool, ckptPath string, batch int, prefetch bool,
+func run(ctx context.Context, arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV string, gen int, quantize bool, ckptPath string, batch int, prefetch bool,
 	faultRate float64, faultSeed int64, retries int, timeout time.Duration) error {
 	if batch < 1 {
 		return fmt.Errorf("non-positive batch %d", batch)
@@ -144,7 +156,6 @@ func run(arch string, hidden, heads, blocks, vocab int, seed int64, promptCSV st
 	}
 	retry := infer.Retry{Max: retries}
 
-	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)

@@ -3,7 +3,9 @@ package helmsim
 import (
 	"helmsim/internal/autotune"
 	"helmsim/internal/energy"
+	"helmsim/internal/infer"
 	"helmsim/internal/serve"
+	"helmsim/internal/server"
 	"helmsim/internal/units"
 )
 
@@ -64,3 +66,29 @@ var SimulateQueue = serve.SimulateQueue
 // PaperProtocol serves the §III-B workload (128-token prompts repeated 10
 // times, metrics averaged with the first run discarded).
 var PaperProtocol = serve.PaperProtocol
+
+// Conserved is the admission-ledger invariant shared by the queue
+// simulator and the live daemon: every arrival lands in exactly one of
+// the admitted/shed buckets.
+var Conserved = serve.Conserved
+
+// SwappableStore atomically hot-swaps a weight store under in-flight
+// readers; retired generations close after their last reader.
+type SwappableStore = infer.SwappableStore
+
+// NewSwappable wraps a weight store (and its closer) for hot reload.
+var NewSwappable = infer.NewSwappable
+
+// ServerConfig configures the live serving daemon (see cmd/helmd).
+type ServerConfig = server.Config
+
+// ServerStats is the daemon's counter snapshot (the /statz body).
+type ServerStats = server.Stats
+
+// BreakerConfig tunes the daemon's storage circuit breaker.
+type BreakerConfig = server.BreakerConfig
+
+// NewServer starts the live serving daemon: admission control, a
+// worker pool of engines over one hot-swappable store chain, a storage
+// circuit breaker, and graceful drain.
+var NewServer = server.New

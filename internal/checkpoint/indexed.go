@@ -187,6 +187,21 @@ func (ix *Indexed) ReadTensor(name string) (*Entry, error) {
 	return decodePayload(name, m.kind, payload)
 }
 
+// Verify re-reads and decodes every record in file order, validating
+// per-record CRCs on version-2 checkpoints — the pre-flight integrity
+// pass a serving daemon runs before hot-swapping a reloaded checkpoint
+// under live traffic. It returns the first failure (ErrCorrupt for bad
+// records, ErrClosed after Close) and reads nothing into long-lived
+// memory.
+func (ix *Indexed) Verify() error {
+	for _, name := range ix.order {
+		if _, err := ix.ReadTensor(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close releases the backing file (when opened via OpenIndexed) and
 // fails subsequent reads with ErrClosed. Close is idempotent.
 func (ix *Indexed) Close() error {

@@ -1,0 +1,73 @@
+package infer
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// The backoff sequence must be total over the whole int range —
+// positive, capped, and monotone non-decreasing — because the retry
+// loop's attempt counter is caller-controlled and a shift past 63 bits
+// would otherwise overflow time.Duration into nonsense (including
+// negative pauses, which Retry.pause would skip, silently turning
+// backoff off exactly when storage is at its sickest).
+func TestDefaultBackoffMonotoneCappedTotal(t *testing.T) {
+	attempts := []int{math.MinInt, -1000, -1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 16, 63, 64, 65, 1000, 1 << 20, math.MaxInt}
+	for _, a := range attempts {
+		d := DefaultBackoff(a)
+		if d <= 0 {
+			t.Errorf("DefaultBackoff(%d) = %v, want positive", a, d)
+		}
+		if d > maxBackoff {
+			t.Errorf("DefaultBackoff(%d) = %v exceeds cap %v", a, d, maxBackoff)
+		}
+	}
+	prev := time.Duration(0)
+	for a := 1; a <= 10_000; a++ {
+		d := DefaultBackoff(a)
+		if d < prev {
+			t.Fatalf("backoff not monotone: attempt %d gives %v after %v", a, d, prev)
+		}
+		prev = d
+	}
+	// The documented prefix: 1, 2, 4, 8, 16, 32 ms, then the cap.
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond,
+		maxBackoff, maxBackoff,
+	}
+	for i, w := range want {
+		if got := DefaultBackoff(i + 1); got != w {
+			t.Errorf("DefaultBackoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// The batch path must not retry permanent errors either: a lockstep
+// wave over a ResilientStore whose backing store fails permanently
+// gives up after exactly one attempt — retrying corruption or missing
+// tensors B times per layer would turn one bad record into a stall for
+// the whole wave.
+func TestResilientStoreBatchPathNeverRetriesPermanent(t *testing.T) {
+	mc := tinyOPT()
+	ps := &permStore{}
+	rs, err := NewResilient(ps, Retry{Max: 5, Sleep: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewBatch(mc, rs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	if _, err := be.GenerateBatch([][]int{{1}, {2}, {3}}, 2); err == nil {
+		t.Fatal("batch generation over a permanently failing store succeeded")
+	}
+	if ps.calls != 1 {
+		t.Errorf("permanent error hit the backing store %d times on the batch path, want 1", ps.calls)
+	}
+	if rs.Retries() != 0 {
+		t.Errorf("batch path retried a permanent error %d times", rs.Retries())
+	}
+}

@@ -56,7 +56,17 @@ func NewPrefetched(cfg model.Config, w WeightStore) (*Engine, error) {
 // policy: a transiently failed background fetch degrades to a retried
 // foreground fetch instead of failing the generation.
 func NewPrefetchedResilient(cfg model.Config, w WeightStore, r Retry) (*Engine, error) {
-	ps, err := NewPrefetchResilient(cfg, w, r)
+	//lint:helmvet-ignore ctxflow compatibility shim: the no-ctx constructor deliberately builds an uncancellable engine
+	return NewPrefetchedResilientContext(context.Background(), cfg, w, r)
+}
+
+// NewPrefetchedResilientContext is NewPrefetchedResilient under a
+// cancellation context: cancelling ctx aborts the engine's background
+// prefetch (the serving daemon ties every worker engine to its
+// lifecycle context this way, so shutdown joins in-flight fetches
+// instead of abandoning them).
+func NewPrefetchedResilientContext(ctx context.Context, cfg model.Config, w WeightStore, r Retry) (*Engine, error) {
+	ps, err := NewPrefetchResilientContext(ctx, cfg, w, r)
 	if err != nil {
 		return nil, err
 	}

@@ -63,6 +63,11 @@ func (s *FileStore) Tensor(layer int, name string) ([]float32, error) {
 // ModelName reports the checkpoint's model.
 func (s *FileStore) ModelName() string { return s.ix.ModelName() }
 
+// Verify re-reads and CRC-validates every record of the backing
+// checkpoint (see checkpoint.Indexed.Verify) — run it on a freshly
+// opened store before swapping it under a live server.
+func (s *FileStore) Verify() error { return s.ix.Verify() }
+
 // Close releases the underlying file.
 func (s *FileStore) Close() error { return s.ix.Close() }
 

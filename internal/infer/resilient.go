@@ -40,18 +40,30 @@ func (r Retry) Validate() error {
 	return nil
 }
 
+// maxBackoff caps DefaultBackoff: past it, waiting longer only delays
+// the inevitable exhaustion verdict.
+const maxBackoff = 50 * time.Millisecond
+
 // DefaultBackoff is deterministic exponential backoff: 1 ms, 2 ms,
-// 4 ms, ... capped at 50 ms.
+// 4 ms, ... capped at maxBackoff. It saturates instead of shifting for
+// large attempt counts — time.Duration is an int64, so a naive
+// 1ms << (attempt-1) overflows (and for attempt-1 >= 64 is undefined)
+// long before a retry loop would legitimately reach such attempts — and
+// it clamps non-positive attempts to the first step, so the sequence is
+// total, positive, and monotone non-decreasing over the whole int range.
 func DefaultBackoff(attempt int) time.Duration {
 	if attempt < 1 {
 		attempt = 1
 	}
-	if attempt > 6 {
-		return 50 * time.Millisecond
+	// 1ms << 6 = 64ms already exceeds the cap, so any shift of 6 or
+	// more saturates; this also keeps the shift far away from the
+	// 63-bit overflow edge.
+	if attempt-1 >= 6 {
+		return maxBackoff
 	}
 	d := time.Millisecond << (attempt - 1)
-	if d > 50*time.Millisecond {
-		d = 50 * time.Millisecond
+	if d > maxBackoff {
+		d = maxBackoff
 	}
 	return d
 }

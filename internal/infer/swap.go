@@ -1,0 +1,172 @@
+package infer
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"helmsim/internal/checkpoint"
+)
+
+// SwappableStore is a weight store whose backing store can be replaced
+// atomically while readers are in flight — the hot-checkpoint-reload
+// primitive of the serving daemon. Each Tensor call pins the generation
+// it started on; Swap installs the new generation immediately for
+// subsequent calls and retires the old one, whose closer runs only
+// after its last in-flight reader finishes. A reload therefore never
+// yanks the file out from under a running fetch, and never blocks the
+// serving path waiting for stragglers.
+type SwappableStore struct {
+	mu sync.Mutex
+	// cur is the generation new Tensor calls pin. nil only after Close.
+	cur *storeGen
+	// gen counts installed generations (1 for the initial store).
+	gen int64
+	// retired counts generations whose closer has run.
+	retired int64
+	closed  bool
+	// deferredCloseErr records the most recent error from a closer that
+	// ran after its generation was retired (there is no caller left on
+	// that path to return it to).
+	deferredCloseErr error
+}
+
+// storeGen is one pinned-countable backing-store generation.
+type storeGen struct {
+	store   WeightStore
+	closer  io.Closer // nil when the caller owns the store's lifetime
+	refs    int       // in-flight Tensor calls pinned to this generation
+	retired bool      // swapped out (or store closed); close when refs hit 0
+}
+
+// NewSwappable wraps an initial backing store. closer, when non-nil, is
+// run once the generation is swapped out (or the store closed) and its
+// last in-flight reader has finished.
+func NewSwappable(w WeightStore, closer io.Closer) (*SwappableStore, error) {
+	if w == nil {
+		return nil, fmt.Errorf("infer: nil weight store")
+	}
+	return &SwappableStore{cur: &storeGen{store: w, closer: closer}, gen: 1}, nil
+}
+
+// Tensor implements WeightStore over the current generation. The call
+// pins the generation for its duration, so a concurrent Swap cannot
+// close the backing store mid-read.
+func (s *SwappableStore) Tensor(layer int, name string) ([]float32, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("infer: swappable store: L%d/%s: %w", layer, name, checkpoint.ErrClosed)
+	}
+	g := s.cur
+	g.refs++
+	s.mu.Unlock()
+	d, err := g.store.Tensor(layer, name)
+	s.unpin(g)
+	return d, err
+}
+
+// unpin releases one reader's pin and runs the generation's closer if
+// it was the last reader of a retired generation.
+func (s *SwappableStore) unpin(g *storeGen) {
+	s.mu.Lock()
+	g.refs--
+	c := s.takeCloserLocked(g)
+	s.mu.Unlock()
+	if c == nil {
+		return
+	}
+	err := c.Close()
+	s.mu.Lock()
+	if err != nil {
+		s.deferredCloseErr = err
+	}
+	s.mu.Unlock()
+}
+
+// takeCloserLocked claims a retired, drained generation's closer (at
+// most once) and counts the retirement. Caller holds mu.
+func (s *SwappableStore) takeCloserLocked(g *storeGen) io.Closer {
+	if !g.retired || g.refs != 0 {
+		return nil
+	}
+	s.retired++
+	c := g.closer
+	g.closer = nil
+	return c
+}
+
+// Swap atomically installs a new backing store: calls that start after
+// Swap returns read the new generation, calls already in flight finish
+// on the old one, and the old generation's closer runs after its last
+// reader. When no reader is in flight the old closer runs synchronously
+// and its error is returned; otherwise close errors are recorded and
+// reported by DeferredCloseErr. On error the caller keeps ownership of
+// w and closer.
+func (s *SwappableStore) Swap(w WeightStore, closer io.Closer) error {
+	if w == nil {
+		return fmt.Errorf("infer: swap to nil weight store")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("infer: swap on closed store: %w", checkpoint.ErrClosed)
+	}
+	old := s.cur
+	old.retired = true
+	s.cur = &storeGen{store: w, closer: closer}
+	s.gen++
+	c := s.takeCloserLocked(old)
+	s.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// Generation reports how many generations have been installed (1 until
+// the first Swap). Engines compare it between requests to rebuild their
+// prefetch chain after a hot reload.
+func (s *SwappableStore) Generation() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// RetiredGenerations reports how many swapped-out generations have had
+// their closer run — the observable proof that reloads do not leak file
+// handles.
+func (s *SwappableStore) RetiredGenerations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retired
+}
+
+// DeferredCloseErr reports the most recent error from a generation
+// closer that ran off the swap path (after its last in-flight reader),
+// or nil.
+func (s *SwappableStore) DeferredCloseErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deferredCloseErr
+}
+
+// Close retires the current generation and fails subsequent Tensor and
+// Swap calls with checkpoint.ErrClosed. Like Swap, the closer runs
+// synchronously only when no reader is in flight. Close is idempotent.
+func (s *SwappableStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	cur := s.cur
+	cur.retired = true
+	c := s.takeCloserLocked(cur)
+	s.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"helmsim/internal/checkpoint"
+)
+
+// gateStore blocks each Tensor call until released, so tests can hold a
+// reader in flight across a Swap.
+type gateStore struct {
+	backing WeightStore
+	enter   chan struct{} // receives one token per in-flight call
+	release chan struct{} // each receive lets one call proceed
+}
+
+func newGateStore(backing WeightStore) *gateStore {
+	return &gateStore{backing: backing, enter: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (g *gateStore) Tensor(layer int, name string) ([]float32, error) {
+	g.enter <- struct{}{}
+	<-g.release
+	return g.backing.Tensor(layer, name)
+}
+
+// closeRecorder counts Close calls and can fail them.
+type closeRecorder struct {
+	mu     sync.Mutex
+	closes int
+	err    error
+}
+
+func (c *closeRecorder) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closes++
+	return c.err
+}
+
+func (c *closeRecorder) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closes
+}
+
+func TestSwappableStoreServesAndSwaps(t *testing.T) {
+	mc := tinyOPT()
+	a, err := RandomWeights(mc, 1, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomWeights(mc, 2, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := &closeRecorder{}
+	s, err := NewSwappable(a, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Generation(); g != 1 {
+		t.Fatalf("initial generation = %d, want 1", g)
+	}
+	fromA, err := s.Tensor(0, "w_token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Swap(b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Generation(); g != 2 {
+		t.Fatalf("generation after swap = %d, want 2", g)
+	}
+	if ca.count() != 1 {
+		t.Fatalf("idle old generation closed %d times, want 1 (synchronously on swap)", ca.count())
+	}
+	fromB, err := s.Tensor(0, "w_token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := b.Tensor(0, "w_token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(fromA) == len(fromB)
+	if same {
+		for i := range fromB {
+			if fromB[i] != wantB[i] {
+				t.Fatalf("post-swap read elem %d = %v, want generation B's %v", i, fromB[i], wantB[i])
+			}
+			if fromB[i] != fromA[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("swap did not change the served weights")
+	}
+	if _, err := NewSwappable(nil, nil); err == nil {
+		t.Error("nil initial store accepted")
+	}
+	if err := s.Swap(nil, nil); err == nil {
+		t.Error("swap to nil store accepted")
+	}
+}
+
+// The reload contract: the old generation's closer must not run while a
+// reader pinned to it is still in flight, and must run exactly once
+// right after the last such reader finishes.
+func TestSwappableStoreClosesOldGenerationAfterLastReader(t *testing.T) {
+	mc := tinyOPT()
+	a, err := RandomWeights(mc, 3, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomWeights(mc, 4, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := newGateStore(a)
+	ca := &closeRecorder{}
+	s, err := NewSwappable(gate, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Tensor(0, "w_token")
+		done <- err
+	}()
+	<-gate.enter // reader is pinned to generation A
+	if err := s.Swap(b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ca.count() != 0 {
+		t.Fatal("old generation closed while a reader was in flight")
+	}
+	if s.RetiredGenerations() != 0 {
+		t.Fatalf("retired = %d with a reader still pinned", s.RetiredGenerations())
+	}
+	gate.release <- struct{}{} // let the pinned reader finish
+	if err := <-done; err != nil {
+		t.Fatalf("pinned reader failed: %v", err)
+	}
+	if ca.count() != 1 {
+		t.Fatalf("old generation closed %d times after last reader, want 1", ca.count())
+	}
+	if s.RetiredGenerations() != 1 {
+		t.Fatalf("retired = %d, want 1", s.RetiredGenerations())
+	}
+}
+
+// Concurrent readers racing a swap and a close: every read either
+// succeeds on some generation or fails typed ErrClosed, and each
+// generation's closer runs exactly once. Run under -race.
+func TestSwappableStoreConcurrentSwapAndClose(t *testing.T) {
+	mc := tinyOPT()
+	stores := make([]*MemStore, 3)
+	closers := make([]*closeRecorder, 3)
+	for i := range stores {
+		w, err := RandomWeights(mc, int64(10+i), 0.08)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i], closers[i] = w, &closeRecorder{}
+	}
+	s, err := NewSwappable(stores[0], closers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := s.Tensor(0, "w_token"); err != nil && !errors.Is(err, checkpoint.ErrClosed) {
+					errs <- fmt.Errorf("read %d: %w", i, err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i < 3; i++ {
+		if err := s.Swap(stores[i], closers[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for i, c := range closers {
+		if c.count() != 1 {
+			t.Errorf("generation %d closed %d times, want exactly 1", i, c.count())
+		}
+	}
+	if _, err := s.Tensor(0, "w_token"); !errors.Is(err, checkpoint.ErrClosed) {
+		t.Errorf("read after Close = %v, want checkpoint.ErrClosed", err)
+	}
+	if err := s.Swap(stores[0], nil); !errors.Is(err, checkpoint.ErrClosed) {
+		t.Errorf("swap after Close = %v, want checkpoint.ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// A closer that fails off the swap path (after the last in-flight
+// reader) surfaces through DeferredCloseErr; one that fails on the
+// synchronous path surfaces from Swap itself.
+func TestSwappableStoreCloseErrors(t *testing.T) {
+	mc := tinyOPT()
+	a, err := RandomWeights(mc, 5, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomWeights(mc, 6, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("close failed")
+
+	// Synchronous path: no readers in flight.
+	s, err := NewSwappable(a, &closeRecorder{err: boom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Swap(b, nil); !errors.Is(err, boom) {
+		t.Fatalf("synchronous close error = %v, want %v", err, boom)
+	}
+
+	// Deferred path: a pinned reader delays the close past Swap.
+	gate := newGateStore(a)
+	s2, err := NewSwappable(gate, &closeRecorder{err: boom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s2.Tensor(0, "w_token")
+		done <- err
+	}()
+	<-gate.enter
+	if err := s2.Swap(b, nil); err != nil {
+		t.Fatalf("swap with pinned reader should defer the close error, got %v", err)
+	}
+	gate.release <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.DeferredCloseErr(); !errors.Is(err, boom) {
+		t.Errorf("DeferredCloseErr = %v, want %v", err, boom)
+	}
+}
+
+// An engine generating across a hot swap keeps working, and when the
+// two checkpoints hold identical weights the tokens are identical to a
+// swap-free run — the serving daemon's reload-under-traffic guarantee
+// at the store level.
+func TestSwappableStoreHotSwapUnderGeneration(t *testing.T) {
+	mc := tinyOPT()
+	w, err := RandomWeights(mc, 7, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(mc, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{1, 2, 3}
+	const n = 8
+	want, err := ref.Generate(prompt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewSwappable(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(mc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var swaps int
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Swap(w, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			swaps++
+		}
+	}()
+	got, err := eng.Generate(prompt, n)
+	close(stop)
+	<-swapDone
+	if err != nil {
+		t.Fatalf("generation across %d hot swaps failed: %v", swaps, err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d diverged across hot swaps: %v vs %v", i, got, want)
+		}
+	}
+}

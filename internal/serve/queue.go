@@ -55,6 +55,10 @@ type QueueMetrics struct {
 	// admission control trades completeness for the latency of what it
 	// does serve, and the attainment figure reports exactly that.
 	SLOAttainment float64
+	// Arrivals is the total number of requests that reached admission —
+	// the conservation base: Admitted plus every shed counter equals it
+	// exactly (see Conserved).
+	Arrivals int
 	// Admitted counts requests actually served; it plus the shed counters
 	// equals the arrival count.
 	Admitted int
@@ -72,6 +76,28 @@ type QueueMetrics struct {
 	// first-arrival-to-completion window. Note the unit: this is request
 	// throughput, not the tokens-per-second Throughput of sched.Result.
 	PromptsPerSec float64
+}
+
+// Conserved reports whether an admission ledger accounts for every
+// arrival: admitted plus every shed bucket must equal arrivals exactly
+// — no request vanishes, none is double-counted. The simulator's
+// metrics and the live daemon's /statz counters are both checked
+// against this same predicate.
+func Conserved(arrivals, admitted int, shed ...int) bool {
+	total := admitted
+	for _, s := range shed {
+		if s < 0 || admitted < 0 || arrivals < 0 {
+			return false
+		}
+		total += s
+	}
+	return total == arrivals
+}
+
+// Conserved applies the conservation predicate to the simulation's own
+// ledger.
+func (m *QueueMetrics) Conserved() bool {
+	return Conserved(m.Arrivals, m.Admitted, m.ShedQueueFull, m.ShedMaxWait)
 }
 
 // SLOAttainmentString formats attainment for reports: "n/a" when no SLO
@@ -193,6 +219,7 @@ func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 	if m.Waves > 0 {
 		m.MeanBatch /= float64(m.Waves)
 	}
+	m.Arrivals = len(arrivals)
 	m.Admitted = len(e2es)
 	m.MeanQueueDelay = units.Duration(stats.Mean(queueDelays))
 	m.P99QueueDelay = units.Duration(stats.Percentile(queueDelays, 99))

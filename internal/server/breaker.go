@@ -1,0 +1,305 @@
+// Package server is the live serving daemon over the executable
+// out-of-core engine: an HTTP front end with admission control
+// mirroring the serve package's queueing semantics, a storage circuit
+// breaker, graceful drain, and hot checkpoint reload. It is the
+// production-shaped counterpart of the serve package's simulator —
+// the simulator predicts brownout behavior, this package exhibits it.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"helmsim/internal/fault"
+)
+
+// BreakerState is the circuit breaker's admission mode.
+type BreakerState int32
+
+const (
+	// BreakerClosed admits everything; storage looks healthy.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen sheds everything; storage recently exceeded the trip
+	// rate and is cooling down.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded number of probe requests whose
+	// outcome decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String renders the state for /statz and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// BreakerConfig tunes the storage circuit breaker. Zero values take the
+// documented defaults, so the zero config is usable.
+type BreakerConfig struct {
+	// Window is how many recent storage operations the failure rate is
+	// computed over (default 64).
+	Window int
+	// MinSamples is the observation floor below which the breaker never
+	// trips — a single failed read out of two must not blackout the
+	// daemon (default 16).
+	MinSamples int
+	// TripRate is the transient-failure fraction over the window that
+	// opens the breaker (default 0.5).
+	TripRate float64
+	// Cooldown is how long an open breaker sheds before letting probes
+	// through (default 2s).
+	Cooldown time.Duration
+	// Probes bounds concurrent half-open probe requests (default 1).
+	Probes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 16
+	}
+	if c.TripRate == 0 {
+		c.TripRate = 0.5
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.Probes == 0 {
+		c.Probes = 1
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations (after defaulting).
+func (c BreakerConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Window < 1 {
+		return fmt.Errorf("server: breaker window %d < 1", c.Window)
+	}
+	if c.MinSamples < 1 || c.MinSamples > c.Window {
+		return fmt.Errorf("server: breaker min samples %d outside [1,%d]", c.MinSamples, c.Window)
+	}
+	if c.TripRate <= 0 || c.TripRate > 1 {
+		return fmt.Errorf("server: breaker trip rate %v outside (0,1]", c.TripRate)
+	}
+	if c.Cooldown < 0 {
+		return fmt.Errorf("server: negative breaker cooldown %v", c.Cooldown)
+	}
+	if c.Probes < 1 {
+		return fmt.Errorf("server: breaker probes %d < 1", c.Probes)
+	}
+	return nil
+}
+
+// Breaker is a windowed-failure-rate circuit breaker over storage
+// operations. Closed, it watches the transient-failure fraction of the
+// last Window operations and opens when it crosses TripRate with at
+// least MinSamples observed. Open, it sheds until Cooldown has passed,
+// then goes half-open and admits up to Probes probe requests; a probe
+// success closes it (window reset), a probe failure re-opens it for
+// another cooldown. Only transient storage faults count as failures —
+// corruption and validation errors are permanent and no amount of
+// load-shedding fixes them, so they bypass the breaker entirely.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for tests
+
+	state    BreakerState
+	ring     []bool // true = transient failure
+	pos      int
+	fill     int
+	fails    int
+	openedAt time.Time
+	probing  int
+
+	trips      int64
+	reopens    int64
+	recoveries int64
+}
+
+// NewBreaker builds a breaker (zero-valued fields default).
+func NewBreaker(cfg BreakerConfig) (*Breaker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:  cfg,
+		now:  time.Now,
+		ring: make([]bool, cfg.Window),
+	}, nil
+}
+
+// Record feeds one storage-operation outcome into the window: nil is a
+// success, a transient fault a failure; every other error is ignored
+// (permanent faults are not a load signal). Safe for concurrent use.
+func (b *Breaker) Record(err error) {
+	failure := false
+	switch {
+	case err == nil:
+	case fault.IsTransient(err):
+		failure = true
+	default:
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.ring[b.pos] {
+		b.fails--
+	}
+	b.ring[b.pos] = failure
+	if failure {
+		b.fails++
+	}
+	b.pos = (b.pos + 1) % len(b.ring)
+	if b.fill < len(b.ring) {
+		b.fill++
+	}
+	// Only a closed breaker trips off the window; open and half-open
+	// transitions are governed by the cooldown clock and probe verdicts,
+	// not by residual traffic admitted before the trip.
+	if b.state == BreakerClosed && b.fill >= b.cfg.MinSamples &&
+		float64(b.fails)/float64(b.fill) >= b.cfg.TripRate {
+		b.tripLocked()
+	}
+}
+
+// tripLocked opens the breaker and clears the window so the next closed
+// period starts from a clean slate.
+func (b *Breaker) tripLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.probing = 0
+	b.trips++
+	b.resetWindowLocked()
+}
+
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.pos, b.fill, b.fails = 0, 0, 0
+}
+
+// Allow is the admission check. ok reports whether the request may
+// proceed; probe reports that it was admitted as a half-open probe and
+// its owner must call ProbeDone or ProbeAbort exactly once.
+func (b *Breaker) Allow() (probe, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = 0
+	}
+	switch b.state {
+	case BreakerClosed:
+		return false, true
+	case BreakerHalfOpen:
+		if b.probing < b.cfg.Probes {
+			b.probing++
+			return true, true
+		}
+		return false, false
+	default:
+		return false, false
+	}
+}
+
+// ProbeDone reports a probe's verdict: success closes the breaker,
+// failure re-opens it for another cooldown.
+func (b *Breaker) ProbeDone(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing > 0 {
+		b.probing--
+	}
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	if ok {
+		b.state = BreakerClosed
+		b.recoveries++
+		b.resetWindowLocked()
+		return
+	}
+	b.tripLocked()
+	b.trips-- // re-opening after a failed probe extends the same incident
+	b.reopens++
+}
+
+// ProbeAbort releases a probe slot without a verdict — the probe was
+// shed later in the pipeline or failed for a non-storage reason, so it
+// says nothing about storage health.
+func (b *Breaker) ProbeAbort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing > 0 {
+		b.probing--
+	}
+}
+
+// State reports the current admission mode (advancing open→half-open if
+// the cooldown has lapsed, so observers see what admission would see).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = 0
+	}
+	return b.state
+}
+
+// RetryAfter suggests a client back-off: the remaining cooldown while
+// open (minimum one second, rounded up), one second otherwise.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		if rem := b.cfg.Cooldown - b.now().Sub(b.openedAt); rem > time.Second {
+			return rem.Round(time.Second)
+		}
+	}
+	return time.Second
+}
+
+// BreakerSnapshot is the /statz view of the breaker.
+type BreakerSnapshot struct {
+	State       string  `json:"state"`
+	Trips       int64   `json:"trips"`
+	Reopens     int64   `json:"reopens"`
+	Recoveries  int64   `json:"recoveries"`
+	WindowFill  int     `json:"window_fill"`
+	FailureRate float64 `json:"failure_rate"`
+	Probing     int     `json:"probing"`
+}
+
+// Snapshot captures the breaker's state for reporting.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rate := 0.0
+	if b.fill > 0 {
+		rate = float64(b.fails) / float64(b.fill)
+	}
+	return BreakerSnapshot{
+		State:       b.state.String(),
+		Trips:       b.trips,
+		Reopens:     b.reopens,
+		Recoveries:  b.recoveries,
+		WindowFill:  b.fill,
+		FailureRate: rate,
+		Probing:     b.probing,
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// GenerateRequest is the POST /v1/generate body.
+type GenerateRequest struct {
+	// Prompt is the token-id prompt (required, non-empty, ids in
+	// [0, vocab)).
+	Prompt []int `json:"prompt"`
+	// MaxTokens is how many tokens to generate (default and cap:
+	// Config.MaxTokens).
+	MaxTokens int `json:"max_tokens"`
+	// TimeoutMS optionally tightens the server-side deadline.
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// GenerateResponse is the success body.
+type GenerateResponse struct {
+	Tokens []int  `json:"tokens"`
+	Model  string `json:"model"`
+	// Generation is the checkpoint generation the request was served
+	// from (increments on hot reload).
+	Generation int64   `json:"generation"`
+	QueueMS    float64 `json:"queue_ms"`
+	ServiceMS  float64 `json:"service_ms"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/generate — run a generation (JSON in/out)
+//	GET  /healthz     — liveness: 200 while the process runs
+//	GET  /readyz      — readiness: 200 only while admitting
+//	GET  /statz       — JSON counter snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client hanging up mid-body is not actionable
+}
+
+func (s *Server) shed(w http.ResponseWriter, status int, retryAfter time.Duration, msg string) {
+	if retryAfter > 0 {
+		secs := int(retryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		return
+	}
+	if len(req.Prompt) == 0 {
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty prompt"})
+		return
+	}
+	for i, tok := range req.Prompt {
+		if tok < 0 || tok >= s.cfg.Model.Vocab {
+			s.badRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: fmt.Sprintf("prompt token %d out of vocabulary [0,%d): %d", i, s.cfg.Model.Vocab, tok)})
+			return
+		}
+	}
+	if req.TimeoutMS < 0 {
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "negative timeout_ms"})
+		return
+	}
+	maxTokens := req.MaxTokens
+	switch {
+	case maxTokens == 0:
+		maxTokens = s.cfg.MaxTokens
+	case maxTokens < 0 || maxTokens > s.cfg.MaxTokens:
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("max_tokens %d outside [1,%d]", req.MaxTokens, s.cfg.MaxTokens)})
+		return
+	}
+
+	j, status, retryAfter := s.admit(r.Context(), req.Prompt, maxTokens, time.Duration(req.TimeoutMS)*time.Millisecond)
+	if j == nil {
+		msg := "draining"
+		if status == http.StatusTooManyRequests {
+			msg = "queue full"
+		} else if retryAfter > 0 {
+			msg = "storage circuit breaker open"
+		}
+		s.shed(w, status, retryAfter, msg)
+		return
+	}
+	// The worker owns the job until done closes — even if the client
+	// disconnects (the worker sees that through j.ctx).
+	<-j.done
+	if j.err != nil {
+		s.shed(w, j.status, j.retryAfter, j.err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, GenerateResponse{
+		Tokens:     j.tokens,
+		Model:      s.cfg.Model.Name,
+		Generation: j.generation,
+		QueueMS:    float64(j.queued.Microseconds()) / 1e3,
+		ServiceMS:  float64(j.service.Microseconds()) / 1e3,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness only: a draining daemon is still alive (it must be, to
+	// finish the drain); readiness is /readyz's job.
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

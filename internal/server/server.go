@@ -1,0 +1,598 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"helmsim/internal/fault"
+	"helmsim/internal/infer"
+	"helmsim/internal/model"
+	"helmsim/internal/serve"
+)
+
+// Config describes a serving daemon.
+type Config struct {
+	// Model is the architecture served; every checkpoint opened by
+	// OpenStore must match it.
+	Model model.Config
+	// OpenStore opens (and should CRC-verify) a fresh weight store. It is
+	// called once at startup and once per hot reload; the returned closer
+	// (nil allowed) runs after the store's last in-flight reader.
+	OpenStore func() (infer.WeightStore, io.Closer, error)
+	// Workers is the engine pool size (default 1). Each worker owns one
+	// prefetched engine; all share the store chain.
+	Workers int
+	// MaxQueue bounds the waiting line, mirroring serve.QueueConfig: an
+	// arrival finding MaxQueue requests waiting is shed with 429
+	// (default 64).
+	MaxQueue int
+	// MaxWait bounds queueing delay, mirroring serve.QueueConfig: a
+	// request that waited longer reneges with 503 when a worker finally
+	// reaches it (0 = unbounded patience).
+	MaxWait time.Duration
+	// MaxTokens caps per-request generation length (default 64).
+	MaxTokens int
+	// RequestTimeout is the server-side deadline per admitted request
+	// (0 = none); clients may request a tighter one.
+	RequestTimeout time.Duration
+	// Retry is the foreground retry policy absorbing transient storage
+	// faults under each engine.
+	Retry infer.Retry
+	// Breaker tunes the storage circuit breaker (zero values default).
+	Breaker BreakerConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxTokens == 0 {
+		c.MaxTokens = 64
+	}
+	return c
+}
+
+// Validate rejects unusable configurations (after defaulting).
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.OpenStore == nil {
+		return fmt.Errorf("server: nil OpenStore")
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("server: worker count %d < 1", c.Workers)
+	}
+	if c.MaxQueue < 1 {
+		return fmt.Errorf("server: queue bound %d < 1", c.MaxQueue)
+	}
+	if c.MaxWait < 0 {
+		return fmt.Errorf("server: negative wait bound %v", c.MaxWait)
+	}
+	if c.MaxTokens < 1 {
+		return fmt.Errorf("server: token cap %d < 1", c.MaxTokens)
+	}
+	if c.RequestTimeout < 0 {
+		return fmt.Errorf("server: negative request timeout %v", c.RequestTimeout)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	return c.Breaker.Validate()
+}
+
+// lifecycle states.
+const (
+	stateServing int32 = iota
+	stateDraining
+	stateStopped
+)
+
+// job is one admitted-to-queue request, handed from the HTTP handler to
+// a worker. The worker fills the result fields and closes done; the
+// handler alone writes the HTTP response.
+type job struct {
+	ctx       context.Context
+	prompt    []int
+	maxTokens int
+	timeout   time.Duration // client-requested, already clamped
+	probe     bool          // breaker half-open probe
+	arrived   time.Time
+
+	tokens     []int
+	err        error
+	status     int // HTTP status to report err with
+	retryAfter time.Duration
+	generation int64
+	queued     time.Duration
+	service    time.Duration
+	done       chan struct{}
+}
+
+// Server is the live daemon: admission control in front of a worker
+// pool of prefetched engines over one swappable, breaker-observed,
+// retry-wrapped store chain.
+type Server struct {
+	cfg     Config
+	store   *infer.SwappableStore
+	breaker *Breaker
+
+	// genCtx anchors every engine and in-flight generation; forceCancel
+	// fires when a drain deadline expires.
+	genCtx      context.Context
+	forceCancel context.CancelFunc
+
+	mu      sync.Mutex
+	state   int32
+	queue   chan *job
+	waiting int
+
+	wg          sync.WaitGroup
+	workersDone chan struct{}
+	drainOnce   sync.Once
+	drainDone   chan struct{} // closed after finalization; drainErr is set before
+	drainErr    error
+
+	// Conservation ledger: arrivals == admitted + every shed bucket, the
+	// same invariant serve.SimulateQueue's metrics satisfy, checked by
+	// the same predicate.
+	arrivals        atomic.Int64
+	admitted        atomic.Int64
+	shedQueueFull   atomic.Int64
+	shedMaxWait     atomic.Int64
+	shedBreakerOpen atomic.Int64
+	shedDraining    atomic.Int64
+
+	served         atomic.Int64
+	failed         atomic.Int64
+	panics         atomic.Int64
+	forceCancelled atomic.Int64
+	reloads        atomic.Int64
+	reloadFailures atomic.Int64
+	badRequests    atomic.Int64
+
+	storeAccesses   atomic.Int64
+	storeTransients atomic.Int64
+	prefetchHits    atomic.Int64
+	prefetchMisses  atomic.Int64
+	degraded        atomic.Int64
+}
+
+// breakerStore sits between the retry layer and the swappable store:
+// every raw storage attempt (including each retry) feeds the breaker's
+// failure window and the access counters.
+type breakerStore struct {
+	s *Server
+}
+
+func (bs breakerStore) Tensor(layer int, name string) ([]float32, error) {
+	d, err := bs.s.store.Tensor(layer, name)
+	bs.s.storeAccesses.Add(1)
+	if err != nil && fault.IsTransient(err) {
+		bs.s.storeTransients.Add(1)
+	}
+	bs.s.breaker.Record(err)
+	return d, err
+}
+
+// New opens the initial store via cfg.OpenStore and starts the worker
+// pool. ctx anchors the daemon: engines, prefetchers, and force-drain
+// all descend from it.
+func New(ctx context.Context, cfg Config) (*Server, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("server: nil context")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	br, err := NewBreaker(cfg.Breaker)
+	if err != nil {
+		return nil, err
+	}
+	w, closer, err := cfg.OpenStore()
+	if err != nil {
+		return nil, fmt.Errorf("server: opening initial store: %w", err)
+	}
+	sw, err := infer.NewSwappable(w, closer)
+	if err != nil {
+		if closer != nil {
+			closer.Close()
+		}
+		return nil, err
+	}
+	s := &Server{
+		cfg:         cfg,
+		store:       sw,
+		breaker:     br,
+		queue:       make(chan *job, cfg.MaxQueue),
+		workersDone: make(chan struct{}),
+		drainDone:   make(chan struct{}),
+	}
+	s.genCtx, s.forceCancel = context.WithCancel(ctx)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.workersDone)
+	}()
+	return s, nil
+}
+
+// admit runs the admission pipeline under the lock: drain state, queue
+// bound, breaker — in that order, so a full queue sheds before a probe
+// slot is consumed. It returns the job on success, or (status,
+// retryAfter) on shed.
+func (s *Server) admit(ctx context.Context, prompt []int, maxTokens int, timeout time.Duration) (*job, int, time.Duration) {
+	s.arrivals.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateServing {
+		s.shedDraining.Add(1)
+		return nil, http.StatusServiceUnavailable, 0
+	}
+	if s.waiting >= s.cfg.MaxQueue {
+		s.shedQueueFull.Add(1)
+		return nil, http.StatusTooManyRequests, time.Second
+	}
+	probe, ok := s.breaker.Allow()
+	if !ok {
+		s.shedBreakerOpen.Add(1)
+		return nil, http.StatusServiceUnavailable, s.breaker.RetryAfter()
+	}
+	j := &job{
+		ctx: ctx, prompt: prompt, maxTokens: maxTokens, timeout: timeout,
+		probe: probe, arrived: time.Now(), done: make(chan struct{}),
+	}
+	s.waiting++
+	// Channel capacity equals the queue bound and waiting is tracked
+	// under the same lock, so this send cannot block.
+	s.queue <- j
+	return j, 0, 0
+}
+
+// workerState is one worker's engine plus the prefetch counter values
+// already folded into the server totals (engine counters are lifetime
+// values; the server wants deltas).
+type workerState struct {
+	eng                   *infer.Engine
+	gen                   int64
+	hits, misses, degrade int
+}
+
+// closeEngine folds the engine's final counter deltas and releases it.
+func (s *Server) closeEngine(w *workerState) {
+	if w.eng == nil {
+		return
+	}
+	s.foldPrefetch(w)
+	w.eng.Close()
+	*w = workerState{}
+}
+
+func (s *Server) foldPrefetch(w *workerState) {
+	h, m := w.eng.PrefetchStats()
+	d := w.eng.DegradedFetches()
+	s.prefetchHits.Add(int64(h - w.hits))
+	s.prefetchMisses.Add(int64(m - w.misses))
+	s.degraded.Add(int64(d - w.degrade))
+	w.hits, w.misses, w.degrade = h, m, d
+}
+
+// worker serves jobs until the queue closes, owning one engine that is
+// rebuilt on checkpoint swap (fresh weights, empty prefetch pipeline)
+// and after a panic.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	var ws workerState
+	defer s.closeEngine(&ws)
+	for j := range s.queue {
+		s.mu.Lock()
+		s.waiting--
+		s.mu.Unlock()
+		s.serveJob(&ws, j)
+		close(j.done)
+	}
+}
+
+// serveJob runs one admitted job on the worker's engine.
+func (s *Server) serveJob(ws *workerState, j *job) {
+	j.queued = time.Since(j.arrived)
+	// Renege: the request waited past its patience or its client hung up
+	// while queued — serving it now would be work nobody receives, the
+	// simulator's MaxWait semantics live.
+	if (s.cfg.MaxWait > 0 && j.queued > s.cfg.MaxWait) || j.ctx.Err() != nil {
+		s.shedMaxWait.Add(1)
+		if j.probe {
+			s.breaker.ProbeAbort()
+		}
+		j.status = http.StatusServiceUnavailable
+		j.retryAfter = time.Second
+		j.err = fmt.Errorf("server: reneged after queueing %v", j.queued.Round(time.Millisecond))
+		return
+	}
+	s.admitted.Add(1)
+
+	// Rebuild the engine when the served generation changed: the layer
+	// memo and prefetch pipeline hold old-generation tensors, and the
+	// reload contract is that every post-swap request computes entirely
+	// on new weights.
+	if ws.eng != nil && ws.gen != s.store.Generation() {
+		s.closeEngine(ws)
+	}
+	if ws.eng == nil {
+		gen := s.store.Generation()
+		e, err := infer.NewPrefetchedResilientContext(s.genCtx, s.cfg.Model, breakerStore{s}, s.cfg.Retry)
+		if err != nil {
+			s.fail(j, err)
+			return
+		}
+		ws.eng, ws.gen = e, gen
+	}
+
+	ctx, cancel := s.requestContext(j)
+	// Force-drain reaches into in-flight generations through the daemon
+	// context without parenting every request under it.
+	stop := context.AfterFunc(s.genCtx, cancel)
+	defer func() {
+		stop()
+		cancel()
+	}()
+
+	start := time.Now()
+	tokens, err := s.generate(ws.eng, ctx, j)
+	j.service = time.Since(start)
+	s.foldPrefetch(ws)
+
+	if err != nil {
+		if errors.Is(err, errPanicked) {
+			// The engine's internal state is suspect; rebuild before the
+			// next request.
+			s.closeEngine(ws)
+		}
+		s.fail(j, err)
+		return
+	}
+	j.tokens = tokens
+	j.generation = ws.gen
+	s.served.Add(1)
+	if j.probe {
+		s.breaker.ProbeDone(true)
+	}
+}
+
+// requestContext derives the per-request context: the client's context,
+// tightened by the server-side deadline and any (clamped) client-asked
+// timeout.
+func (s *Server) requestContext(j *job) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if j.timeout > 0 && (timeout == 0 || j.timeout < timeout) {
+		timeout = j.timeout
+	}
+	if timeout > 0 {
+		return context.WithTimeout(j.ctx, timeout)
+	}
+	return context.WithCancel(j.ctx)
+}
+
+// errPanicked marks a recovered per-request panic.
+var errPanicked = errors.New("server: request panicked")
+
+// generate runs one generation with panic recovery; a panic fails the
+// request, not the daemon.
+func (s *Server) generate(eng *infer.Engine, ctx context.Context, j *job) (tokens []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			err = fmt.Errorf("%w: %v", errPanicked, r)
+		}
+	}()
+	eng.Reset()
+	return eng.GenerateContext(ctx, j.prompt, j.maxTokens)
+}
+
+// fail classifies an error into the job's response fields and settles
+// breaker-probe accounting.
+func (s *Server) fail(j *job, err error) {
+	s.failed.Add(1)
+	j.err = err
+	switch {
+	case s.genCtx.Err() != nil && errors.Is(err, context.Canceled):
+		// Force-drain cut the request off.
+		s.forceCancelled.Add(1)
+		j.status = http.StatusServiceUnavailable
+		j.retryAfter = time.Second
+	case errors.Is(err, context.DeadlineExceeded):
+		j.status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away mid-service; status is moot but recorded.
+		j.status = http.StatusServiceUnavailable
+	case fault.IsTransient(err):
+		// Retries exhausted against sick storage.
+		j.status = http.StatusServiceUnavailable
+		j.retryAfter = s.breaker.RetryAfter()
+	default:
+		j.status = http.StatusInternalServerError
+	}
+	if j.probe {
+		if fault.IsTransient(err) {
+			s.breaker.ProbeDone(false)
+		} else {
+			// Timeouts, cancellations, panics: no storage verdict.
+			s.breaker.ProbeAbort()
+		}
+	}
+}
+
+// Reload hot-swaps the served checkpoint: open + verify a fresh store,
+// then atomically install it; the old generation closes after its last
+// in-flight reader. In-flight requests finish on the generation they
+// started on; later requests (and rebuilt engines) see the new one.
+func (s *Server) Reload() error {
+	w, closer, err := s.cfg.OpenStore()
+	if err != nil {
+		s.reloadFailures.Add(1)
+		return fmt.Errorf("server: reload open: %w", err)
+	}
+	pre := s.store.Generation()
+	err = s.store.Swap(w, closer)
+	if s.store.Generation() == pre {
+		// Swap did not take (daemon closed); release the orphaned store.
+		s.reloadFailures.Add(1)
+		if closer != nil {
+			closer.Close()
+		}
+		return fmt.Errorf("server: reload swap: %w", err)
+	}
+	s.reloads.Add(1)
+	// The swap took; a non-nil err here is the old generation's close
+	// failure, reported but not a reload failure.
+	return err
+}
+
+// Drain stops admission and waits for queued and in-flight requests to
+// finish. When ctx expires first, in-flight generations are
+// force-cancelled (counted in Stats.ForceCancelled) and the ctx error
+// is returned. Drain is idempotent; concurrent calls all wait. The
+// store chain is closed once workers exit.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.state == stateServing {
+		s.state = stateDraining
+		// Workers drain what was already admitted, then exit.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	var derr error
+	select {
+	case <-s.workersDone:
+		// Checked first so a drain that finished exactly at the deadline
+		// still reports clean.
+	default:
+		select {
+		case <-s.workersDone:
+		case <-ctx.Done():
+			s.forceCancel()
+			<-s.workersDone
+			derr = fmt.Errorf("server: drain deadline expired, in-flight requests cancelled: %w", ctx.Err())
+		}
+	}
+
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.state = stateStopped
+		s.mu.Unlock()
+		s.forceCancel() // release context resources even on a clean drain
+		cerr := s.store.Close()
+		if derr == nil {
+			derr = cerr
+		}
+		s.drainErr = derr
+		close(s.drainDone)
+	})
+	<-s.drainDone
+	return s.drainErr
+}
+
+// Draining reports whether the daemon has left the serving state.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state != stateServing
+}
+
+// Stats is the /statz document.
+type Stats struct {
+	State              string `json:"state"`
+	Workers            int    `json:"workers"`
+	QueueDepth         int    `json:"queue_depth"`
+	Generation         int64  `json:"generation"`
+	RetiredGenerations int64  `json:"retired_generations"`
+
+	Arrivals        int64 `json:"arrivals"`
+	Admitted        int64 `json:"admitted"`
+	Served          int64 `json:"served"`
+	Failed          int64 `json:"failed"`
+	ShedQueueFull   int64 `json:"shed_queue_full"`
+	ShedMaxWait     int64 `json:"shed_max_wait"`
+	ShedBreakerOpen int64 `json:"shed_breaker_open"`
+	ShedDraining    int64 `json:"shed_draining"`
+	BadRequests     int64 `json:"bad_requests"`
+	Panics          int64 `json:"panics"`
+	ForceCancelled  int64 `json:"force_cancelled"`
+	Reloads         int64 `json:"reloads"`
+	ReloadFailures  int64 `json:"reload_failures"`
+
+	StoreAccesses   int64 `json:"store_accesses"`
+	StoreTransients int64 `json:"store_transients"`
+	PrefetchHits    int64 `json:"prefetch_hits"`
+	PrefetchMisses  int64 `json:"prefetch_misses"`
+	DegradedFetches int64 `json:"degraded_fetches"`
+
+	Breaker BreakerSnapshot `json:"breaker"`
+}
+
+// Conserved checks the live ledger against the exact predicate the
+// queueing simulator's metrics satisfy: every arrival is admitted or
+// lands in exactly one shed bucket.
+func (st Stats) Conserved() bool {
+	return serve.Conserved(int(st.Arrivals), int(st.Admitted),
+		int(st.ShedQueueFull), int(st.ShedMaxWait), int(st.ShedBreakerOpen), int(st.ShedDraining))
+}
+
+// Stats snapshots the daemon's counters. Note the snapshot is not
+// atomic across counters: under live traffic, arrivals may be ahead of
+// the bucket that arrival will land in, so Conserved is guaranteed only
+// at quiescence.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	state := s.state
+	depth := s.waiting
+	s.mu.Unlock()
+	name := "serving"
+	switch state {
+	case stateDraining:
+		name = "draining"
+	case stateStopped:
+		name = "stopped"
+	}
+	return Stats{
+		State:              name,
+		Workers:            s.cfg.Workers,
+		QueueDepth:         depth,
+		Generation:         s.store.Generation(),
+		RetiredGenerations: s.store.RetiredGenerations(),
+		Arrivals:           s.arrivals.Load(),
+		Admitted:           s.admitted.Load(),
+		Served:             s.served.Load(),
+		Failed:             s.failed.Load(),
+		ShedQueueFull:      s.shedQueueFull.Load(),
+		ShedMaxWait:        s.shedMaxWait.Load(),
+		ShedBreakerOpen:    s.shedBreakerOpen.Load(),
+		ShedDraining:       s.shedDraining.Load(),
+		BadRequests:        s.badRequests.Load(),
+		Panics:             s.panics.Load(),
+		ForceCancelled:     s.forceCancelled.Load(),
+		Reloads:            s.reloads.Load(),
+		ReloadFailures:     s.reloadFailures.Load(),
+		StoreAccesses:      s.storeAccesses.Load(),
+		StoreTransients:    s.storeTransients.Load(),
+		PrefetchHits:       s.prefetchHits.Load(),
+		PrefetchMisses:     s.prefetchMisses.Load(),
+		DegradedFetches:    s.degraded.Load(),
+		Breaker:            s.breaker.Snapshot(),
+	}
+}

@@ -1,0 +1,558 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"helmsim/internal/infer"
+	"helmsim/internal/model"
+)
+
+// tinyModel is a laptop-scale OPT-shaped config the engine can serve in
+// milliseconds.
+func tinyModel() model.Config {
+	return model.Config{
+		Name: "tiny-opt", Hidden: 32, Heads: 4, Blocks: 2,
+		Vocab: 64, MaxSeq: 128, DTypeBytes: 2,
+	}
+}
+
+// writeCheckpoint synthesizes weights and writes them as a checkpoint
+// file, returning the path and the in-memory weights for baselines.
+func writeCheckpoint(t *testing.T, mc model.Config, seed int64) (string, *infer.MemStore) {
+	t.Helper()
+	w, err := infer.RandomWeights(mc, seed, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.hlmc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := infer.WriteCheckpoint(f, mc, w, nil); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, w
+}
+
+// fileOpener is the production OpenStore shape: open the checkpoint,
+// verify its checksums, serve it.
+func fileOpener(path string) func() (infer.WeightStore, io.Closer, error) {
+	return func() (infer.WeightStore, io.Closer, error) {
+		fs, err := infer.OpenFileStore(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := fs.Verify(); err != nil {
+			fs.Close()
+			return nil, nil, err
+		}
+		return fs, fs, nil
+	}
+}
+
+// noSleep keeps retry backoff off the test clock.
+func noSleep(time.Duration) {}
+
+// startServer builds a Server plus an httptest front end and registers
+// teardown.
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts
+}
+
+// postGenerate sends one generation request and decodes the response.
+func postGenerate(t *testing.T, url string, req GenerateRequest) (int, GenerateResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var gr GenerateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, gr, ""
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, GenerateResponse{}, er.Error
+}
+
+func TestConfigValidation(t *testing.T) {
+	mc := tinyModel()
+	open := func() (infer.WeightStore, io.Closer, error) { return nil, nil, nil }
+	bad := []Config{
+		{Model: mc}, // nil OpenStore
+		{Model: mc, OpenStore: open, Workers: -1},   //
+		{Model: mc, OpenStore: open, MaxQueue: -1},  //
+		{Model: mc, OpenStore: open, MaxWait: -1},   //
+		{Model: mc, OpenStore: open, MaxTokens: -1}, //
+		{Model: mc, OpenStore: open, RequestTimeout: -1},
+		{Model: mc, OpenStore: open, Retry: infer.Retry{Max: -1}},
+		{Model: mc, OpenStore: open, Breaker: BreakerConfig{TripRate: 2}},
+		{OpenStore: open}, // invalid model
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(nil, Config{Model: mc, OpenStore: open}); err == nil {
+		t.Error("nil context accepted")
+	}
+	if _, err := New(context.Background(), Config{
+		Model:     mc,
+		OpenStore: func() (infer.WeightStore, io.Closer, error) { return nil, nil, fmt.Errorf("no checkpoint") },
+	}); err == nil {
+		t.Error("failing initial OpenStore not surfaced")
+	}
+}
+
+func TestServeMatchesDirectEngine(t *testing.T) {
+	mc := tinyModel()
+	path, w := writeCheckpoint(t, mc, 1)
+	ref, err := infer.New(mc, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{1, 2, 3}
+	want, err := ref.Generate(prompt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := startServer(t, Config{
+		Model: mc, OpenStore: fileOpener(path), Workers: 2,
+		Retry: infer.Retry{Max: 2, Sleep: noSleep},
+	})
+	status, gr, msg := postGenerate(t, ts.URL, GenerateRequest{Prompt: prompt, MaxTokens: 8})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, msg)
+	}
+	if len(gr.Tokens) != 8 {
+		t.Fatalf("got %d tokens, want 8", len(gr.Tokens))
+	}
+	for i := range want {
+		if gr.Tokens[i] != want[i] {
+			t.Fatalf("served tokens %v diverge from direct engine %v", gr.Tokens, want)
+		}
+	}
+	if gr.Generation != 1 || gr.Model != mc.Name {
+		t.Errorf("response metadata %+v", gr)
+	}
+	// A second request on the same worker must not leak KV-cache state.
+	status, gr2, msg := postGenerate(t, ts.URL, GenerateRequest{Prompt: prompt, MaxTokens: 8})
+	if status != http.StatusOK {
+		t.Fatalf("second request status %d: %s", status, msg)
+	}
+	for i := range want {
+		if gr2.Tokens[i] != want[i] {
+			t.Fatalf("second serve diverged (stale KV cache?): %v vs %v", gr2.Tokens, want)
+		}
+	}
+	st := s.Stats()
+	if !st.Conserved() {
+		t.Errorf("ledger not conserved: %+v", st)
+	}
+	if st.Served != 2 || st.Arrivals != 2 {
+		t.Errorf("served %d / arrivals %d, want 2/2", st.Served, st.Arrivals)
+	}
+	if st.PrefetchHits == 0 {
+		t.Errorf("prefetch pipeline unused: %+v", st)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	mc := tinyModel()
+	path, _ := writeCheckpoint(t, mc, 2)
+	s, ts := startServer(t, Config{Model: mc, OpenStore: fileOpener(path), MaxTokens: 8})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed", `{"prompt": [1,`},
+		{"unknown field", `{"prompt": [1], "teperature": 2}`},
+		{"empty prompt", `{"prompt": []}`},
+		{"token out of vocab", `{"prompt": [1, 9999]}`},
+		{"negative token", `{"prompt": [-1]}`},
+		{"max_tokens above cap", `{"prompt": [1], "max_tokens": 9}`},
+		{"negative max_tokens", `{"prompt": [1], "max_tokens": -2}`},
+		{"negative timeout", `{"prompt": [1], "timeout_ms": -5}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+	// GET on the generate route is not part of the surface.
+	resp, err := http.Get(ts.URL + "/v1/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/generate status %d, want 405", resp.StatusCode)
+	}
+	st := s.Stats()
+	if st.BadRequests != int64(len(cases)) {
+		t.Errorf("bad requests %d, want %d", st.BadRequests, len(cases))
+	}
+	// Rejected-before-admission requests are not arrivals: conservation
+	// holds over the admission pipeline.
+	if !st.Conserved() || st.Arrivals != 0 {
+		t.Errorf("bad requests leaked into the admission ledger: %+v", st)
+	}
+}
+
+// blockStore lets a test hold worker engines mid-read to build up a
+// queue deterministically.
+type blockStore struct {
+	backing infer.WeightStore
+	mu      sync.Mutex
+	hold    chan struct{} // non-nil: reads block until closed
+}
+
+func (b *blockStore) gate() chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hold
+}
+
+func (b *blockStore) setGate(ch chan struct{}) {
+	b.mu.Lock()
+	b.hold = ch
+	b.mu.Unlock()
+}
+
+func (b *blockStore) Tensor(layer int, name string) ([]float32, error) {
+	if ch := b.gate(); ch != nil {
+		<-ch
+	}
+	return b.backing.Tensor(layer, name)
+}
+
+func TestQueueFullAndRenege(t *testing.T) {
+	mc := tinyModel()
+	_, w := writeCheckpoint(t, mc, 3)
+	bs := &blockStore{backing: w}
+	gate := make(chan struct{})
+	bs.setGate(gate)
+
+	s, ts := startServer(t, Config{
+		Model:     mc,
+		OpenStore: func() (infer.WeightStore, io.Closer, error) { return bs, nil, nil },
+		Workers:   1,
+		MaxQueue:  1,
+		MaxWait:   time.Millisecond, // queued-behind-a-blocked-worker requests renege
+	})
+
+	var wg sync.WaitGroup
+	statuses := make([]int, 2)
+	// First request occupies the lone worker (blocked in storage);
+	// second fills the queue.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], _, _ = postGenerate(t, ts.URL, GenerateRequest{Prompt: []int{1}, MaxTokens: 2})
+		}(i)
+		// Wait until the request is either in service or queued before
+		// sending the next.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			st := s.Stats()
+			if st.Admitted+int64(st.QueueDepth) > int64(i) || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Third arrival sees a full waiting line: 429 immediately.
+	status, _, _ := postGenerate(t, ts.URL, GenerateRequest{Prompt: []int{1}, MaxTokens: 2})
+	if status != http.StatusTooManyRequests {
+		t.Errorf("queue-full arrival got %d, want 429", status)
+	}
+	close(gate)
+	bs.setGate(nil)
+	wg.Wait()
+	if statuses[0] != http.StatusOK {
+		t.Errorf("in-service request got %d, want 200", statuses[0])
+	}
+	// The queued request waited far past MaxWait while the worker was
+	// blocked: it must have reneged with 503.
+	if statuses[1] != http.StatusServiceUnavailable {
+		t.Errorf("overdue queued request got %d, want 503 renege", statuses[1])
+	}
+	st := s.Stats()
+	if st.ShedQueueFull != 1 || st.ShedMaxWait != 1 {
+		t.Errorf("shed accounting: %+v", st)
+	}
+	if !st.Conserved() {
+		t.Errorf("ledger not conserved: %+v", st)
+	}
+}
+
+// panicStore panics on request — the per-request recovery boundary must
+// turn that into a 500 and keep the daemon serving.
+type panicStore struct {
+	backing infer.WeightStore
+	arm     sync.Mutex
+	panics  bool
+}
+
+func (p *panicStore) setPanics(v bool) {
+	p.arm.Lock()
+	p.panics = v
+	p.arm.Unlock()
+}
+
+func (p *panicStore) Tensor(layer int, name string) ([]float32, error) {
+	p.arm.Lock()
+	armed := p.panics
+	p.arm.Unlock()
+	if armed {
+		panic("injected storage panic")
+	}
+	return p.backing.Tensor(layer, name)
+}
+
+func TestPanicRecovery(t *testing.T) {
+	mc := tinyModel()
+	_, w := writeCheckpoint(t, mc, 4)
+	ps := &panicStore{backing: w}
+	s, ts := startServer(t, Config{
+		Model:     mc,
+		OpenStore: func() (infer.WeightStore, io.Closer, error) { return ps, nil, nil },
+	})
+	ps.setPanics(true)
+	status, _, msg := postGenerate(t, ts.URL, GenerateRequest{Prompt: []int{1}, MaxTokens: 2})
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicked request got %d (%s), want 500", status, msg)
+	}
+	ps.setPanics(false)
+	status, _, msg = postGenerate(t, ts.URL, GenerateRequest{Prompt: []int{1}, MaxTokens: 2})
+	if status != http.StatusOK {
+		t.Fatalf("daemon did not survive the panic: %d (%s)", status, msg)
+	}
+	st := s.Stats()
+	if st.Panics != 1 || st.Served != 1 || st.Failed != 1 {
+		t.Errorf("panic accounting: %+v", st)
+	}
+	if !st.Conserved() {
+		t.Errorf("ledger not conserved: %+v", st)
+	}
+}
+
+func TestHealthEndpointsAndDrain(t *testing.T) {
+	mc := tinyModel()
+	path, _ := writeCheckpoint(t, mc, 5)
+	s, ts := startServer(t, Config{Model: mc, OpenStore: fileOpener(path)})
+
+	get := func(p string) int {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz = %d", got)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Errorf("/readyz = %d", got)
+	}
+	if got := get("/statz"); got != http.StatusOK {
+		t.Errorf("/statz = %d", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("clean drain errored: %v", err)
+	}
+	// Draining flips readiness but not liveness, and admission sheds.
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz after drain = %d, want 200 (liveness)", got)
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz after drain = %d, want 503", got)
+	}
+	status, _, _ := postGenerate(t, ts.URL, GenerateRequest{Prompt: []int{1}, MaxTokens: 2})
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("post-drain request got %d, want 503", status)
+	}
+	st := s.Stats()
+	if st.State != "stopped" || st.ShedDraining != 1 {
+		t.Errorf("post-drain stats: %+v", st)
+	}
+	if !st.Conserved() {
+		t.Errorf("ledger not conserved: %+v", st)
+	}
+	// Drain is idempotent.
+	if err := s.Drain(ctx); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+func TestForceCancelOnDrainDeadline(t *testing.T) {
+	mc := tinyModel()
+	_, w := writeCheckpoint(t, mc, 6)
+	bs := &blockStore{backing: w}
+	gate := make(chan struct{})
+	bs.setGate(gate)
+	s, ts := startServer(t, Config{
+		Model:     mc,
+		OpenStore: func() (infer.WeightStore, io.Closer, error) { return bs, nil, nil },
+	})
+
+	got := make(chan int, 1)
+	go func() {
+		status, _, _ := postGenerate(t, ts.URL, GenerateRequest{Prompt: []int{1}, MaxTokens: 2})
+		got <- status
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Admitted == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Drain blocks on the worker, which is wedged inside a storage read —
+	// context cancellation is only observed between reads, so the gate
+	// must open for the force-cancel to land. Release it after the drain
+	// deadline has expired.
+	timer := time.AfterFunc(300*time.Millisecond, func() {
+		close(gate)
+		bs.setGate(nil)
+	})
+	defer timer.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := s.Drain(ctx)
+	if err == nil {
+		t.Fatal("drain with a wedged request reported clean")
+	}
+	select {
+	case status := <-got:
+		if status != http.StatusServiceUnavailable {
+			t.Errorf("force-cancelled request got %d, want 503", status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("force-cancelled request never completed")
+	}
+	st := s.Stats()
+	if st.ForceCancelled != 1 {
+		t.Errorf("force-cancel accounting: %+v", st)
+	}
+	if !st.Conserved() {
+		t.Errorf("ledger not conserved: %+v", st)
+	}
+}
+
+func TestHotReloadSwapsGenerations(t *testing.T) {
+	mc := tinyModel()
+	path, w := writeCheckpoint(t, mc, 7)
+	ref, err := infer.New(mc, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Generate([]int{1, 2}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := startServer(t, Config{Model: mc, OpenStore: fileOpener(path)})
+	status, gr, msg := postGenerate(t, ts.URL, GenerateRequest{Prompt: []int{1, 2}, MaxTokens: 6})
+	if status != http.StatusOK {
+		t.Fatalf("pre-reload request: %d (%s)", status, msg)
+	}
+	if gr.Generation != 1 {
+		t.Fatalf("pre-reload generation = %d", gr.Generation)
+	}
+	if err := s.Reload(); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	status, gr, msg = postGenerate(t, ts.URL, GenerateRequest{Prompt: []int{1, 2}, MaxTokens: 6})
+	if status != http.StatusOK {
+		t.Fatalf("post-reload request: %d (%s)", status, msg)
+	}
+	if gr.Generation != 2 {
+		t.Errorf("post-reload generation = %d, want 2", gr.Generation)
+	}
+	// Same checkpoint → same tokens: the reload is invisible to outputs.
+	for i := range want {
+		if gr.Tokens[i] != want[i] {
+			t.Fatalf("post-reload tokens diverged: %v vs %v", gr.Tokens, want)
+		}
+	}
+	st := s.Stats()
+	if st.Reloads != 1 || st.Generation != 2 {
+		t.Errorf("reload stats: %+v", st)
+	}
+	if st.RetiredGenerations != 1 {
+		t.Errorf("old generation not retired: %+v", st)
+	}
+	// Reloading a corrupted checkpoint must fail closed: flip a byte and
+	// verify the swap is refused while serving continues on the old
+	// generation.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x40
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err == nil {
+		t.Fatal("reload of a corrupted checkpoint succeeded")
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, gr, msg = postGenerate(t, ts.URL, GenerateRequest{Prompt: []int{1, 2}, MaxTokens: 6})
+	if status != http.StatusOK || gr.Generation != 2 {
+		t.Fatalf("serving broken after refused reload: %d (%s) gen %d", status, msg, gr.Generation)
+	}
+	if st := s.Stats(); st.ReloadFailures != 1 {
+		t.Errorf("reload failure not counted: %+v", st)
+	}
+}
