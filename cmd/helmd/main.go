@@ -253,10 +253,15 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		for {
 			select {
 			case <-hup:
-				if err := s.Reload(); err != nil {
-					fmt.Fprintln(stderr, "helmd: reload failed, serving generation unchanged:", err)
-				} else {
+				switch err := s.Reload(); {
+				case err == nil:
 					fmt.Fprintf(stderr, "helmd: reloaded checkpoint, now serving generation %d\n", s.Stats().Generation)
+				case errors.Is(err, server.ErrStaleClose):
+					// The new generation is serving; only the old store's
+					// cleanup failed.
+					fmt.Fprintf(stderr, "helmd: reloaded checkpoint to generation %d with cleanup warning: %v\n", s.Stats().Generation, err)
+				default:
+					fmt.Fprintln(stderr, "helmd: reload failed, serving generation unchanged:", err)
 				}
 			case <-ctx.Done():
 				return
@@ -298,7 +303,7 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 
 	st := s.Stats()
 	fmt.Fprintf(stdout, "helmd: drained: served %d, failed %d, shed %d, force-cancelled %d, reloads %d, transients absorbed %d\n",
-		st.Served, st.Failed, st.ShedQueueFull+st.ShedMaxWait+st.ShedBreakerOpen+st.ShedDraining,
+		st.Served, st.Failed, st.ShedQueueFull+st.ShedMaxWait+st.ShedClientGone+st.ShedBreakerOpen+st.ShedDraining,
 		st.ForceCancelled, st.Reloads, st.StoreTransients)
 	if drainErr != nil {
 		return fmt.Errorf("drain: %w", drainErr)

@@ -181,15 +181,20 @@ func (s *PrefetchStore) bundle(layer int) (*layerBundle, error) {
 // fetchLayerRetry is fetchLayer under the store's foreground retry
 // policy: transient failures are re-attempted with deterministic
 // backoff; permanent ones (corruption, closed checkpoint, cancellation)
-// surface immediately.
+// surface immediately. Retrying happens per tensor (a failed tensor is
+// re-read alone, not the whole layer) — a layer-granular retry
+// compounds the per-tensor fault rate across every tensor of the layer
+// on each attempt, which can exhaust even a deep retry budget under a
+// modest injected fault rate. The outer layer-level loop remains as a
+// second line of defense.
 func (s *PrefetchStore) fetchLayerRetry(layer int) *layerBundle {
-	b := s.fetchLayer(layer)
+	b := s.fetchLayer(layer, true)
 	for attempt := 1; b.err != nil && attempt <= s.retry.Max; attempt++ {
 		if !fault.IsTransient(b.err) || s.ctx.Err() != nil {
 			break
 		}
 		s.retry.pause(attempt)
-		b = s.fetchLayer(layer)
+		b = s.fetchLayer(layer, true)
 	}
 	return b
 }
@@ -209,14 +214,20 @@ func (s *PrefetchStore) install(b *layerBundle) {
 	t := &fetchTicket{layer: next, done: make(chan struct{})}
 	s.pending = t
 	go func() {
-		t.bundle = s.fetchLayer(next)
+		// Background fetches take a single attempt per tensor: a failure
+		// here is recoverable (the consumer refetches in the foreground
+		// and the degraded counter records the fault), so the retry
+		// budget is saved for the path where failure is terminal.
+		t.bundle = s.fetchLayer(next, false)
 		close(t.done)
 	}()
 }
 
 // fetchLayer reads every tensor of a layer from the backing store,
-// checking for cancellation between tensors.
-func (s *PrefetchStore) fetchLayer(layer int) *layerBundle {
+// checking for cancellation between tensors. With retry set, each
+// transiently failed tensor read is re-attempted individually under the
+// store's retry policy before it fails the bundle.
+func (s *PrefetchStore) fetchLayer(layer int, retry bool) *layerBundle {
 	names, ok := s.names[layer]
 	if !ok {
 		return &layerBundle{layer: layer, err: fmt.Errorf("infer: prefetch: unknown layer %d", layer)}
@@ -228,6 +239,15 @@ func (s *PrefetchStore) fetchLayer(layer int) *layerBundle {
 			return b
 		}
 		d, err := s.backing.Tensor(layer, name)
+		if retry {
+			for attempt := 1; err != nil && attempt <= s.retry.Max; attempt++ {
+				if !fault.IsTransient(err) || s.ctx.Err() != nil {
+					break
+				}
+				s.retry.pause(attempt)
+				d, err = s.backing.Tensor(layer, name)
+			}
+		}
 		if err != nil {
 			b.err = fmt.Errorf("infer: prefetch L%d/%s: %w", layer, name, err)
 			return b
@@ -252,6 +272,19 @@ func (s *PrefetchStore) DegradedFetches() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.degraded
+}
+
+// Settle blocks until no background fetch is in flight, leaving a
+// completed prefetch pending for the next consumer. Serving workers
+// call it between requests so no fetch issued under one request's
+// generation pin outlives that pin.
+func (s *PrefetchStore) Settle() {
+	s.mu.Lock()
+	t := s.pending
+	s.mu.Unlock()
+	if t != nil {
+		<-t.done
+	}
 }
 
 // Close cancels the prefetcher and waits for any in-flight fetch, so no

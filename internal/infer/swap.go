@@ -11,11 +11,13 @@ import (
 // SwappableStore is a weight store whose backing store can be replaced
 // atomically while readers are in flight — the hot-checkpoint-reload
 // primitive of the serving daemon. Each Tensor call pins the generation
-// it started on; Swap installs the new generation immediately for
-// subsequent calls and retires the old one, whose closer runs only
-// after its last in-flight reader finishes. A reload therefore never
-// yanks the file out from under a running fetch, and never blocks the
-// serving path waiting for stragglers.
+// it started on, and Acquire pins one for a whole multi-fetch sequence
+// (a serving request and its prefetches); Swap installs the new
+// generation immediately for subsequent calls and retires the old one,
+// whose closer runs only after its last pin — per-call or acquired — is
+// released. A reload therefore never yanks the file out from under a
+// running fetch, and never blocks the serving path waiting for
+// stragglers.
 type SwappableStore struct {
 	mu sync.Mutex
 	// cur is the generation new Tensor calls pin. nil only after Close.
@@ -35,7 +37,7 @@ type SwappableStore struct {
 type storeGen struct {
 	store   WeightStore
 	closer  io.Closer // nil when the caller owns the store's lifetime
-	refs    int       // in-flight Tensor calls pinned to this generation
+	refs    int       // in-flight Tensor calls and Acquire pins on this generation
 	retired bool      // swapped out (or store closed); close when refs hit 0
 }
 
@@ -64,6 +66,37 @@ func (s *SwappableStore) Tensor(layer int, name string) ([]float32, error) {
 	d, err := g.store.Tensor(layer, name)
 	s.unpin(g)
 	return d, err
+}
+
+// Acquire pins the current generation for a multi-call reader: the
+// returned store reads that generation directly for as long as the pin
+// is held, so a sequence of fetches — a serving request's foreground
+// reads, retries, and background prefetches — can never straddle a
+// Swap. gen identifies the pinned generation; release (idempotent)
+// drops the pin, and a retired generation's closer runs once every pin
+// on it is gone. This is what makes "in-flight requests finish on the
+// generation they started on" true for requests that fetch more than
+// once.
+func (s *SwappableStore) Acquire() (w WeightStore, gen int64, release func(), err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, 0, nil, fmt.Errorf("infer: acquire on closed store: %w", checkpoint.ErrClosed)
+	}
+	g := s.cur
+	g.refs++
+	gen = s.gen
+	s.mu.Unlock()
+	var once sync.Once
+	return pinnedGen{g}, gen, func() { once.Do(func() { s.unpin(g) }) }, nil
+}
+
+// pinnedGen reads one acquired generation directly; the Acquire pin
+// keeps its backing store open until released.
+type pinnedGen struct{ g *storeGen }
+
+func (p pinnedGen) Tensor(layer int, name string) ([]float32, error) {
+	return p.g.store.Tensor(layer, name)
 }
 
 // unpin releases one reader's pin and runs the generation's closer if
@@ -97,20 +130,22 @@ func (s *SwappableStore) takeCloserLocked(g *storeGen) io.Closer {
 }
 
 // Swap atomically installs a new backing store: calls that start after
-// Swap returns read the new generation, calls already in flight finish
+// Swap returns read the new generation, pins already in flight finish
 // on the old one, and the old generation's closer runs after its last
-// reader. When no reader is in flight the old closer runs synchronously
-// and its error is returned; otherwise close errors are recorded and
-// reported by DeferredCloseErr. On error the caller keeps ownership of
-// w and closer.
-func (s *SwappableStore) Swap(w WeightStore, closer io.Closer) error {
+// pin. installed reports whether the new generation took: when false
+// (nil store, or Swap after Close) the caller keeps ownership of w and
+// closer, and err explains the rejection. When installed, a non-nil err
+// is the old generation's synchronous close failure — the swap itself
+// succeeded; a close deferred past in-flight pins reports its error via
+// DeferredCloseErr instead.
+func (s *SwappableStore) Swap(w WeightStore, closer io.Closer) (installed bool, err error) {
 	if w == nil {
-		return fmt.Errorf("infer: swap to nil weight store")
+		return false, fmt.Errorf("infer: swap to nil weight store")
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return fmt.Errorf("infer: swap on closed store: %w", checkpoint.ErrClosed)
+		return false, fmt.Errorf("infer: swap on closed store: %w", checkpoint.ErrClosed)
 	}
 	old := s.cur
 	old.retired = true
@@ -119,9 +154,9 @@ func (s *SwappableStore) Swap(w WeightStore, closer io.Closer) error {
 	c := s.takeCloserLocked(old)
 	s.mu.Unlock()
 	if c != nil {
-		return c.Close()
+		return true, c.Close()
 	}
-	return nil
+	return true, nil
 }
 
 // Generation reports how many generations have been installed (1 until

@@ -69,8 +69,12 @@ func TestSwappableStoreServesAndSwaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Swap(b, nil); err != nil {
+	installed, err := s.Swap(b, nil)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !installed {
+		t.Fatal("swap reported not installed")
 	}
 	if g := s.Generation(); g != 2 {
 		t.Fatalf("generation after swap = %d, want 2", g)
@@ -103,7 +107,7 @@ func TestSwappableStoreServesAndSwaps(t *testing.T) {
 	if _, err := NewSwappable(nil, nil); err == nil {
 		t.Error("nil initial store accepted")
 	}
-	if err := s.Swap(nil, nil); err == nil {
+	if ok, err := s.Swap(nil, nil); err == nil || ok {
 		t.Error("swap to nil store accepted")
 	}
 }
@@ -133,7 +137,7 @@ func TestSwappableStoreClosesOldGenerationAfterLastReader(t *testing.T) {
 		done <- err
 	}()
 	<-gate.enter // reader is pinned to generation A
-	if err := s.Swap(b, nil); err != nil {
+	if _, err := s.Swap(b, nil); err != nil {
 		t.Fatal(err)
 	}
 	if ca.count() != 0 {
@@ -187,7 +191,7 @@ func TestSwappableStoreConcurrentSwapAndClose(t *testing.T) {
 		}()
 	}
 	for i := 1; i < 3; i++ {
-		if err := s.Swap(stores[i], closers[i]); err != nil {
+		if _, err := s.Swap(stores[i], closers[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -207,8 +211,8 @@ func TestSwappableStoreConcurrentSwapAndClose(t *testing.T) {
 	if _, err := s.Tensor(0, "w_token"); !errors.Is(err, checkpoint.ErrClosed) {
 		t.Errorf("read after Close = %v, want checkpoint.ErrClosed", err)
 	}
-	if err := s.Swap(stores[0], nil); !errors.Is(err, checkpoint.ErrClosed) {
-		t.Errorf("swap after Close = %v, want checkpoint.ErrClosed", err)
+	if ok, err := s.Swap(stores[0], nil); !errors.Is(err, checkpoint.ErrClosed) || ok {
+		t.Errorf("swap after Close = (%v, %v), want checkpoint.ErrClosed and not installed", ok, err)
 	}
 	if err := s.Close(); err != nil {
 		t.Errorf("second Close: %v", err)
@@ -235,8 +239,12 @@ func TestSwappableStoreCloseErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Swap(b, nil); !errors.Is(err, boom) {
+	ok, err := s.Swap(b, nil)
+	if !errors.Is(err, boom) {
 		t.Fatalf("synchronous close error = %v, want %v", err, boom)
+	}
+	if !ok {
+		t.Fatal("failed old close reported the swap as not installed")
 	}
 
 	// Deferred path: a pinned reader delays the close past Swap.
@@ -251,7 +259,7 @@ func TestSwappableStoreCloseErrors(t *testing.T) {
 		done <- err
 	}()
 	<-gate.enter
-	if err := s2.Swap(b, nil); err != nil {
+	if _, err := s2.Swap(b, nil); err != nil {
 		t.Fatalf("swap with pinned reader should defer the close error, got %v", err)
 	}
 	gate.release <- struct{}{}
@@ -260,6 +268,81 @@ func TestSwappableStoreCloseErrors(t *testing.T) {
 	}
 	if err := s2.DeferredCloseErr(); !errors.Is(err, boom) {
 		t.Errorf("DeferredCloseErr = %v, want %v", err, boom)
+	}
+}
+
+// Acquire is the per-request pin: a handle acquired before a swap keeps
+// reading — and keeps open — the generation it started on across any
+// number of fetches, while unpinned reads already see the new one, and
+// the old generation's closer runs only when the pin is released.
+func TestSwappableStoreAcquirePinsGeneration(t *testing.T) {
+	mc := tinyOPT()
+	a, err := RandomWeights(mc, 8, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomWeights(mc, 9, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := &closeRecorder{}
+	s, err := NewSwappable(a, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, gen, release, err := s.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("acquired generation = %d, want 1", gen)
+	}
+	if _, err := s.Swap(b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ca.count() != 0 {
+		t.Fatal("old generation closed under an acquired pin")
+	}
+	wantA, err := a.Tensor(0, "w_token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := b.Tensor(0, "w_token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromPin, err := pinned.Tensor(0, "w_token")
+	if err != nil {
+		t.Fatalf("pinned read after swap: %v", err)
+	}
+	fromCur, err := s.Tensor(0, "w_token")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantA {
+		if fromPin[i] != wantA[i] {
+			t.Fatalf("pinned read elem %d = %v, want old generation's %v", i, fromPin[i], wantA[i])
+		}
+		if fromCur[i] != wantB[i] {
+			t.Fatalf("unpinned read elem %d = %v, want new generation's %v", i, fromCur[i], wantB[i])
+		}
+	}
+	release()
+	if ca.count() != 1 {
+		t.Fatalf("old generation closed %d times after release, want 1", ca.count())
+	}
+	if s.RetiredGenerations() != 1 {
+		t.Fatalf("retired = %d after release, want 1", s.RetiredGenerations())
+	}
+	release() // idempotent
+	if ca.count() != 1 {
+		t.Fatalf("double release re-ran the closer (%d closes)", ca.count())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.Acquire(); !errors.Is(err, checkpoint.ErrClosed) {
+		t.Errorf("acquire after Close = %v, want checkpoint.ErrClosed", err)
 	}
 }
 
@@ -303,7 +386,7 @@ func TestSwappableStoreHotSwapUnderGeneration(t *testing.T) {
 				return
 			default:
 			}
-			if err := s.Swap(w, nil); err != nil {
+			if _, err := s.Swap(w, nil); err != nil {
 				t.Error(err)
 				return
 			}

@@ -20,6 +20,9 @@ func TestConservedPredicate(t *testing.T) {
 		{10, 7, []int{1, 1}, false},
 		{10, -1, []int{11}, false}, // negative buckets never conserve
 		{-1, 0, []int{-1}, false},
+		{-3, -3, nil, false}, // negativity is rejected even with no shed buckets
+		{-1, -1, nil, false},
+		{0, -1, nil, false},
 		{10, 7, []int{3, 0, 0, 0}, true}, // extra empty buckets are fine
 	}
 	for _, c := range cases {

@@ -84,9 +84,13 @@ type QueueMetrics struct {
 // metrics and the live daemon's /statz counters are both checked
 // against this same predicate.
 func Conserved(arrivals, admitted int, shed ...int) bool {
+	// Negative counts never conserve, shed buckets or not.
+	if arrivals < 0 || admitted < 0 {
+		return false
+	}
 	total := admitted
 	for _, s := range shed {
-		if s < 0 || admitted < 0 || arrivals < 0 {
+		if s < 0 {
 			return false
 		}
 		total += s

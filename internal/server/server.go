@@ -143,6 +143,10 @@ type Server struct {
 	drainDone   chan struct{} // closed after finalization; drainErr is set before
 	drainErr    error
 
+	// reloadMu serializes Reload calls: concurrent SIGHUPs must not
+	// interleave their open/swap pairs.
+	reloadMu sync.Mutex
+
 	// Conservation ledger: arrivals == admitted + every shed bucket, the
 	// same invariant serve.SimulateQueue's metrics satisfy, checked by
 	// the same predicate.
@@ -150,6 +154,7 @@ type Server struct {
 	admitted        atomic.Int64
 	shedQueueFull   atomic.Int64
 	shedMaxWait     atomic.Int64
+	shedClientGone  atomic.Int64
 	shedBreakerOpen atomic.Int64
 	shedDraining    atomic.Int64
 
@@ -168,21 +173,50 @@ type Server struct {
 	degraded        atomic.Int64
 }
 
-// breakerStore sits between the retry layer and the swappable store:
-// every raw storage attempt (including each retry) feeds the breaker's
-// failure window and the access counters.
+// breakerStore sits between the retry layer and the worker's pinned
+// generation: every raw storage attempt (including each retry) feeds
+// the breaker's failure window and the access counters.
 type breakerStore struct {
-	s *Server
+	s       *Server
+	backing infer.WeightStore
 }
 
 func (bs breakerStore) Tensor(layer int, name string) ([]float32, error) {
-	d, err := bs.s.store.Tensor(layer, name)
+	d, err := bs.backing.Tensor(layer, name)
 	bs.s.storeAccesses.Add(1)
 	if err != nil && fault.IsTransient(err) {
 		bs.s.storeTransients.Add(1)
 	}
 	bs.s.breaker.Record(err)
 	return d, err
+}
+
+// pinStore is the indirection between a worker's engine (built once per
+// generation, reused across requests) and the per-request generation
+// pin: serveJob points it at the handle SwappableStore.Acquire returned
+// before running a request and clears it after the prefetcher settles,
+// so every fetch a request triggers — foreground, retry, or background
+// prefetch — reads the generation the request started on, and a
+// concurrent Reload can never mix checkpoints within one request.
+type pinStore struct {
+	mu  sync.Mutex
+	cur infer.WeightStore
+}
+
+func (p *pinStore) set(w infer.WeightStore) {
+	p.mu.Lock()
+	p.cur = w
+	p.mu.Unlock()
+}
+
+func (p *pinStore) Tensor(layer int, name string) ([]float32, error) {
+	p.mu.Lock()
+	c := p.cur
+	p.mu.Unlock()
+	if c == nil {
+		return nil, fmt.Errorf("server: L%d/%s fetched outside a pinned request", layer, name)
+	}
+	return c.Tensor(layer, name)
 }
 
 // New opens the initial store via cfg.OpenStore and starts the worker
@@ -263,23 +297,25 @@ func (s *Server) admit(ctx context.Context, prompt []int, maxTokens int, timeout
 	return j, 0, 0
 }
 
-// workerState is one worker's engine plus the prefetch counter values
-// already folded into the server totals (engine counters are lifetime
-// values; the server wants deltas).
+// workerState is one worker's engine and pin indirection, plus the
+// prefetch counter values already folded into the server totals (engine
+// counters are lifetime values; the server wants deltas).
 type workerState struct {
 	eng                   *infer.Engine
+	pin                   *pinStore
 	gen                   int64
 	hits, misses, degrade int
 }
 
 // closeEngine folds the engine's final counter deltas and releases it.
+// The pin indirection survives: the next engine is built over it again.
 func (s *Server) closeEngine(w *workerState) {
 	if w.eng == nil {
 		return
 	}
 	s.foldPrefetch(w)
 	w.eng.Close()
-	*w = workerState{}
+	*w = workerState{pin: w.pin}
 }
 
 func (s *Server) foldPrefetch(w *workerState) {
@@ -296,7 +332,7 @@ func (s *Server) foldPrefetch(w *workerState) {
 // and after a panic.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	var ws workerState
+	ws := workerState{pin: &pinStore{}}
 	defer s.closeEngine(&ws)
 	for j := range s.queue {
 		s.mu.Lock()
@@ -310,10 +346,22 @@ func (s *Server) worker() {
 // serveJob runs one admitted job on the worker's engine.
 func (s *Server) serveJob(ws *workerState, j *job) {
 	j.queued = time.Since(j.arrived)
-	// Renege: the request waited past its patience or its client hung up
-	// while queued — serving it now would be work nobody receives, the
-	// simulator's MaxWait semantics live.
-	if (s.cfg.MaxWait > 0 && j.queued > s.cfg.MaxWait) || j.ctx.Err() != nil {
+	// A client that hung up while queued gets its own shed bucket:
+	// serving it is work nobody receives, but it is not a MaxWait renege
+	// — that mechanism may be disabled entirely (MaxWait 0 = unbounded
+	// patience) while clients still disconnect.
+	if j.ctx.Err() != nil {
+		s.shedClientGone.Add(1)
+		if j.probe {
+			s.breaker.ProbeAbort()
+		}
+		j.status = http.StatusServiceUnavailable
+		j.err = fmt.Errorf("server: client disconnected after queueing %v", j.queued.Round(time.Millisecond))
+		return
+	}
+	// Renege: the request waited past its patience — the simulator's
+	// MaxWait semantics live.
+	if s.cfg.MaxWait > 0 && j.queued > s.cfg.MaxWait {
 		s.shedMaxWait.Add(1)
 		if j.probe {
 			s.breaker.ProbeAbort()
@@ -325,16 +373,27 @@ func (s *Server) serveJob(ws *workerState, j *job) {
 	}
 	s.admitted.Add(1)
 
+	// Pin the serving generation for the whole request: every fetch the
+	// engine or its prefetcher issues below reads this generation, so a
+	// concurrent Reload cannot mix checkpoints within one request.
+	pinned, gen, release, err := s.store.Acquire()
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	defer release()
+
 	// Rebuild the engine when the served generation changed: the layer
 	// memo and prefetch pipeline hold old-generation tensors, and the
 	// reload contract is that every post-swap request computes entirely
 	// on new weights.
-	if ws.eng != nil && ws.gen != s.store.Generation() {
+	if ws.eng != nil && ws.gen != gen {
 		s.closeEngine(ws)
 	}
+	ws.pin.set(pinned)
+	defer ws.pin.set(nil) // runs before the deferred release
 	if ws.eng == nil {
-		gen := s.store.Generation()
-		e, err := infer.NewPrefetchedResilientContext(s.genCtx, s.cfg.Model, breakerStore{s}, s.cfg.Retry)
+		e, err := infer.NewPrefetchedResilientContext(s.genCtx, s.cfg.Model, breakerStore{s, ws.pin}, s.cfg.Retry)
 		if err != nil {
 			s.fail(j, err)
 			return
@@ -354,6 +413,9 @@ func (s *Server) serveJob(ws *workerState, j *job) {
 	start := time.Now()
 	tokens, err := s.generate(ws.eng, ctx, j)
 	j.service = time.Since(start)
+	// Join the background prefetch before the pin drops: no fetch issued
+	// under this request may outlive its generation pin.
+	ws.eng.SettlePrefetch()
 	s.foldPrefetch(ws)
 
 	if err != nil {
@@ -366,7 +428,7 @@ func (s *Server) serveJob(ws *workerState, j *job) {
 		return
 	}
 	j.tokens = tokens
-	j.generation = ws.gen
+	j.generation = gen
 	s.served.Add(1)
 	if j.probe {
 		s.breaker.ProbeDone(true)
@@ -436,20 +498,32 @@ func (s *Server) fail(j *job, err error) {
 	}
 }
 
+// ErrStaleClose marks a Reload that installed the new generation but
+// failed to close the previous one: serving has moved to the new
+// checkpoint — only the old store's cleanup misfired. Callers should
+// treat it as a warning, not a failed reload.
+var ErrStaleClose = errors.New("server: old generation close failed after reload")
+
 // Reload hot-swaps the served checkpoint: open + verify a fresh store,
 // then atomically install it; the old generation closes after its last
-// in-flight reader. In-flight requests finish on the generation they
+// pinned reader. In-flight requests finish on the generation they
 // started on; later requests (and rebuilt engines) see the new one.
+// A nil return means the new generation is serving; an ErrStaleClose
+// return means it is serving but the old store's close failed; any
+// other error means the serving generation is unchanged.
 func (s *Server) Reload() error {
+	// Serialized so a rejected swap cannot observe a concurrent call's
+	// generation bump and be misclassified as success.
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
 	w, closer, err := s.cfg.OpenStore()
 	if err != nil {
 		s.reloadFailures.Add(1)
 		return fmt.Errorf("server: reload open: %w", err)
 	}
-	pre := s.store.Generation()
-	err = s.store.Swap(w, closer)
-	if s.store.Generation() == pre {
-		// Swap did not take (daemon closed); release the orphaned store.
+	installed, err := s.store.Swap(w, closer)
+	if !installed {
+		// Swap rejected (daemon closed); release the orphaned store.
 		s.reloadFailures.Add(1)
 		if closer != nil {
 			closer.Close()
@@ -457,9 +531,10 @@ func (s *Server) Reload() error {
 		return fmt.Errorf("server: reload swap: %w", err)
 	}
 	s.reloads.Add(1)
-	// The swap took; a non-nil err here is the old generation's close
-	// failure, reported but not a reload failure.
-	return err
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrStaleClose, err)
+	}
+	return nil
 }
 
 // Drain stops admission and waits for queued and in-flight requests to
@@ -528,6 +603,7 @@ type Stats struct {
 	Failed          int64 `json:"failed"`
 	ShedQueueFull   int64 `json:"shed_queue_full"`
 	ShedMaxWait     int64 `json:"shed_max_wait"`
+	ShedClientGone  int64 `json:"shed_client_gone"`
 	ShedBreakerOpen int64 `json:"shed_breaker_open"`
 	ShedDraining    int64 `json:"shed_draining"`
 	BadRequests     int64 `json:"bad_requests"`
@@ -550,7 +626,8 @@ type Stats struct {
 // lands in exactly one shed bucket.
 func (st Stats) Conserved() bool {
 	return serve.Conserved(int(st.Arrivals), int(st.Admitted),
-		int(st.ShedQueueFull), int(st.ShedMaxWait), int(st.ShedBreakerOpen), int(st.ShedDraining))
+		int(st.ShedQueueFull), int(st.ShedMaxWait), int(st.ShedClientGone),
+		int(st.ShedBreakerOpen), int(st.ShedDraining))
 }
 
 // Stats snapshots the daemon's counters. Note the snapshot is not
@@ -581,6 +658,7 @@ func (s *Server) Stats() Stats {
 		Failed:             s.failed.Load(),
 		ShedQueueFull:      s.shedQueueFull.Load(),
 		ShedMaxWait:        s.shedMaxWait.Load(),
+		ShedClientGone:     s.shedClientGone.Load(),
 		ShedBreakerOpen:    s.shedBreakerOpen.Load(),
 		ShedDraining:       s.shedDraining.Load(),
 		BadRequests:        s.badRequests.Load(),

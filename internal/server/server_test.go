@@ -488,6 +488,192 @@ func TestForceCancelOnDrainDeadline(t *testing.T) {
 	}
 }
 
+// onceGate blocks the first Tensor read until released, signalling
+// entry — so a test can hold a request mid-generation, deterministically,
+// while it reloads the checkpoint underneath it.
+type onceGate struct {
+	backing infer.WeightStore
+	enter   chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *onceGate) Tensor(layer int, name string) ([]float32, error) {
+	g.once.Do(func() {
+		g.enter <- struct{}{}
+		<-g.release
+	})
+	return g.backing.Tensor(layer, name)
+}
+
+// A reload concurrent with an in-flight request must not mix weight
+// generations within that request: the request is pinned to the
+// generation it started on and computes every layer from it, even
+// though the swapped-in checkpoint holds different weights. (Reloading
+// byte-identical checkpoints cannot catch this — the two stores here
+// genuinely differ.)
+func TestHotReloadDoesNotMixGenerationsMidRequest(t *testing.T) {
+	mc := tinyModel()
+	pathA, wA := writeCheckpoint(t, mc, 21)
+	pathB, wB := writeCheckpoint(t, mc, 22)
+	prompt := []int{1, 2, 3}
+	const n = 8
+	baseline := func(w *infer.MemStore) []int {
+		eng, err := infer.New(mc, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens, err := eng.Generate(prompt, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tokens
+	}
+	wantA, wantB := baseline(wA), baseline(wB)
+	diverge := false
+	for i := range wantA {
+		if wantA[i] != wantB[i] {
+			diverge = true
+		}
+	}
+	if !diverge {
+		t.Fatal("checkpoints A and B generate identical tokens; the test cannot detect mixing")
+	}
+
+	// The first open serves checkpoint A behind the gate; every later
+	// open (the reload) serves checkpoint B ungated.
+	gate := &onceGate{enter: make(chan struct{}, 1), release: make(chan struct{})}
+	var opens int32
+	var mu sync.Mutex
+	open := func() (infer.WeightStore, io.Closer, error) {
+		mu.Lock()
+		opens++
+		first := opens == 1
+		mu.Unlock()
+		path := pathB
+		if first {
+			path = pathA
+		}
+		fs, err := infer.OpenFileStore(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := fs.Verify(); err != nil {
+			fs.Close()
+			return nil, nil, err
+		}
+		if first {
+			gate.backing = fs
+			return gate, fs, nil
+		}
+		return fs, fs, nil
+	}
+
+	s, ts := startServer(t, Config{Model: mc, OpenStore: open, Workers: 1})
+	type result struct {
+		status int
+		gr     GenerateResponse
+	}
+	got := make(chan result, 1)
+	go func() {
+		status, gr, _ := postGenerate(t, ts.URL, GenerateRequest{Prompt: prompt, MaxTokens: n})
+		got <- result{status, gr}
+	}()
+	<-gate.enter // the request is inside generation, pinned to A
+	if err := s.Reload(); err != nil {
+		t.Fatalf("reload under an in-flight request: %v", err)
+	}
+	close(gate.release)
+	r := <-got
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request failed across the reload: %d", r.status)
+	}
+	if r.gr.Generation != 1 {
+		t.Errorf("in-flight request reported generation %d, want the pinned 1", r.gr.Generation)
+	}
+	for i := range wantA {
+		if r.gr.Tokens[i] != wantA[i] {
+			t.Fatalf("in-flight request mixed generations: got %v, want all-A %v (all-B would be %v)",
+				r.gr.Tokens, wantA, wantB)
+		}
+	}
+	// The next request computes entirely on the new checkpoint.
+	status, gr, msg := postGenerate(t, ts.URL, GenerateRequest{Prompt: prompt, MaxTokens: n})
+	if status != http.StatusOK {
+		t.Fatalf("post-reload request: %d (%s)", status, msg)
+	}
+	if gr.Generation != 2 {
+		t.Errorf("post-reload generation = %d, want 2", gr.Generation)
+	}
+	for i := range wantB {
+		if gr.Tokens[i] != wantB[i] {
+			t.Fatalf("post-reload request not on new weights: got %v, want all-B %v", gr.Tokens, wantB)
+		}
+	}
+}
+
+// A client that disconnects while queued lands in its own shed bucket —
+// not shed_max_wait, which must stay zero when MaxWait is 0 (reneging
+// disabled) — and the ledger still conserves.
+func TestClientGoneWhileQueuedShedsSeparately(t *testing.T) {
+	mc := tinyModel()
+	_, w := writeCheckpoint(t, mc, 23)
+	bs := &blockStore{backing: w}
+	gate := make(chan struct{})
+	bs.setGate(gate)
+	s, err := New(context.Background(), Config{
+		Model:     mc,
+		OpenStore: func() (infer.WeightStore, io.Closer, error) { return bs, nil, nil },
+		Workers:   1,
+		MaxQueue:  2,
+		// MaxWait 0: unbounded patience — the renege counter must stay 0.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+
+	// First job occupies the lone worker, blocked in storage.
+	j1, status, _ := s.admit(context.Background(), []int{1}, 2, 0)
+	if j1 == nil {
+		t.Fatalf("first admit shed with %d", status)
+	}
+	// Second job queues behind it, then its client hangs up.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	j2, status, _ := s.admit(ctx2, []int{1}, 2, 0)
+	if j2 == nil {
+		t.Fatalf("second admit shed with %d", status)
+	}
+	cancel2()
+	close(gate)
+	bs.setGate(nil)
+	<-j1.done
+	<-j2.done
+	if j1.err != nil {
+		t.Fatalf("first job failed: %v", j1.err)
+	}
+	if j2.err == nil {
+		t.Fatal("job with a gone client was served")
+	}
+	st := s.Stats()
+	if st.ShedClientGone != 1 {
+		t.Errorf("shed_client_gone = %d, want 1", st.ShedClientGone)
+	}
+	if st.ShedMaxWait != 0 {
+		t.Errorf("shed_max_wait = %d with MaxWait disabled, want 0", st.ShedMaxWait)
+	}
+	if st.Served != 1 {
+		t.Errorf("served = %d, want 1", st.Served)
+	}
+	if !st.Conserved() {
+		t.Errorf("ledger not conserved: %+v", st)
+	}
+}
+
 func TestHotReloadSwapsGenerations(t *testing.T) {
 	mc := tinyModel()
 	path, w := writeCheckpoint(t, mc, 7)
