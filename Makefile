@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt-check vet helmvet vulncheck bench daemon-smoke
+.PHONY: all build test race lint fmt-check vet helmvet vulncheck bench batch-bench daemon-smoke
 
 all: build lint test
 
@@ -34,6 +34,12 @@ vulncheck:
 
 bench:
 	$(GO) test -bench . -benchtime=1x -short -run '^$$' ./internal/tensor/... ./internal/quant/... ./internal/infer/...
+
+# Continuous-vs-lockstep smoke at an equal page budget; the JSON report
+# (batch occupancy, prefix hits, step speedup) is CI's batch-bench
+# artifact, and the run fails if the two disciplines' tokens diverge.
+batch-bench:
+	$(GO) run ./cmd/batchbench -quick -out BATCH_BENCH.json
 
 # The CI daemon-smoke job: full helmd lifecycle (signals, reload, drain)
 # plus the server chaos test, both under the race detector.

@@ -1,0 +1,370 @@
+// Command batchbench measures what continuous batching buys over fixed
+// lockstep waves at an equal page budget. Both runs serve the same
+// request set — varying generation lengths, partially shared prompt
+// prefixes — over the same weights:
+//
+//   - fixed: requests are grouped into waves sized by the worst-case
+//     reservation (every slot pins prompt+genMax pages for the whole
+//     wave, FlexGen-style), and a wave runs until its longest member
+//     finishes — early finishers idle in their slots.
+//   - continuous: one shared iteration-level batcher over a paged KV
+//     pool of the same total pages; finished sequences retire and
+//     queued ones join every decode step.
+//
+// In out-of-core serving each step sweeps the full layer stack through
+// host memory regardless of batch size, so steps — not FLOPs — are the
+// scarce resource; tokens per step (occupancy) is the headline metric.
+// Both runs must produce byte-identical tokens; the tool fails loudly
+// if they diverge.
+//
+// Usage:
+//
+//	batchbench -quick -out BATCH.json
+//	batchbench -seqs 24 -prompt 24 -gen-min 4 -gen-max 48 -kv-pages 48
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"helmsim/internal/batch"
+	"helmsim/internal/infer"
+	"helmsim/internal/kvcache"
+	"helmsim/internal/model"
+)
+
+type options struct {
+	hidden, heads, blocks, vocab int
+	seqs                         int
+	promptLen                    int
+	genMin, genMax               int
+	kvPages, pageTokens          int
+	maxSeqs                      int
+	seed                         int64
+	out                          string
+	quick                        bool
+}
+
+// sideReport is one serving discipline's measurements.
+type sideReport struct {
+	Steps         int     `json:"steps"`
+	Tokens        int     `json:"tokens"`
+	TokensPerStep float64 `json:"tokens_per_step"`
+	WeightFetches int     `json:"weight_fetches"`
+	WallMS        float64 `json:"wall_ms"`
+	Waves         int     `json:"waves,omitempty"`
+	// Continuous-only batcher internals.
+	AvgOccupancy    float64 `json:"avg_occupancy,omitempty"`
+	Preemptions     int     `json:"preemptions,omitempty"`
+	PrefixHits      int     `json:"prefix_hits,omitempty"`
+	SharedTokens    int     `json:"shared_tokens,omitempty"`
+	CoWCopies       int     `json:"cow_copies,omitempty"`
+	PageUtilization float64 `json:"page_utilization,omitempty"`
+}
+
+// report is the JSON artifact.
+type report struct {
+	Model      string     `json:"model"`
+	Seqs       int        `json:"seqs"`
+	PromptLen  int        `json:"prompt_len"`
+	GenMin     int        `json:"gen_min"`
+	GenMax     int        `json:"gen_max"`
+	KVPages    int        `json:"kv_pages"`
+	PageTokens int        `json:"page_tokens"`
+	WaveSize   int        `json:"wave_size"`
+	Fixed      sideReport `json:"fixed"`
+	Continuous sideReport `json:"continuous"`
+	// StepSpeedup is fixed steps / continuous steps — the out-of-core
+	// throughput ratio at equal page budget.
+	StepSpeedup float64 `json:"step_speedup"`
+	Identical   bool    `json:"identical_tokens"`
+}
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("batchbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.IntVar(&o.hidden, "hidden", 64, "hidden dimension")
+	fs.IntVar(&o.heads, "heads", 4, "attention heads")
+	fs.IntVar(&o.blocks, "blocks", 4, "decoder blocks")
+	fs.IntVar(&o.vocab, "vocab", 256, "vocabulary size")
+	fs.IntVar(&o.seqs, "seqs", 16, "request count")
+	fs.IntVar(&o.promptLen, "prompt", 16, "prompt length (first half shared across requests)")
+	fs.IntVar(&o.genMin, "gen-min", 4, "shortest generation")
+	fs.IntVar(&o.genMax, "gen-max", 32, "longest generation")
+	fs.IntVar(&o.kvPages, "kv-pages", 0, "page budget for BOTH disciplines (0 = 2 worst-case requests)")
+	fs.IntVar(&o.pageTokens, "page-tokens", 8, "page granularity")
+	fs.IntVar(&o.maxSeqs, "batch-seqs", 8, "continuous batcher's running-set cap")
+	fs.Int64Var(&o.seed, "seed", 1, "weights and workload seed")
+	fs.StringVar(&o.out, "out", "", "write the JSON report here (default stdout only)")
+	fs.BoolVar(&o.quick, "quick", false, "small preset for CI smoke (overrides size flags)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if o.quick {
+		o.hidden, o.heads, o.blocks, o.vocab = 32, 4, 2, 64
+		o.seqs, o.promptLen, o.genMin, o.genMax = 12, 12, 3, 16
+		o.pageTokens, o.maxSeqs = 4, 4
+		o.kvPages = 0
+	}
+	if err := run(o, stdout); err != nil {
+		fmt.Fprintln(stderr, "batchbench:", err)
+		return 1
+	}
+	return 0
+}
+
+// job is one request of the shared workload.
+type job struct {
+	prompt []int
+	n      int
+}
+
+// workload builds the request set: prompts share their first half (the
+// prefix cache's food), generation lengths sweep genMin..genMax so the
+// fixed wave's stragglers are real.
+func workload(o options, vocab int) []job {
+	rng := rand.New(rand.NewSource(o.seed))
+	shared := make([]int, o.promptLen/2)
+	for i := range shared {
+		shared[i] = rng.Intn(vocab)
+	}
+	jobs := make([]job, o.seqs)
+	span := o.genMax - o.genMin + 1
+	for i := range jobs {
+		p := append([]int(nil), shared...)
+		for len(p) < o.promptLen {
+			p = append(p, rng.Intn(vocab))
+		}
+		jobs[i] = job{prompt: p, n: o.genMin + (i*7)%span}
+	}
+	return jobs
+}
+
+func pagesFor(tokens, pageTokens int) int {
+	return (tokens + pageTokens - 1) / pageTokens
+}
+
+// runFixed serves the jobs in fixed-membership waves of waveSize,
+// each wave stepping until its longest generation finishes.
+func runFixed(cfg model.Config, w infer.WeightStore, jobs []job, waveSize int) (sideReport, [][]int, error) {
+	se, err := infer.NewStepEngine(cfg, w)
+	if err != nil {
+		return sideReport{}, nil, err
+	}
+	out := make([][]int, len(jobs))
+	var rep sideReport
+	start := time.Now()
+	for base := 0; base < len(jobs); base += waveSize {
+		end := base + waveSize
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		wave := jobs[base:end]
+		seqs := make([]*infer.StepSeq, len(wave))
+		for i, j := range wave {
+			seqs[i] = &infer.StepSeq{Tokens: j.prompt, KV: infer.NewBlockCaches(cfg)}
+		}
+		rep.Waves++
+		for {
+			active := 0
+			for i, j := range wave {
+				if len(out[base+i]) >= j.n {
+					seqs[i].Tokens = nil // finished: idles in its slot
+					continue
+				}
+				active++
+			}
+			if active == 0 {
+				break
+			}
+			logits, err := se.Step(seqs)
+			if err != nil {
+				return sideReport{}, nil, err
+			}
+			rep.Steps++
+			for i := range wave {
+				if len(seqs[i].Tokens) == 0 {
+					continue
+				}
+				seqs[i].Pos += len(seqs[i].Tokens)
+				next := logits[i].ArgmaxRow(0)
+				out[base+i] = append(out[base+i], next)
+				rep.Tokens++
+				seqs[i].Tokens = []int{next}
+			}
+		}
+	}
+	rep.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+	rep.WeightFetches = se.WeightFetches()
+	if rep.Steps > 0 {
+		rep.TokensPerStep = float64(rep.Tokens) / float64(rep.Steps)
+	}
+	return rep, out, nil
+}
+
+// holdStore blocks every weight fetch until release closes — it holds
+// the batcher's first step open while the whole request set enqueues,
+// so the measurement sees an arrived workload rather than the submitter
+// goroutines' scheduling jitter (decisive on single-CPU runners, where
+// the stepping loop otherwise starves them into a serial trickle).
+type holdStore struct {
+	backing infer.WeightStore
+	release chan struct{}
+}
+
+func (h *holdStore) Tensor(layer int, name string) ([]float32, error) {
+	<-h.release
+	return h.backing.Tensor(layer, name)
+}
+
+// runContinuous serves the jobs through the continuous batcher over a
+// paged pool of the same page budget.
+func runContinuous(cfg model.Config, w infer.WeightStore, jobs []job, o options) (sideReport, [][]int, error) {
+	hold := &holdStore{backing: w, release: make(chan struct{})}
+	se, err := infer.NewStepEngine(cfg, hold)
+	if err != nil {
+		return sideReport{}, nil, err
+	}
+	pool, err := kvcache.NewPool(cfg, o.kvPages, o.pageTokens, true)
+	if err != nil {
+		return sideReport{}, nil, err
+	}
+	b := batch.New(se, pool, batch.Options{MaxSeqs: o.maxSeqs, MaxQueue: len(jobs) + 1})
+	out := make([][]int, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			out[i], errs[i] = b.Submit(context.Background(), j.prompt, j.n)
+		}(i, j)
+	}
+	for {
+		st := b.Stats()
+		if st.Admitted+st.Queued >= len(jobs) {
+			break
+		}
+		runtime.Gosched()
+	}
+	start := time.Now()
+	close(hold.release)
+	wg.Wait()
+	wall := float64(time.Since(start).Microseconds()) / 1e3
+	b.Stop()
+	for i, err := range errs {
+		if err != nil {
+			return sideReport{}, nil, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	st := b.Stats()
+	rep := sideReport{
+		Steps:         st.Steps,
+		Tokens:        st.TokensOut,
+		WeightFetches: se.WeightFetches(),
+		WallMS:        wall,
+		AvgOccupancy:  st.AvgOccupancy(),
+		Preemptions:   st.Preemptions,
+		PrefixHits:    st.Pool.PrefixHits,
+		SharedTokens:  st.Pool.SharedTokens,
+		CoWCopies:     st.Pool.CoWCopies,
+	}
+	if rep.Steps > 0 {
+		rep.TokensPerStep = float64(rep.Tokens) / float64(rep.Steps)
+	}
+	return rep, out, nil
+}
+
+func run(o options, stdout io.Writer) error {
+	cfg := model.Config{
+		Name: "bench-opt", Hidden: o.hidden, Heads: o.heads, Blocks: o.blocks,
+		Vocab: o.vocab, MaxSeq: 2048, DTypeBytes: 2,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if o.genMin < 1 || o.genMax < o.genMin {
+		return fmt.Errorf("generation range [%d,%d] invalid", o.genMin, o.genMax)
+	}
+	worst := pagesFor(o.promptLen+o.genMax, o.pageTokens)
+	if o.kvPages == 0 {
+		o.kvPages = 2 * worst // default budget: two worst-case requests
+	}
+	waveSize := o.kvPages / worst
+	if waveSize < 1 {
+		return fmt.Errorf("page budget %d cannot hold one worst-case request (%d pages)", o.kvPages, worst)
+	}
+	w, err := infer.RandomWeights(cfg, o.seed, 0.08)
+	if err != nil {
+		return err
+	}
+	jobs := workload(o, cfg.Vocab)
+
+	fixed, fixedOut, err := runFixed(cfg, w, jobs, waveSize)
+	if err != nil {
+		return fmt.Errorf("fixed lockstep: %w", err)
+	}
+	cont, contOut, err := runContinuous(cfg, w, jobs, o)
+	if err != nil {
+		return fmt.Errorf("continuous: %w", err)
+	}
+
+	rep := report{
+		Model: cfg.Name, Seqs: o.seqs, PromptLen: o.promptLen,
+		GenMin: o.genMin, GenMax: o.genMax,
+		KVPages: o.kvPages, PageTokens: o.pageTokens, WaveSize: waveSize,
+		Fixed: fixed, Continuous: cont,
+		Identical: true,
+	}
+	rep.Continuous.PageUtilization = 0 // utilization at quiescence is 0; occupancy is the live metric
+	for i := range jobs {
+		if len(fixedOut[i]) != len(contOut[i]) {
+			rep.Identical = false
+			break
+		}
+		for k := range fixedOut[i] {
+			if fixedOut[i][k] != contOut[i][k] {
+				rep.Identical = false
+			}
+		}
+	}
+	if cont.Steps > 0 {
+		rep.StepSpeedup = float64(fixed.Steps) / float64(cont.Steps)
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if o.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if !rep.Identical {
+		return fmt.Errorf("continuous batching diverged from fixed lockstep — determinism bug")
+	}
+	return nil
+}

@@ -76,6 +76,7 @@ type options struct {
 	faultSeed int64
 
 	breaker server.BreakerConfig
+	batch   server.BatchConfig
 }
 
 // realMain is the whole daemon behind a re-entrant seam: the e2e test
@@ -107,6 +108,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.Float64Var(&o.breaker.TripRate, "breaker-trip-rate", 0, "transient-failure rate that trips the breaker (0 = default)")
 	fs.DurationVar(&o.breaker.Cooldown, "breaker-cooldown", 0, "open-state dwell before a half-open probe (0 = default)")
 	fs.IntVar(&o.breaker.Probes, "breaker-probes", 0, "concurrent half-open probes (0 = default)")
+	fs.BoolVar(&o.batch.Enabled, "batch", false, "continuous batching: workers feed one shared iteration-level batcher over a paged KV cache")
+	fs.IntVar(&o.batch.MaxSeqs, "batch-seqs", 0, "concurrent sequences per decode step in batch mode (0 = default)")
+	fs.IntVar(&o.batch.KVPages, "kv-pages", 0, "paged KV pool size in pages (0 = default)")
+	fs.IntVar(&o.batch.PageTokens, "page-tokens", 0, "KV page granularity in tokens (0 = default)")
+	fs.BoolVar(&o.batch.DisablePrefixReuse, "no-prefix-reuse", false, "disable the shared-prefix KV page cache in batch mode")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -226,6 +232,7 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		RequestTimeout: o.reqTimeout,
 		Retry:          infer.Retry{Max: o.retries},
 		Breaker:        o.breaker,
+		Batch:          o.batch,
 	})
 	if err != nil {
 		return err

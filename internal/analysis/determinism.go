@@ -48,7 +48,7 @@ var simPackages = map[string]bool{
 	"trace": true, "model": true, "mlc": true, "roofline": true,
 	"calib": true, "stats": true, "checkpoint": true, "runcache": true,
 	"parallel": true, "experiments": true, "autotune": true,
-	"units": true, "bwbench": true,
+	"units": true, "bwbench": true, "batch": true,
 }
 
 // forbiddenTimeFuncs are the time-package functions that read or wait

@@ -12,10 +12,58 @@ import (
 // normEps is the normalization epsilon.
 const normEps = 1e-5
 
+// KVBlock is one decoder block's KV cache as the attention path uses
+// it: rows are cached positions, columns the (possibly grouped-query)
+// KV width. The engine's private append-only blockCache implements it,
+// and so does a paged view into a kvcache.Pool — the attention kernel
+// is identical either way, which is what makes the continuous batcher
+// byte-identical to a solo engine.
+type KVBlock interface {
+	// AppendRow caches one position's K and V rows (copied, not
+	// aliased). It may fail — a paged backend can run out of pages.
+	AppendRow(k, v []float32) error
+	// KRow and VRow return the cached rows of position p (read-only).
+	KRow(p int) []float32
+	VRow(p int) []float32
+	// Len reports cached positions.
+	Len() int
+	// Truncate discards cached positions >= n (no-op when Len() <= n):
+	// the rollback hook that keeps a failed step from leaving blocks
+	// disagreeing on cache length.
+	Truncate(n int)
+}
+
 // blockCache is one decoder block's KV cache: rows are cached positions,
 // columns the (possibly grouped-query) KV width.
 type blockCache struct {
 	k, v [][]float32
+}
+
+// AppendRow implements KVBlock by copying the rows.
+func (c *blockCache) AppendRow(k, v []float32) error {
+	c.k = append(c.k, append([]float32(nil), k...))
+	c.v = append(c.v, append([]float32(nil), v...))
+	return nil
+}
+
+// KRow implements KVBlock.
+func (c *blockCache) KRow(p int) []float32 { return c.k[p] }
+
+// VRow implements KVBlock.
+func (c *blockCache) VRow(p int) []float32 { return c.v[p] }
+
+// Len implements KVBlock.
+func (c *blockCache) Len() int { return len(c.k) }
+
+// Truncate implements KVBlock.
+func (c *blockCache) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if len(c.k) > n {
+		c.k = c.k[:n]
+		c.v = c.v[:n]
+	}
 }
 
 // Engine executes a decoder-only transformer incrementally.
@@ -166,18 +214,33 @@ func (e *Engine) Forward(tokens []int) (tensor.Mat, error) {
 		mha := e.layers[1+2*b]
 		ffn := e.layers[2+2*b]
 		if x, err = e.attentionBlock(mha, &e.cache[b], e.pos, x); err != nil {
+			e.rollback()
 			return tensor.Mat{}, err
 		}
 		if x, err = e.ffnBlock(ffn, x); err != nil {
+			e.rollback()
 			return tensor.Mat{}, err
 		}
 	}
 	logits, err := e.output(x)
 	if err != nil {
+		e.rollback()
 		return tensor.Mat{}, err
 	}
 	e.pos += len(tokens)
 	return logits, nil
+}
+
+// rollback truncates every block's KV cache back to the committed
+// position after a failed forward pass. attentionBlock appends K/V rows
+// per block as the layer walk progresses, so an error after block b
+// would otherwise leave blocks <= b one step ahead of blocks > b — a
+// retried Forward would then double-append into the early blocks and
+// corrupt attention for the rest of the generation.
+func (e *Engine) rollback() {
+	for b := range e.cache {
+		e.cache[b].Truncate(e.pos)
+	}
 }
 
 // embed builds the hidden states of the new tokens starting at the given
@@ -267,7 +330,7 @@ func (e *Engine) kvNames() (q, k, v, o string) {
 
 // attentionBlock runs pre-norm attention with the given KV cache (whose
 // entries cover positions [0, pos)) and a residual connection.
-func (e *Engine) attentionBlock(layer model.Layer, cache *blockCache, pos int, x tensor.Mat) (tensor.Mat, error) {
+func (e *Engine) attentionBlock(layer model.Layer, cache KVBlock, pos int, x tensor.Mat) (tensor.Mat, error) {
 	h := e.cfg.Hidden
 	nHeads := e.cfg.Heads
 	headDim := h / nHeads
@@ -303,8 +366,9 @@ func (e *Engine) attentionBlock(layer model.Layer, cache *blockCache, pos int, x
 
 	// Append the new positions to the cache.
 	for i := 0; i < k.R; i++ {
-		cache.k = append(cache.k, append([]float32(nil), k.Row(i)...))
-		cache.v = append(cache.v, append([]float32(nil), v.Row(i)...))
+		if err := cache.AppendRow(k.Row(i), v.Row(i)); err != nil {
+			return tensor.Mat{}, err
+		}
 	}
 
 	// Attention per query position and head, causally masked by
@@ -324,7 +388,7 @@ func (e *Engine) attentionBlock(layer model.Layer, cache *blockCache, pos int, x
 			scores := make([]float32, limit)
 			var maxS float32 = float32(math.Inf(-1))
 			for p := 0; p < limit; p++ {
-				krow := cache.k[p][off : off+headDim]
+				krow := cache.KRow(p)[off : off+headDim]
 				var s float32
 				for d := range qh {
 					s += qh[d] * krow[d]
@@ -348,7 +412,7 @@ func (e *Engine) attentionBlock(layer model.Layer, cache *blockCache, pos int, x
 			dst := orow[head*headDim : (head+1)*headDim]
 			for p := 0; p < limit; p++ {
 				wgt := scores[p] * inv
-				vrow := cache.v[p][off : off+headDim]
+				vrow := cache.VRow(p)[off : off+headDim]
 				for d := range dst {
 					dst[d] += wgt * vrow[d]
 				}
@@ -373,10 +437,7 @@ func (e *Engine) projFrom(layer model.Layer, x tensor.Mat, wName, bName string, 
 
 // kvWidth is the K/V projection width (grouped-query shrinks it).
 func (e *Engine) kvWidth() int {
-	if e.cfg.Arch == model.ArchLlama && e.cfg.KVHeads > 0 {
-		return e.cfg.Hidden / e.cfg.Heads * e.cfg.KVHeads
-	}
-	return e.cfg.Hidden
+	return e.cfg.KVWidth()
 }
 
 // ffnWidth is the FFN intermediate width.

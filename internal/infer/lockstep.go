@@ -51,18 +51,19 @@ func (m *layerMemo) Tensor(layer int, name string) ([]float32, error) {
 
 // seqState is one sequence's decoding state.
 type seqState struct {
-	cache []blockCache
-	pos   int
-	x     tensor.Mat // hidden state in flight during a step
+	kv  []KVBlock
+	pos int
 }
 
 // BatchEngine decodes several sequences in lockstep: each step walks the
 // layers once, advancing every sequence through layer L before touching
 // layer L+1, so each layer's weights are fetched (and dequantized) exactly
-// once per step regardless of the batch size.
+// once per step regardless of the batch size. It is the fixed-membership
+// wrapper over StepEngine: the sequence set is chosen at construction and
+// a slot is held for a request's whole lifetime (the continuous batcher
+// in internal/batch lifts that restriction).
 type BatchEngine struct {
-	eng      *Engine
-	memo     *layerMemo
+	se       *StepEngine
 	seqs     []seqState
 	prefetch *PrefetchStore // non-nil when built by NewBatchPrefetched
 }
@@ -72,14 +73,13 @@ func NewBatch(cfg model.Config, w WeightStore, nSeqs int) (*BatchEngine, error) 
 	if nSeqs <= 0 {
 		return nil, fmt.Errorf("infer: non-positive sequence count %d", nSeqs)
 	}
-	memo := newLayerMemo(w)
-	eng, err := New(cfg, memo)
+	se, err := NewStepEngine(cfg, w)
 	if err != nil {
 		return nil, err
 	}
-	b := &BatchEngine{eng: eng, memo: memo, seqs: make([]seqState, nSeqs)}
+	b := &BatchEngine{se: se, seqs: make([]seqState, nSeqs)}
 	for i := range b.seqs {
-		b.seqs[i].cache = make([]blockCache, cfg.Blocks)
+		b.seqs[i].kv = NewBlockCaches(cfg)
 	}
 	return b, nil
 }
@@ -138,83 +138,30 @@ func (b *BatchEngine) Close() error {
 }
 
 // WeightFetches reports backing-store tensor fetches so far.
-func (b *BatchEngine) WeightFetches() int { return int(b.memo.fetches.Load()) }
+func (b *BatchEngine) WeightFetches() int { return b.se.WeightFetches() }
 
 // Len reports the sequence count.
 func (b *BatchEngine) Len() int { return len(b.seqs) }
 
 // Step feeds each sequence its next tokens (tokens[i] may hold one or more
 // tokens for sequence i; nil slices skip a sequence) and returns the final
-// logits per advanced sequence (nil for skipped ones).
+// logits per advanced sequence (nil for skipped ones). The step is atomic:
+// on error no sequence's position advances and every KV cache is rolled
+// back to its pre-step length, so a retried step cannot double-append.
 func (b *BatchEngine) Step(tokens [][]int) ([]tensor.Mat, error) {
 	if len(tokens) != len(b.seqs) {
 		return nil, fmt.Errorf("infer: step has %d token slices for %d sequences", len(tokens), len(b.seqs))
 	}
-	cfg := b.eng.cfg
-	active := 0
-	// Embed every active sequence first (layer 0 weights fetched once).
+	step := make([]*StepSeq, len(b.seqs))
 	for i := range b.seqs {
-		if len(tokens[i]) == 0 {
-			b.seqs[i].x = tensor.Mat{}
-			continue
-		}
-		if b.seqs[i].pos+len(tokens[i]) > cfg.MaxSeq {
-			return nil, fmt.Errorf("infer: sequence %d context overflow", i)
-		}
-		x, err := b.eng.embed(tokens[i], b.seqs[i].pos)
-		if err != nil {
-			return nil, err
-		}
-		b.seqs[i].x = x
-		active++
+		step[i] = &StepSeq{Tokens: tokens[i], Pos: b.seqs[i].pos, KV: b.seqs[i].kv}
 	}
-	if active == 0 {
-		return nil, fmt.Errorf("infer: empty step")
+	out, err := b.se.Step(step)
+	if err != nil {
+		return nil, err
 	}
-
-	// Lockstep over layers: every sequence finishes layer L before anyone
-	// touches L+1, keeping the one-layer weight memo hot (one fetch per
-	// layer per step, any batch size).
-	for blk := 0; blk < cfg.Blocks; blk++ {
-		mha := b.eng.layers[1+2*blk]
-		for i := range b.seqs {
-			s := &b.seqs[i]
-			if s.x.R == 0 {
-				continue
-			}
-			x, err := b.eng.attentionBlock(mha, &s.cache[blk], s.pos, s.x)
-			if err != nil {
-				return nil, err
-			}
-			s.x = x
-		}
-		ffn := b.eng.layers[2+2*blk]
-		for i := range b.seqs {
-			s := &b.seqs[i]
-			if s.x.R == 0 {
-				continue
-			}
-			x, err := b.eng.ffnBlock(ffn, s.x)
-			if err != nil {
-				return nil, err
-			}
-			s.x = x
-		}
-	}
-
-	out := make([]tensor.Mat, len(b.seqs))
 	for i := range b.seqs {
-		s := &b.seqs[i]
-		if s.x.R == 0 {
-			continue
-		}
-		logits, err := b.eng.output(s.x)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = logits
-		s.pos += len(tokens[i])
-		s.x = tensor.Mat{}
+		b.seqs[i].pos += len(tokens[i])
 	}
 	return out, nil
 }

@@ -1,10 +1,33 @@
 package kvcache
 
 import (
+	"errors"
 	"fmt"
 
 	"helmsim/internal/model"
 	"helmsim/internal/units"
+)
+
+// Typed ledger errors. Release failures used to share one message,
+// which hid refcount bugs: "released twice" (a live double-free — the
+// ledger has already been corrupted once) and "never admitted" (a
+// caller-side ID mix-up) demand different responses. The prefix-shared
+// pages of the real Pool amplify exactly this class of bug, so both
+// allocators now distinguish them and fail stop after a double release.
+var (
+	// ErrUnknownSequence marks an operation on an ID that was never
+	// admitted (or whose admission predates this allocator).
+	ErrUnknownSequence = errors.New("kvcache: sequence never admitted")
+	// ErrDoubleRelease marks a second Release of the same admitted ID —
+	// evidence of a refcount bug in the caller.
+	ErrDoubleRelease = errors.New("kvcache: sequence already released")
+	// ErrPoisoned marks an allocator that observed a double release:
+	// its ledger can no longer be trusted, so further admissions are
+	// refused (fail stop beats silently corrupt accounting).
+	ErrPoisoned = errors.New("kvcache: ledger poisoned by a double release")
+	// ErrOutOfPages marks an allocation that found no free page. The
+	// continuous batcher keys its preempt-and-requeue policy off it.
+	ErrOutOfPages = errors.New("kvcache: out of pages")
 )
 
 // PagedCache manages the KV cache at block granularity, the
@@ -13,7 +36,9 @@ import (
 // grows one token at a time, so memory is committed by actual context
 // instead of the worst-case reservation FlexGen makes. The paper's All-CPU
 // analysis reserves prompt+generation up front; this allocator quantifies
-// the batching headroom block-granular management adds on top.
+// the batching headroom block-granular management adds on top. (It is the
+// accounting model only — Pool is the variant that actually stores K/V
+// rows.)
 type PagedCache struct {
 	cfg        model.Config
 	pageTokens int
@@ -21,6 +46,8 @@ type PagedCache struct {
 	totalPages int
 	freePages  int
 	seqs       map[int]*pagedSeq
+	released   map[int]bool
+	poisoned   bool
 }
 
 // pagedSeq is one prompt's page state.
@@ -53,6 +80,7 @@ func NewPagedCache(cfg model.Config, budget units.Bytes, pageTokens int) (*Paged
 		totalPages: total,
 		freePages:  total,
 		seqs:       make(map[int]*pagedSeq),
+		released:   make(map[int]bool),
 	}, nil
 }
 
@@ -61,32 +89,47 @@ func (p *PagedCache) pagesFor(n int) int {
 	return (n + p.pageTokens - 1) / p.pageTokens
 }
 
-// Admit allocates pages for a prompt's initial context.
+// Admit allocates pages for a prompt's initial context. Inputs are
+// validated up front: a context longer than the model's maximum
+// sequence length is rejected before any accounting happens, and a
+// poisoned ledger refuses all admissions.
 func (p *PagedCache) Admit(promptID, tokens int) error {
+	if p.poisoned {
+		return fmt.Errorf("%w: refusing to admit prompt %d", ErrPoisoned, promptID)
+	}
 	if tokens <= 0 {
 		return fmt.Errorf("kvcache: non-positive context %d", tokens)
+	}
+	if tokens > p.cfg.MaxSeq {
+		return fmt.Errorf("kvcache: context %d exceeds model max sequence %d", tokens, p.cfg.MaxSeq)
 	}
 	if _, ok := p.seqs[promptID]; ok {
 		return fmt.Errorf("kvcache: prompt %d already admitted", promptID)
 	}
 	need := p.pagesFor(tokens)
 	if need > p.freePages {
-		return fmt.Errorf("kvcache: out of pages admitting prompt %d (%d needed, %d free)", promptID, need, p.freePages)
+		return fmt.Errorf("%w: admitting prompt %d (%d needed, %d free)", ErrOutOfPages, promptID, need, p.freePages)
 	}
 	p.freePages -= need
 	p.seqs[promptID] = &pagedSeq{pages: need, tokens: tokens}
+	// Re-admitting a previously released ID is legitimate reuse.
+	delete(p.released, promptID)
 	return nil
 }
 
 // Append grows one prompt by a token, taking a fresh page on a boundary.
+// Growth past the model's maximum sequence length is rejected.
 func (p *PagedCache) Append(promptID int) error {
 	s, ok := p.seqs[promptID]
 	if !ok {
-		return fmt.Errorf("kvcache: prompt %d not admitted", promptID)
+		return p.unknown(promptID)
+	}
+	if s.tokens+1 > p.cfg.MaxSeq {
+		return fmt.Errorf("kvcache: prompt %d context %d exceeds model max sequence %d", promptID, s.tokens+1, p.cfg.MaxSeq)
 	}
 	if need := p.pagesFor(s.tokens + 1); need > s.pages {
 		if p.freePages == 0 {
-			return fmt.Errorf("kvcache: out of pages extending prompt %d", promptID)
+			return fmt.Errorf("%w: extending prompt %d", ErrOutOfPages, promptID)
 		}
 		p.freePages--
 		s.pages++
@@ -95,16 +138,43 @@ func (p *PagedCache) Append(promptID int) error {
 	return nil
 }
 
-// Release frees a prompt's pages.
+// Release frees a prompt's pages. A second Release of the same ID is a
+// double free: it returns ErrDoubleRelease and poisons the ledger so
+// later admissions fail instead of accounting against corrupt state.
 func (p *PagedCache) Release(promptID int) error {
 	s, ok := p.seqs[promptID]
 	if !ok {
-		return fmt.Errorf("kvcache: prompt %d not admitted", promptID)
+		return p.unknown(promptID)
 	}
 	p.freePages += s.pages
 	delete(p.seqs, promptID)
+	p.released[promptID] = true
 	return nil
 }
+
+// unknown classifies a miss: an ID released before now is a double
+// release (and poisons the ledger); anything else was never admitted.
+func (p *PagedCache) unknown(promptID int) error {
+	if p.released[promptID] {
+		p.poisoned = true
+		return fmt.Errorf("%w: prompt %d", ErrDoubleRelease, promptID)
+	}
+	return fmt.Errorf("%w: prompt %d", ErrUnknownSequence, promptID)
+}
+
+// Conserved reports whether the page ledger balances: free pages plus
+// every admitted prompt's pages must equal the total, exactly. It holds
+// by construction after every successful or failed operation.
+func (p *PagedCache) Conserved() bool {
+	held := 0
+	for _, s := range p.seqs {
+		held += s.pages
+	}
+	return p.freePages >= 0 && p.freePages+held == p.totalPages
+}
+
+// Poisoned reports whether a double release has been observed.
+func (p *PagedCache) Poisoned() bool { return p.poisoned }
 
 // Len reports admitted prompts.
 func (p *PagedCache) Len() int { return len(p.seqs) }
@@ -139,13 +209,20 @@ func (p *PagedCache) InternalFragmentation() float64 {
 // paged allocator admits at admission time within the budget — the
 // headroom over MaxBatch's full prompt+generation reservation. Generation
 // then grows page by page, evicting or queueing when pages run out.
+// Inputs are validated before any allocator is constructed.
 func MaxBatchPaged(cfg model.Config, promptLen, pageTokens int, budget units.Bytes) (int, error) {
-	p, err := NewPagedCache(cfg, budget, pageTokens)
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
 	if promptLen <= 0 {
 		return 0, fmt.Errorf("kvcache: non-positive prompt length %d", promptLen)
+	}
+	if promptLen > cfg.MaxSeq {
+		return 0, fmt.Errorf("kvcache: prompt length %d exceeds model max sequence %d", promptLen, cfg.MaxSeq)
+	}
+	p, err := NewPagedCache(cfg, budget, pageTokens)
+	if err != nil {
+		return 0, err
 	}
 	perPrompt := p.pagesFor(promptLen)
 	if perPrompt == 0 {

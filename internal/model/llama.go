@@ -70,6 +70,11 @@ func Llama2_70B() Config {
 	return c.WithLlama(8, 28672)
 }
 
+// KVWidth is the K/V projection width — the row width of one cached
+// K or V position. Grouped-query attention shrinks it below Hidden;
+// the paged KV pool sizes its page rows with it.
+func (c Config) KVWidth() int { return c.kvDim() }
+
 // kvDim is the K/V projection width: Hidden scaled down by the
 // grouped-query ratio.
 func (c Config) kvDim() int {

@@ -37,6 +37,17 @@ type QueueConfig struct {
 	// dispatcher next assembles a wave, instead of being served hopelessly
 	// late. 0 means unbounded patience.
 	MaxWait units.Duration
+	// PageBudget caps the KV pages concurrently held by a wave, modeling
+	// a paged cache (kvcache.Pool) under the wave dispatcher: each
+	// request pins ceil((prompt+gen)/PageTokens) pages for its service
+	// time, so the effective wave size is the smaller of Run.Batch and
+	// the page budget's capacity. A request too large for the whole
+	// budget is shed at admission (ShedPagePressure). 0 means unbounded
+	// pages.
+	PageBudget int
+	// PageTokens is the page granularity when PageBudget > 0
+	// (default 16, vLLM's).
+	PageTokens int
 }
 
 // QueueMetrics aggregates an online-serving simulation.
@@ -68,6 +79,9 @@ type QueueMetrics struct {
 	// ShedMaxWait counts requests that reneged after waiting past
 	// MaxWait.
 	ShedMaxWait int
+	// ShedPagePressure counts arrivals whose KV footprint exceeds the
+	// whole page budget — no amount of waiting admits them.
+	ShedPagePressure int
 	// Utilization is the server's busy fraction over the serving window —
 	// first arrival to last completion. The idle lead-in before the first
 	// request exists says nothing about the server, so it is excluded.
@@ -101,7 +115,7 @@ func Conserved(arrivals, admitted int, shed ...int) bool {
 // Conserved applies the conservation predicate to the simulation's own
 // ledger.
 func (m *QueueMetrics) Conserved() bool {
-	return Conserved(m.Arrivals, m.Admitted, m.ShedQueueFull, m.ShedMaxWait)
+	return Conserved(m.Arrivals, m.Admitted, m.ShedQueueFull, m.ShedMaxWait, m.ShedPagePressure)
 }
 
 // SLOAttainmentString formats attainment for reports: "n/a" when no SLO
@@ -133,6 +147,34 @@ func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 	}
 	if qc.MaxWait < 0 {
 		return nil, fmt.Errorf("serve: negative wait bound %v", qc.MaxWait)
+	}
+	if qc.PageBudget < 0 {
+		return nil, fmt.Errorf("serve: negative page budget %d", qc.PageBudget)
+	}
+	if qc.PageTokens < 0 {
+		return nil, fmt.Errorf("serve: negative page size %d", qc.PageTokens)
+	}
+
+	// A page budget converts into a wave cap: every request of this
+	// (homogeneous) workload pins the pages covering its full context for
+	// its service time, so at most pageCap requests ride a wave. A zero
+	// cap means no request ever fits — every arrival sheds at admission.
+	waveCap := qc.Run.Batch
+	pagesShedAll := false
+	if qc.PageBudget > 0 {
+		pageTokens := qc.PageTokens
+		if pageTokens == 0 {
+			pageTokens = 16
+		}
+		rc := qc.Run.Canonical()
+		context := rc.PromptLen + rc.GenLen
+		perPrompt := (context + pageTokens - 1) / pageTokens
+		switch cap := qc.PageBudget / perPrompt; {
+		case cap == 0:
+			pagesShedAll = true
+		case cap < waveCap:
+			waveCap = cap
+		}
 	}
 
 	// Arrival times (Poisson process).
@@ -173,9 +215,12 @@ func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 		// between waves, so processing arrivals in order sees exactly the
 		// line each one saw.
 		for next < len(arrivals) && arrivals[next] <= clock {
-			if qc.MaxQueue > 0 && len(queue) >= qc.MaxQueue {
+			switch {
+			case pagesShedAll:
+				m.ShedPagePressure++
+			case qc.MaxQueue > 0 && len(queue) >= qc.MaxQueue:
 				m.ShedQueueFull++
-			} else {
+			default:
 				queue = append(queue, next)
 			}
 			next++
@@ -195,10 +240,11 @@ func SimulateQueue(qc QueueConfig) (*QueueMetrics, error) {
 		if len(queue) == 0 {
 			continue // everything waiting reneged; idle to the next arrival
 		}
-		// Serve the head of the line, up to the wave cap.
+		// Serve the head of the line, up to the wave cap (batch bound
+		// tightened by the page budget when one is configured).
 		batch := len(queue)
-		if batch > qc.Run.Batch {
-			batch = qc.Run.Batch
+		if batch > waveCap {
+			batch = waveCap
 		}
 		c, err := cost(batch)
 		if err != nil {

@@ -251,3 +251,50 @@ func TestQueueDeterminismConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// A page budget below the wave cap becomes the binding constraint on
+// wave size — the fixed-reservation vs paged-allocation comparison in
+// queueing terms — and a request bigger than the whole budget sheds at
+// admission into its own conserved bucket.
+func TestPageBudgetCapsWaves(t *testing.T) {
+	// OPT-175B at the paper's 128/21: 149 tokens = 10 pages of 16.
+	unbounded, err := SimulateQueue(queueCfg(44, 5.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := queueCfg(44, 5.0)
+	capped.PageBudget = 40 // 4 concurrent requests
+	m, err := SimulateQueue(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanBatch > 4 {
+		t.Errorf("page budget 40 must cap waves at 4: mean %.1f", m.MeanBatch)
+	}
+	if m.MeanE2E <= unbounded.MeanE2E {
+		t.Errorf("page-capped waves should queue longer: %v <= %v", m.MeanE2E, unbounded.MeanE2E)
+	}
+	if !m.Conserved() {
+		t.Errorf("ledger not conserved: %+v", m)
+	}
+}
+
+func TestPageBudgetShedsOversized(t *testing.T) {
+	qc := queueCfg(44, 2.0)
+	qc.PageBudget = 5 // 149-token context needs 10 pages: nothing fits
+	m, err := SimulateQueue(qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ShedPagePressure != qc.NumPrompts || m.Admitted != 0 {
+		t.Fatalf("all arrivals must shed on page pressure: %+v", m)
+	}
+	if !m.Conserved() {
+		t.Errorf("ledger not conserved: %+v", m)
+	}
+	bad := queueCfg(8, 1)
+	bad.PageBudget = -1
+	if _, err := SimulateQueue(bad); err == nil {
+		t.Errorf("negative page budget accepted")
+	}
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"helmsim/internal/batch"
+	"helmsim/internal/infer"
+	"helmsim/internal/kvcache"
+)
+
+// BatchConfig enables continuous batching: instead of each worker
+// owning a private engine and serving one request end to end, all
+// workers feed one shared iteration-level batcher (internal/batch)
+// over a paged KV cache (kvcache.Pool). Requests join and leave the
+// running batch at decode-step granularity, so short generations stop
+// paying for long ones, and common prompt prefixes share KV pages.
+type BatchConfig struct {
+	// Enabled switches the serving core to the continuous batcher.
+	Enabled bool
+	// MaxSeqs caps concurrently decoding sequences (default 8).
+	MaxSeqs int
+	// KVPages is the paged KV pool size in pages (default 512).
+	KVPages int
+	// PageTokens is the page granularity (default 16, vLLM's).
+	PageTokens int
+	// DisablePrefixReuse turns off the shared-prefix page cache (on by
+	// default: zero value enables it).
+	DisablePrefixReuse bool
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxSeqs == 0 {
+		c.MaxSeqs = 8
+	}
+	if c.KVPages == 0 {
+		c.KVPages = 512
+	}
+	if c.PageTokens == 0 {
+		c.PageTokens = 16
+	}
+	return c
+}
+
+// Validate rejects unusable batch configurations (after defaulting).
+func (c BatchConfig) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	c = c.withDefaults()
+	if c.MaxSeqs < 1 {
+		return fmt.Errorf("server: batch sequence cap %d < 1", c.MaxSeqs)
+	}
+	if c.KVPages < 1 {
+		return fmt.Errorf("server: KV page budget %d < 1", c.KVPages)
+	}
+	if c.PageTokens < 1 {
+		return fmt.Errorf("server: KV page size %d < 1", c.PageTokens)
+	}
+	return nil
+}
+
+// pagesForContext is the page count a full context pins, the admission
+// predicate for the shed_page_pressure bucket.
+func (c BatchConfig) pagesForContext(tokens int) int {
+	c = c.withDefaults()
+	return (tokens + c.PageTokens - 1) / c.PageTokens
+}
+
+// batchState is one generation's batcher: the shared step engine
+// pinned to the checkpoint generation it was built on, its paged pool,
+// and the folded prefetch counter baselines (engine counters are
+// lifetime values; the server wants deltas).
+type batchState struct {
+	b       *batch.Batcher
+	se      *infer.StepEngine
+	gen     int64
+	release func()
+
+	hits, misses, degrade int
+}
+
+// newBatchState pins the current checkpoint generation and builds a
+// batcher over it. The caller owns the returned state and must
+// stopBatchState it.
+func (s *Server) newBatchState() (*batchState, error) {
+	pinned, gen, release, err := s.store.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	bc := s.cfg.Batch.withDefaults()
+	se, err := infer.NewStepEnginePrefetched(s.genCtx, s.cfg.Model, breakerStore{s, pinned}, s.cfg.Retry)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	pool, err := kvcache.NewPool(s.cfg.Model, bc.KVPages, bc.PageTokens, !bc.DisablePrefixReuse)
+	if err != nil {
+		se.Close()
+		release()
+		return nil, err
+	}
+	return &batchState{
+		b: batch.New(se, pool, batch.Options{
+			MaxSeqs: bc.MaxSeqs,
+			// The server's own queue bound plus one slot per worker: the
+			// batcher's queue must never be the binding constraint, or a
+			// request the server admitted would bounce with ErrBusy.
+			MaxQueue: s.cfg.MaxQueue + s.cfg.Workers,
+		}),
+		se:      se,
+		gen:     gen,
+		release: release,
+	}, nil
+}
+
+// stopBatchState quiesces a batcher: drain its queue, fold its final
+// prefetch counters, close its engine, release its generation pin.
+func (s *Server) stopBatchState(bs *batchState) {
+	bs.b.Stop()
+	s.foldBatchPrefetch(bs)
+	bs.se.Close()
+	bs.release()
+}
+
+// foldBatchPrefetch folds the engine's prefetch counter deltas into the
+// server totals. Called under batchMu (or after the batcher stopped).
+func (s *Server) foldBatchPrefetch(bs *batchState) {
+	h, m := bs.se.PrefetchStats()
+	d := bs.se.DegradedFetches()
+	s.prefetchHits.Add(int64(h - bs.hits))
+	s.prefetchMisses.Add(int64(m - bs.misses))
+	s.degraded.Add(int64(d - bs.degrade))
+	bs.hits, bs.misses, bs.degrade = h, m, d
+}
+
+// currentBatch snapshots the active batcher.
+func (s *Server) currentBatch() *batchState {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	return s.bat
+}
+
+// serveJobBatch runs one admitted job through the shared continuous
+// batcher — the batch-mode counterpart of serveJob. Generation pinning
+// is per-batcher, not per-request: the batcher's engine was built on
+// one generation, a hot reload installs a fresh batcher and quiesces
+// this one, and in-flight submissions finish on the generation they
+// started on.
+func (s *Server) serveJobBatch(j *job) {
+	j.queued = time.Since(j.arrived)
+	if j.ctx.Err() != nil {
+		s.shedClientGone.Add(1)
+		if j.probe {
+			s.breaker.ProbeAbort()
+		}
+		j.status = http.StatusServiceUnavailable
+		j.err = fmt.Errorf("server: client disconnected after queueing %v", j.queued.Round(time.Millisecond))
+		return
+	}
+	if s.cfg.MaxWait > 0 && j.queued > s.cfg.MaxWait {
+		s.shedMaxWait.Add(1)
+		if j.probe {
+			s.breaker.ProbeAbort()
+		}
+		j.status = http.StatusServiceUnavailable
+		j.retryAfter = time.Second
+		j.err = fmt.Errorf("server: reneged after queueing %v", j.queued.Round(time.Millisecond))
+		return
+	}
+	s.admitted.Add(1)
+
+	ctx, cancel := s.requestContext(j)
+	stop := context.AfterFunc(s.genCtx, cancel)
+	defer func() {
+		stop()
+		cancel()
+	}()
+
+	start := time.Now()
+	var tokens []int
+	var gen int64
+	var err error
+	// A hot reload may stop the batcher between our snapshot and our
+	// Submit; the successor batcher serves the retry.
+	for attempt := 0; ; attempt++ {
+		bs := s.currentBatch()
+		gen = bs.gen
+		tokens, err = bs.b.Submit(ctx, j.prompt, j.maxTokens)
+		if !errors.Is(err, batch.ErrStopped) || attempt >= 2 {
+			break
+		}
+	}
+	j.service = time.Since(start)
+
+	if err != nil {
+		s.fail(j, err)
+		if errors.Is(err, kvcache.ErrOutOfPages) {
+			// Page pressure the admission predicate could not foresee
+			// (competition, not request size). Conservation note: this
+			// request was already counted admitted, so it stays in the
+			// failed column, not a shed bucket.
+			j.status = http.StatusServiceUnavailable
+			j.retryAfter = time.Second
+		}
+		return
+	}
+	j.tokens = tokens
+	j.generation = gen
+	s.served.Add(1)
+	if j.probe {
+		s.breaker.ProbeDone(true)
+	}
+}
+
+// rebuildBatcher installs a fresh batcher on the (just swapped)
+// current generation and quiesces the old one: queued and in-flight
+// submissions drain on the generation they started on while new
+// arrivals land on the new one.
+func (s *Server) rebuildBatcher() error {
+	nbs, err := s.newBatchState()
+	if err != nil {
+		return fmt.Errorf("server: rebuilding batcher after reload: %w", err)
+	}
+	s.batchMu.Lock()
+	old := s.bat
+	s.bat = nbs
+	s.batchMu.Unlock()
+	if old != nil {
+		s.stopBatchState(old)
+	}
+	return nil
+}

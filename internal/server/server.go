@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"helmsim/internal/batch"
 	"helmsim/internal/fault"
 	"helmsim/internal/infer"
 	"helmsim/internal/model"
@@ -46,6 +47,10 @@ type Config struct {
 	Retry infer.Retry
 	// Breaker tunes the storage circuit breaker (zero values default).
 	Breaker BreakerConfig
+	// Batch switches the serving core to continuous batching over a
+	// paged KV cache: workers feed one shared batcher instead of each
+	// owning a whole-request engine.
+	Batch BatchConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +91,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("server: negative request timeout %v", c.RequestTimeout)
 	}
 	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Batch.Validate(); err != nil {
 		return err
 	}
 	return c.Breaker.Validate()
@@ -147,16 +155,22 @@ type Server struct {
 	// interleave their open/swap pairs.
 	reloadMu sync.Mutex
 
+	// batchMu guards the active continuous batcher (batch mode only);
+	// a hot reload swaps in a successor built on the new generation.
+	batchMu sync.Mutex
+	bat     *batchState
+
 	// Conservation ledger: arrivals == admitted + every shed bucket, the
 	// same invariant serve.SimulateQueue's metrics satisfy, checked by
 	// the same predicate.
-	arrivals        atomic.Int64
-	admitted        atomic.Int64
-	shedQueueFull   atomic.Int64
-	shedMaxWait     atomic.Int64
-	shedClientGone  atomic.Int64
-	shedBreakerOpen atomic.Int64
-	shedDraining    atomic.Int64
+	arrivals         atomic.Int64
+	admitted         atomic.Int64
+	shedQueueFull    atomic.Int64
+	shedMaxWait      atomic.Int64
+	shedClientGone   atomic.Int64
+	shedBreakerOpen  atomic.Int64
+	shedDraining     atomic.Int64
+	shedPagePressure atomic.Int64
 
 	served         atomic.Int64
 	failed         atomic.Int64
@@ -254,6 +268,15 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		drainDone:   make(chan struct{}),
 	}
 	s.genCtx, s.forceCancel = context.WithCancel(ctx)
+	if cfg.Batch.Enabled {
+		bs, err := s.newBatchState()
+		if err != nil {
+			s.forceCancel()
+			sw.Close()
+			return nil, fmt.Errorf("server: building continuous batcher: %w", err)
+		}
+		s.bat = bs
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -275,6 +298,13 @@ func (s *Server) admit(ctx context.Context, prompt []int, maxTokens int, timeout
 	defer s.mu.Unlock()
 	if s.state != stateServing {
 		s.shedDraining.Add(1)
+		return nil, http.StatusServiceUnavailable, 0
+	}
+	// Page pressure is a request-size verdict, not a load verdict: a
+	// context too large for the whole paged pool can never be served, no
+	// matter how long it waits, so it sheds before the queue bound.
+	if s.cfg.Batch.Enabled && s.cfg.Batch.pagesForContext(len(prompt)+maxTokens) > s.cfg.Batch.withDefaults().KVPages {
+		s.shedPagePressure.Add(1)
 		return nil, http.StatusServiceUnavailable, 0
 	}
 	if s.waiting >= s.cfg.MaxQueue {
@@ -338,7 +368,11 @@ func (s *Server) worker() {
 		s.mu.Lock()
 		s.waiting--
 		s.mu.Unlock()
-		s.serveJob(&ws, j)
+		if s.cfg.Batch.Enabled {
+			s.serveJobBatch(j)
+		} else {
+			s.serveJob(&ws, j)
+		}
 		close(j.done)
 	}
 }
@@ -531,6 +565,17 @@ func (s *Server) Reload() error {
 		return fmt.Errorf("server: reload swap: %w", err)
 	}
 	s.reloads.Add(1)
+	if s.cfg.Batch.Enabled {
+		// Quiesce-and-replace: a fresh batcher is built on the new
+		// generation, then the old one drains its in-flight submissions
+		// on the generation they started on. On failure the swap stands
+		// (worker-mode semantics) but batch requests keep serving the old
+		// generation — surfaced as a reload failure.
+		if rerr := s.rebuildBatcher(); rerr != nil {
+			s.reloadFailures.Add(1)
+			return rerr
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrStaleClose, err)
 	}
@@ -571,6 +616,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.state = stateStopped
 		s.mu.Unlock()
 		s.forceCancel() // release context resources even on a clean drain
+		// Workers have exited, so no submission can race the teardown.
+		s.batchMu.Lock()
+		bs := s.bat
+		s.bat = nil
+		s.batchMu.Unlock()
+		if bs != nil {
+			s.stopBatchState(bs)
+		}
 		cerr := s.store.Close()
 		if derr == nil {
 			derr = cerr
@@ -597,20 +650,21 @@ type Stats struct {
 	Generation         int64  `json:"generation"`
 	RetiredGenerations int64  `json:"retired_generations"`
 
-	Arrivals        int64 `json:"arrivals"`
-	Admitted        int64 `json:"admitted"`
-	Served          int64 `json:"served"`
-	Failed          int64 `json:"failed"`
-	ShedQueueFull   int64 `json:"shed_queue_full"`
-	ShedMaxWait     int64 `json:"shed_max_wait"`
-	ShedClientGone  int64 `json:"shed_client_gone"`
-	ShedBreakerOpen int64 `json:"shed_breaker_open"`
-	ShedDraining    int64 `json:"shed_draining"`
-	BadRequests     int64 `json:"bad_requests"`
-	Panics          int64 `json:"panics"`
-	ForceCancelled  int64 `json:"force_cancelled"`
-	Reloads         int64 `json:"reloads"`
-	ReloadFailures  int64 `json:"reload_failures"`
+	Arrivals         int64 `json:"arrivals"`
+	Admitted         int64 `json:"admitted"`
+	Served           int64 `json:"served"`
+	Failed           int64 `json:"failed"`
+	ShedQueueFull    int64 `json:"shed_queue_full"`
+	ShedMaxWait      int64 `json:"shed_max_wait"`
+	ShedClientGone   int64 `json:"shed_client_gone"`
+	ShedBreakerOpen  int64 `json:"shed_breaker_open"`
+	ShedDraining     int64 `json:"shed_draining"`
+	ShedPagePressure int64 `json:"shed_page_pressure"`
+	BadRequests      int64 `json:"bad_requests"`
+	Panics           int64 `json:"panics"`
+	ForceCancelled   int64 `json:"force_cancelled"`
+	Reloads          int64 `json:"reloads"`
+	ReloadFailures   int64 `json:"reload_failures"`
 
 	StoreAccesses   int64 `json:"store_accesses"`
 	StoreTransients int64 `json:"store_transients"`
@@ -619,6 +673,9 @@ type Stats struct {
 	DegradedFetches int64 `json:"degraded_fetches"`
 
 	Breaker BreakerSnapshot `json:"breaker"`
+	// Batch is the continuous batcher's snapshot — occupancy, page
+	// utilization, prefix-cache hit rate — present only in batch mode.
+	Batch *batch.Stats `json:"batch,omitempty"`
 }
 
 // Conserved checks the live ledger against the exact predicate the
@@ -627,7 +684,7 @@ type Stats struct {
 func (st Stats) Conserved() bool {
 	return serve.Conserved(int(st.Arrivals), int(st.Admitted),
 		int(st.ShedQueueFull), int(st.ShedMaxWait), int(st.ShedClientGone),
-		int(st.ShedBreakerOpen), int(st.ShedDraining))
+		int(st.ShedBreakerOpen), int(st.ShedDraining), int(st.ShedPagePressure))
 }
 
 // Stats snapshots the daemon's counters. Note the snapshot is not
@@ -646,6 +703,14 @@ func (s *Server) Stats() Stats {
 	case stateStopped:
 		name = "stopped"
 	}
+	var bst *batch.Stats
+	s.batchMu.Lock()
+	if s.bat != nil {
+		s.foldBatchPrefetch(s.bat)
+		snap := s.bat.b.Stats()
+		bst = &snap
+	}
+	s.batchMu.Unlock()
 	return Stats{
 		State:              name,
 		Workers:            s.cfg.Workers,
@@ -661,6 +726,7 @@ func (s *Server) Stats() Stats {
 		ShedClientGone:     s.shedClientGone.Load(),
 		ShedBreakerOpen:    s.shedBreakerOpen.Load(),
 		ShedDraining:       s.shedDraining.Load(),
+		ShedPagePressure:   s.shedPagePressure.Load(),
 		BadRequests:        s.badRequests.Load(),
 		Panics:             s.panics.Load(),
 		ForceCancelled:     s.forceCancelled.Load(),
@@ -672,5 +738,6 @@ func (s *Server) Stats() Stats {
 		PrefetchMisses:     s.prefetchMisses.Load(),
 		DegradedFetches:    s.degraded.Load(),
 		Breaker:            s.breaker.Snapshot(),
+		Batch:              bst,
 	}
 }
