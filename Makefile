@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt-check vet helmvet vulncheck bench batch-bench daemon-smoke
+.PHONY: all build test race lint fmt-check vet helmvet vulncheck bench bench3 batch-bench daemon-smoke
 
 all: build lint test
 
@@ -33,7 +33,13 @@ vulncheck:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 bench:
-	$(GO) test -bench . -benchtime=1x -short -run '^$$' ./internal/tensor/... ./internal/quant/... ./internal/infer/...
+	$(GO) test -bench . -benchtime=1x -benchmem -short -run '^$$' ./internal/tensor/... ./internal/quant/... ./internal/infer/...
+
+# Full decode hot-path report: kernels + the store ladder (mem / quant /
+# file / mmap, with recycled prefetch at depth 1 and 2), tokens/sec and
+# allocs/token per rung, bit-identity enforced across every rung.
+bench3:
+	$(GO) run ./cmd/inferbench -out BENCH_3.json
 
 # Continuous-vs-lockstep smoke at an equal page budget; the JSON report
 # (batch occupancy, prefix hits, step speedup) is CI's batch-bench

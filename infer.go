@@ -48,6 +48,21 @@ var NewBatchEngine = infer.NewBatch
 // genuine out-of-core operation.
 var OpenWeightFile = infer.OpenFileStore
 
+// OpenWeightFileMmap is OpenWeightFile through an mmap view: tensor
+// payloads decode straight out of the page cache with no read syscall
+// and no payload copy (per-record CRCs are still verified). On
+// platforms without mmap it behaves exactly like OpenWeightFile.
+var OpenWeightFileMmap = infer.OpenFileStoreMmap
+
+// ZeroCopyWeightStore is the optional WeightStore extension serving
+// read-only views of the store's own storage (no per-fetch copy);
+// DecodeIntoWeightStore is the optional extension decoding into a
+// caller-provided buffer so decode output buffers can be recycled.
+type (
+	ZeroCopyWeightStore   = infer.ViewStore
+	DecodeIntoWeightStore = infer.IntoStore
+)
+
 // WriteWeightFile serializes a model's weights into a checkpoint,
 // optionally 4-bit quantized.
 func WriteWeightFile(w io.Writer, m Model, src *infer.MemStore, quantized bool) error {
@@ -73,6 +88,18 @@ var NewPrefetchStore = infer.NewPrefetch
 var (
 	NewPrefetchedEngine      = infer.NewPrefetched
 	NewPrefetchedBatchEngine = infer.NewBatchPrefetched
+)
+
+// PrefetchOptions tunes an engine's prefetch pipeline: look-ahead depth
+// (how many layers stream in ahead of compute) and decode-buffer
+// recycling (see infer.PrefetchOpts for the single-consumer contract).
+type PrefetchOptions = infer.PrefetchOpts
+
+// NewPrefetchedEngineOpts / NewPrefetchedBatchEngineOpts build
+// prefetched engines with explicit prefetch tuning.
+var (
+	NewPrefetchedEngineOpts      = infer.NewPrefetchedOpts
+	NewPrefetchedBatchEngineOpts = infer.NewBatchPrefetchedOpts
 )
 
 // SetInferenceParallelism sets the tensor-kernel worker count (n <= 0

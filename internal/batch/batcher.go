@@ -79,6 +79,7 @@ type seqRun struct {
 	id        int // pool sequence ID for this admission
 	pos       int // positions cached
 	pending   []int
+	tok       [1]int // backing array for pending during decode (reused per step)
 	kv        []infer.KVBlock
 	prefilled bool
 }
@@ -128,6 +129,10 @@ type Batcher struct {
 	// loop-owned; no locking
 	running []*seqRun
 	nextID  int
+	// step scratch reused across steps (steady-state decode makes no
+	// per-step slice allocations for the dispatch itself).
+	seqScratch []infer.StepSeq
+	seqPtrs    []*infer.StepSeq
 
 	loopDone chan struct{}
 }
@@ -318,6 +323,22 @@ func (b *Batcher) admitLocked() {
 	}
 }
 
+// buildStep fills the batcher's reusable step scratch from the current
+// running set (rebuilt inside the retry loop after preemption changes
+// membership).
+func (b *Batcher) buildStep() []*infer.StepSeq {
+	if cap(b.seqScratch) < len(b.running) {
+		b.seqScratch = make([]infer.StepSeq, len(b.running))
+		b.seqPtrs = make([]*infer.StepSeq, len(b.running))
+	}
+	seqs := b.seqPtrs[:len(b.running)]
+	for i, s := range b.running {
+		b.seqScratch[i] = infer.StepSeq{Tokens: s.pending, Pos: s.pos, KV: s.kv}
+		seqs[i] = &b.seqScratch[i]
+	}
+	return seqs
+}
+
 // step advances every running sequence one iteration, handling
 // retries, page-pressure preemption, retirement, and cancellation.
 func (b *Batcher) step() {
@@ -327,10 +348,7 @@ func (b *Batcher) step() {
 		return
 	}
 
-	seqs := make([]*infer.StepSeq, len(b.running))
-	for i, s := range b.running {
-		seqs[i] = &infer.StepSeq{Tokens: s.pending, Pos: s.pos, KV: s.kv}
-	}
+	seqs := b.buildStep()
 	logits, err := b.se.Step(seqs)
 	for retries := 0; err != nil; retries++ {
 		// The step rolled every view back to its pre-step length; free
@@ -360,10 +378,7 @@ func (b *Batcher) step() {
 			b.stats.Retries++
 			b.mu.Unlock()
 		}
-		seqs = seqs[:0]
-		for _, s := range b.running {
-			seqs = append(seqs, &infer.StepSeq{Tokens: s.pending, Pos: s.pos, KV: s.kv})
-		}
+		seqs = b.buildStep()
 		logits, err = b.se.Step(seqs)
 	}
 
@@ -395,7 +410,8 @@ func (b *Batcher) step() {
 			finished++
 			continue
 		}
-		s.pending = []int{next}
+		s.tok[0] = next
+		s.pending = s.tok[:]
 		kept = append(kept, s)
 	}
 	for i := len(kept); i < len(b.running); i++ {

@@ -67,17 +67,24 @@ const (
 // recordCRC computes the v2 record checksum: CRC32 (IEEE) over the
 // record header (name length, name, kind, payload length) followed by
 // the payload, so a flip anywhere in the record is caught.
+// It runs once per weight fetch on the out-of-core serving path, so it
+// stays allocation-free: fixed fields go through stack buffers, the name
+// is hashed in stack-sized chunks (avoiding the []byte(name) copy), and
+// crc32.Update replaces a heap-allocated digest.
 func recordCRC(name string, kind Kind, payload []byte) uint32 {
 	le := binary.LittleEndian
-	var hdr []byte
-	hdr = le.AppendUint16(hdr, uint16(len(name)))
-	hdr = append(hdr, name...)
-	hdr = append(hdr, byte(kind))
-	hdr = le.AppendUint64(hdr, uint64(len(payload)))
-	h := crc32.NewIEEE()
-	h.Write(hdr)
-	h.Write(payload)
-	return h.Sum32()
+	var buf [64]byte
+	le.PutUint16(buf[:2], uint16(len(name)))
+	crc := crc32.Update(0, crc32.IEEETable, buf[:2])
+	for i := 0; i < len(name); {
+		n := copy(buf[:], name[i:])
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
+		i += n
+	}
+	buf[0] = byte(kind)
+	le.PutUint64(buf[1:9], uint64(len(payload)))
+	crc = crc32.Update(crc, crc32.IEEETable, buf[:9])
+	return crc32.Update(crc, crc32.IEEETable, payload)
 }
 
 // Writer emits a checkpoint. Close must be called to flush.
@@ -184,6 +191,15 @@ type Entry struct {
 // occur without a matching checksum forgery, and on the legacy path they
 // are exactly the silent bit rot the typed error exists to name.
 func decodePayload(name string, kind Kind, payload []byte) (*Entry, error) {
+	return decodePayloadInto(name, kind, payload, nil)
+}
+
+// decodePayloadInto is decodePayload decoding into dst when its
+// capacity suffices (allocating otherwise). The Entry's Data never
+// aliases payload — quantized records are unmarshaled as a transient
+// view and fully dequantized — so payload may be a short-lived mmap
+// view.
+func decodePayloadInto(name string, kind Kind, payload []byte, dst []float32) (*Entry, error) {
 	e := &Entry{Name: name, Kind: kind, StoredBytes: len(payload)}
 	le := binary.LittleEndian
 	switch kind {
@@ -191,16 +207,21 @@ func decodePayload(name string, kind Kind, payload []byte) (*Entry, error) {
 		if len(payload)%2 != 0 {
 			return nil, fmt.Errorf("checkpoint: tensor %q has odd fp16 payload: %w", name, ErrCorrupt)
 		}
-		e.Data = make([]float32, len(payload)/2)
+		n := len(payload) / 2
+		if cap(dst) >= n {
+			e.Data = dst[:n]
+		} else {
+			e.Data = make([]float32, n)
+		}
 		for i := range e.Data {
 			e.Data[i] = quant.Float16(le.Uint16(payload[2*i:])).Float32()
 		}
 	case KindGWQ:
 		var t quant.Tensor
-		if err := t.UnmarshalBinary(payload); err != nil {
+		if err := t.UnmarshalBinaryView(payload); err != nil {
 			return nil, fmt.Errorf("checkpoint: tensor %q: %v: %w", name, err, ErrCorrupt)
 		}
-		e.Data = t.Dequantize()
+		e.Data = t.DequantizeInto(dst)
 	default:
 		return nil, fmt.Errorf("checkpoint: tensor %q has unknown kind %d: %w", name, kind, ErrCorrupt)
 	}

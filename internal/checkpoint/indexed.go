@@ -51,6 +51,25 @@ func OpenIndexed(path string) (*Indexed, error) {
 	return ix, nil
 }
 
+// OpenIndexedMmap opens and indexes a checkpoint through a MappedFile,
+// so payload reads become zero-copy views of the page cache on
+// platforms with mmap (record CRCs are still verified on every read).
+// On fallback builds it behaves exactly like OpenIndexed. Close unmaps
+// the file, so the pin discipline documented on MappedFile applies.
+func OpenIndexedMmap(path string) (*Indexed, error) {
+	mf, err := OpenMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := NewIndexed(mf)
+	if err != nil {
+		mf.Close()
+		return nil, err
+	}
+	ix.closer = mf
+	return ix, nil
+}
+
 // NewIndexed indexes a checkpoint served from any io.ReaderAt. The
 // caller retains ownership of the reader; Close only marks the index
 // closed.
@@ -161,10 +180,71 @@ func (ix *Indexed) Has(name string) bool {
 	return ok
 }
 
+// byteRanger is the optional backing-reader extension (MappedFile) that
+// exposes the whole file as one byte view, enabling zero-copy payload
+// access.
+type byteRanger interface {
+	Bytes() []byte
+}
+
+// payload returns the record's raw bytes: a bounds-checked view of the
+// backing mapping when the reader exposes one, a fresh copy read
+// through io.ReaderAt otherwise. Views are only valid while the index
+// stays open.
+func (ix *Indexed) payload(name string, m entryMeta) ([]byte, error) {
+	if br, ok := ix.r.(byteRanger); ok {
+		if b := br.Bytes(); b != nil {
+			end := m.offset + m.length
+			if m.offset < 0 || end < m.offset || end > int64(len(b)) {
+				return nil, fmt.Errorf("checkpoint: tensor %q extends past the mapped file: %w", name, ErrCorrupt)
+			}
+			return b[m.offset:end:end], nil
+		}
+	}
+	return ix.payloadCopy(m)
+}
+
+// payloadCopy reads the record's bytes through io.ReaderAt: one
+// allocation for payloads up to a chunk, doubling growth beyond so a
+// corrupt index claiming an enormous payload fails on a short read
+// before the full claim is ever allocated.
+func (ix *Indexed) payloadCopy(m entryMeta) ([]byte, error) {
+	const chunk = int64(1 << 20)
+	buf := make([]byte, min(m.length, chunk))
+	var read int64
+	for {
+		if err := ix.readAt(buf[read:], m.offset+read); err != nil {
+			return nil, err
+		}
+		read = int64(len(buf))
+		if read >= m.length {
+			return buf, nil
+		}
+		grown := make([]byte, min(m.length, read*2))
+		copy(grown, buf)
+		buf = grown
+	}
+}
+
+// Mapped reports whether payload reads are zero-copy mmap views.
+func (ix *Indexed) Mapped() bool {
+	br, ok := ix.r.(byteRanger)
+	return ok && br.Bytes() != nil
+}
+
 // ReadTensor fetches and decodes one tensor from storage, verifying the
 // record CRC on version-2 checkpoints. After Close it fails with
 // ErrClosed; corrupt records fail with ErrCorrupt.
 func (ix *Indexed) ReadTensor(name string) (*Entry, error) {
+	return ix.ReadTensorInto(name, nil)
+}
+
+// ReadTensorInto is ReadTensor decoding into dst when its capacity
+// suffices (allocating otherwise) — the Entry's Data aliases dst in
+// that case, so the caller owns the buffer and must not reuse it while
+// the Entry is live. Data never aliases the checkpoint's backing
+// storage, even on mmap-backed indexes.
+func (ix *Indexed) ReadTensorInto(name string, dst []float32) (*Entry, error) {
 	if ix.closed.Load() {
 		return nil, fmt.Errorf("checkpoint: tensor %q: %w", name, ErrClosed)
 	}
@@ -172,7 +252,7 @@ func (ix *Indexed) ReadTensor(name string) (*Entry, error) {
 	if !ok {
 		return nil, fmt.Errorf("checkpoint: no tensor %q", name)
 	}
-	payload, err := readPayload(io.NewSectionReader(ix.r, m.offset, m.length), uint64(m.length))
+	payload, err := ix.payload(name, m)
 	if err != nil {
 		if ix.closed.Load() {
 			return nil, fmt.Errorf("checkpoint: tensor %q: %w", name, ErrClosed)
@@ -184,7 +264,7 @@ func (ix *Indexed) ReadTensor(name string) (*Entry, error) {
 			return nil, fmt.Errorf("checkpoint: tensor %q crc mismatch (stored %#x, computed %#x): %w", name, m.crc, got, ErrCorrupt)
 		}
 	}
-	return decodePayload(name, m.kind, payload)
+	return decodePayloadInto(name, m.kind, payload, dst)
 }
 
 // Verify re-reads and decodes every record in file order, validating

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package checkpoint
+
+import "os"
+
+// MmapSupported reports whether this build serves checkpoints from an
+// mmap view (false here: reads go through os.File.ReadAt).
+func MmapSupported() bool { return false }
+
+func openMapped(path string) (*MappedFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &MappedFile{f: f}, nil
+}
+
+func (m *MappedFile) release() error {
+	if m.f != nil {
+		return m.f.Close()
+	}
+	return nil
+}

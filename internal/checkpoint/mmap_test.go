@@ -1,0 +1,217 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"helmsim/internal/quant"
+)
+
+// mmapFixture writes a v2 checkpoint with one raw and one quantized
+// tensor to disk and returns the path.
+func mmapFixture(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "mm", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	raw := make([]float32, 50)
+	for i := range raw {
+		raw[i] = float32(rng.NormFloat64())
+	}
+	if err := w.WriteRaw("raw", raw); err != nil {
+		t.Fatal(err)
+	}
+	qv := make([]float32, 300)
+	for i := range qv {
+		qv[i] = float32(rng.NormFloat64())
+	}
+	qt, err := quant.Quantize(qv, quant.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteQuantized("quantized", qt); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mm.hlmc")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The mmap-backed index must decode every tensor bit-identically to the
+// ReadAt-backed one.
+func TestOpenIndexedMmapMatchesReadAt(t *testing.T) {
+	path := mmapFixture(t)
+	plain, err := OpenIndexed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	mapped, err := OpenIndexedMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	if plain.Mapped() {
+		t.Fatal("plain OpenIndexed claims to be mapped")
+	}
+	if mapped.Mapped() != MmapSupported() {
+		t.Fatalf("Mapped() = %v, MmapSupported() = %v", mapped.Mapped(), MmapSupported())
+	}
+	for _, name := range plain.Names() {
+		want, err := plain.ReadTensor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := mapped.ReadTensor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Data) != len(got.Data) {
+			t.Fatalf("%s: len %d vs %d", name, len(got.Data), len(want.Data))
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("%s: element %d differs: %v vs %v", name, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+	if err := mapped.Verify(); err != nil {
+		t.Fatalf("Verify over mmap: %v", err)
+	}
+}
+
+// CRC verification must still run on the zero-copy path: a payload bit
+// flip on disk surfaces as ErrCorrupt through the mapping.
+func TestMmapReadVerifiesCRC(t *testing.T) {
+	path := mmapFixture(t)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-3] ^= 0x20 // tail of the last record's payload
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := OpenIndexedMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if _, err := ix.ReadTensor("quantized"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt mmap read err = %v, want ErrCorrupt", err)
+	}
+	if _, err := ix.ReadTensor("raw"); err != nil {
+		t.Fatalf("clean record through mmap: %v", err)
+	}
+}
+
+// ReadTensorInto must reuse a large-enough caller buffer and allocate
+// otherwise; the decoded Data must never alias the file mapping (it is
+// decoded from fp16/quantized bytes, so byte-level aliasing is
+// structurally impossible — assert the buffer-reuse contract instead).
+func TestReadTensorIntoReusesBuffer(t *testing.T) {
+	path := mmapFixture(t)
+	ix, err := OpenIndexedMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	ref, err := ix.ReadTensor("quantized")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, len(ref.Data)+7)
+	for i := range buf {
+		buf[i] = 1e30
+	}
+	e, err := ix.ReadTensorInto("quantized", buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &e.Data[0] != &buf[0] {
+		t.Fatal("ReadTensorInto did not decode into the caller's buffer")
+	}
+	for i := range ref.Data {
+		if e.Data[i] != ref.Data[i] {
+			t.Fatalf("element %d: %v vs %v", i, e.Data[i], ref.Data[i])
+		}
+	}
+	small := make([]float32, 1)
+	e2, err := ix.ReadTensorInto("quantized", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e2.Data) != len(ref.Data) {
+		t.Fatalf("undersized dst: len %d, want %d", len(e2.Data), len(ref.Data))
+	}
+}
+
+// The MappedFile itself honors ReaderAt and Close semantics so Indexed
+// and fault wrappers can treat it like a file.
+func TestMappedFileSemantics(t *testing.T) {
+	path := mmapFixture(t)
+	mf, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := st.Size()
+	if mf.Mapped() != MmapSupported() {
+		t.Fatalf("Mapped() = %v, MmapSupported() = %v", mf.Mapped(), MmapSupported())
+	}
+	p := make([]byte, 4)
+	if n, err := mf.ReadAt(p, 0); err != nil || n != 4 {
+		t.Fatalf("ReadAt head: n=%d err=%v", n, err)
+	}
+	if n, err := mf.ReadAt(p, size-2); n != 2 || err != io.EOF {
+		t.Fatalf("ReadAt straddling EOF: n=%d err=%v, want 2, io.EOF", n, err)
+	}
+	if _, err := mf.ReadAt(p, size+10); err != io.EOF {
+		t.Fatalf("ReadAt past EOF err = %v, want io.EOF", err)
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if mf.Bytes() != nil {
+		t.Error("Bytes() non-nil after Close")
+	}
+	if _, err := mf.ReadAt(p, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadAt after Close err = %v, want ErrClosed", err)
+	}
+}
+
+// A closed mmap index reports typed ErrClosed like the plain one.
+func TestMmapClosedIsTyped(t *testing.T) {
+	path := mmapFixture(t)
+	ix, err := OpenIndexedMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.ReadTensor("raw"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close err = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,353 @@
+package infer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"helmsim/internal/model"
+	"helmsim/internal/quant"
+	"helmsim/internal/tensor"
+)
+
+// weightCount is the total tensor count across the model's layers — the
+// per-step backing-store fetch count of a lockstep engine.
+func weightCount(cfg model.Config) int {
+	n := 0
+	for _, l := range cfg.Layers() {
+		n += len(l.Weights)
+	}
+	return n
+}
+
+// Steady-state single-token decode over an in-memory store must not
+// touch the heap at all: activations come from the engine's arena, KV
+// rows land in preallocated slabs, scores use the engine's scratch row,
+// and MemStore serves zero-copy views. Parallel kernel dispatch is
+// pinned to 1 because the worker handoff allocates closures; outputs
+// are bit-identical at any setting, so the single-worker measurement
+// bounds the engine's own behavior.
+func TestDecodeAllocsMemStoreZero(t *testing.T) {
+	for _, cfg := range []model.Config{tinyOPT(), tinyLlama()} {
+		prev := tensor.SetParallelism(1)
+		e := newEngine(t, cfg, 11)
+		if _, err := e.Forward([]int{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		step := func() {
+			e.stepTok[0] = 5
+			if _, err := e.Forward(e.stepTok[:]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Warm-up: lets the arena, KV slabs, and retained-logits list
+		// reach their steady-state shapes.
+		for i := 0; i < 3; i++ {
+			step()
+		}
+		allocs := testing.AllocsPerRun(10, step)
+		tensor.SetParallelism(prev)
+		if allocs != 0 {
+			t.Errorf("%s: steady-state decode allocates %.1f objects/token, want 0", cfg.Name, allocs)
+		}
+	}
+}
+
+// A lockstep engine over a quantized store stops allocating once the
+// layer-memo's recycled buffers have seen one full layer cycle: every
+// dequantization decodes into the buffer evicted two layers earlier.
+func TestStepDecodeAllocsQuantRecycledZero(t *testing.T) {
+	cfg := tinyOPT()
+	raw, err := RandomWeights(cfg, 13, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Quantize(cfg, raw, quant.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewStepEngine(cfg, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+
+	seq := &StepSeq{Tokens: []int{1, 2, 3}, Pos: 0, KV: NewBlockCaches(cfg)}
+	seqs := []*StepSeq{seq}
+	var tok [1]int
+	step := func() {
+		if _, err := se.Step(seqs); err != nil {
+			t.Fatal(err)
+		}
+		seq.Pos += len(seq.Tokens)
+		tok[0] = 7
+		seq.Tokens = tok[:]
+	}
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(10, step)
+	if allocs != 0 {
+		t.Errorf("quant lockstep decode allocates %.1f objects/step, want 0", allocs)
+	}
+}
+
+// File-backed decode cannot be allocation-free (every fetch formats a
+// record key, and the non-mmap path reads each payload into a fresh
+// buffer), but its budget is pinned: a handful of objects per weight
+// fetch, nothing proportional to tokens or context length. A regression
+// that reintroduces per-activation allocation blows well past this.
+func TestStepDecodeAllocsFileBudget(t *testing.T) {
+	cfg := tinyOPT()
+	path := writeTestCheckpoint(t, cfg, 13)
+	budget := 6.0 * float64(weightCount(cfg))
+	for _, tc := range []struct {
+		name string
+		open func(string) (*FileStore, error)
+	}{
+		{"readat", OpenFileStore},
+		{"mmap", OpenFileStoreMmap},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, err := tc.open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fs.Close()
+			se, err := NewStepEngine(cfg, fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := tensor.SetParallelism(1)
+			defer tensor.SetParallelism(prev)
+
+			seq := &StepSeq{Tokens: []int{1, 2, 3}, Pos: 0, KV: NewBlockCaches(cfg)}
+			seqs := []*StepSeq{seq}
+			var tok [1]int
+			step := func() {
+				if _, err := se.Step(seqs); err != nil {
+					t.Fatal(err)
+				}
+				seq.Pos += len(seq.Tokens)
+				tok[0] = 7
+				seq.Tokens = tok[:]
+			}
+			for i := 0; i < 4; i++ {
+				step()
+			}
+			allocs := testing.AllocsPerRun(10, step)
+			if allocs > budget {
+				t.Errorf("file decode (%s) allocates %.1f objects/step, budget %.0f", tc.name, allocs, budget)
+			}
+		})
+	}
+}
+
+// TopK keeps its sort and probability scratch between calls, so
+// steady-state sampling allocates nothing.
+func TestTopKSampleAllocsZero(t *testing.T) {
+	s, err := NewTopK(8, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := tensor.New(1, 64)
+	for i := range logits.Data {
+		logits.Data[i] = float32((i * 37 % 64)) / 64
+	}
+	if _, err := s.Sample(logits); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Sample(logits); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("TopK.Sample allocates %.1f objects/call, want 0", allocs)
+	}
+}
+
+// Prefetch depth and buffer recycling are pure performance knobs: at
+// every depth, with recycling on or off, over quantized and file
+// backings, the generated tokens must be byte-identical to the plain
+// (unprefetched) engine's.
+func TestPrefetchDepthRecycleIdentity(t *testing.T) {
+	cfg := tinyLlama()
+	path := writeTestCheckpoint(t, cfg, 29)
+	prompt := []int{3, 11, 5}
+	const n = 10
+
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	plain, err := New(cfg, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Generate(prompt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, depth := range []int{1, 2, 3} {
+		for _, recycle := range []bool{false, true} {
+			for _, mapped := range []bool{false, true} {
+				name := fmt.Sprintf("depth=%d recycle=%v mmap=%v", depth, recycle, mapped)
+				open := OpenFileStore
+				if mapped {
+					open = OpenFileStoreMmap
+				}
+				st, err := open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := NewPrefetchedOpts(context.Background(), cfg, st, Retry{}, PrefetchOpts{Depth: depth, Recycle: recycle})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.Generate(prompt, n)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if err := e.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if err := st.Close(); err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: token %d = %d, want %d", name, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Hot checkpoint reload over mmap-backed stores: generations pin the
+// store generation they started on, so a concurrent Swap (whose closer
+// unmaps the old generation's file) must never yank pages out from
+// under an in-flight decode, and every retired generation's closer must
+// still run exactly once. Run with -race this doubles as the
+// unmap-after-release ordering check.
+func TestSwappableMmapHotReloadRace(t *testing.T) {
+	cfg := tinyOPT()
+	path := writeTestCheckpoint(t, cfg, 47)
+	prompt := []int{2, 9, 4}
+	const n = 6
+
+	ref, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng, err := New(cfg, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := refEng.Generate(prompt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := OpenFileStoreMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSwappable(first, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const swaps = 5
+	const readersN = 2
+	const roundsPerReader = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, readersN*roundsPerReader+swaps)
+
+	for r := 0; r < readersN; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < roundsPerReader; round++ {
+				w, _, release, err := sw.Acquire()
+				if err != nil {
+					errs <- err
+					return
+				}
+				// The prefetched engine exercises the recycling decode
+				// path (TensorInto straight out of the mapping); Close
+				// joins background fetches before the pin drops, so no
+				// read outlives the generation.
+				e, err := NewPrefetchedResilientContext(context.Background(), cfg, w, Retry{})
+				if err != nil {
+					release()
+					errs <- err
+					return
+				}
+				got, genErr := e.Generate(prompt, n)
+				closeErr := e.Close()
+				release()
+				if genErr != nil {
+					errs <- genErr
+					return
+				}
+				if closeErr != nil {
+					errs <- closeErr
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						errs <- fmt.Errorf("reader token %d = %d, want %d", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			fs, err := OpenFileStoreMmap(path)
+			if err != nil {
+				errs <- err
+				return
+			}
+			installed, err := sw.Swap(fs, fs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !installed {
+				errs <- fmt.Errorf("swap %d not installed", i)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.DeferredCloseErr(); err != nil {
+		t.Fatal(err)
+	}
+	// Every generation — the initial store, each swapped-in one — has
+	// been retired and its mapping released exactly once.
+	if got, wantGens := sw.RetiredGenerations(), int64(swaps+1); got != wantGens {
+		t.Errorf("retired generations = %d, want %d", got, wantGens)
+	}
+}

@@ -34,13 +34,40 @@ type KVBlock interface {
 }
 
 // blockCache is one decoder block's KV cache: rows are cached positions,
-// columns the (possibly grouped-query) KV width.
+// columns the (possibly grouped-query) KV width. With maxRows set (the
+// engine sets it to the model's MaxSeq) the rows live in two flat slabs
+// allocated once on first append, so steady-state appends are
+// copy-only; a zero-value blockCache degrades to per-row allocation.
 type blockCache struct {
-	k, v [][]float32
+	maxRows      int
+	width        int
+	kslab, vslab []float32
+	k, v         [][]float32
 }
 
 // AppendRow implements KVBlock by copying the rows.
 func (c *blockCache) AppendRow(k, v []float32) error {
+	if c.maxRows > 0 {
+		if c.width == 0 && len(k) > 0 {
+			c.width = len(k)
+			c.kslab = make([]float32, c.maxRows*c.width)
+			c.vslab = make([]float32, c.maxRows*c.width)
+			c.k = make([][]float32, 0, c.maxRows)
+			c.v = make([][]float32, 0, c.maxRows)
+		}
+		if n := len(c.k); len(k) == c.width && len(v) == c.width && n < c.maxRows {
+			kr := c.kslab[n*c.width : (n+1)*c.width : (n+1)*c.width]
+			vr := c.vslab[n*c.width : (n+1)*c.width : (n+1)*c.width]
+			copy(kr, k)
+			copy(vr, v)
+			c.k = append(c.k, kr)
+			c.v = append(c.v, vr)
+			return nil
+		}
+		// Shape surprise or overflow past maxRows: fall through to
+		// per-row allocation rather than fail (callers bound length by
+		// MaxSeq before appending).
+	}
 	c.k = append(c.k, append([]float32(nil), k...))
 	c.v = append(c.v, append([]float32(nil), v...))
 	return nil
@@ -67,13 +94,27 @@ func (c *blockCache) Truncate(n int) {
 }
 
 // Engine executes a decoder-only transformer incrementally.
+//
+// All per-token scratch — activations, attention scores, logits — comes
+// from a per-engine arena and is recycled across forward passes, so
+// steady-state decode performs no heap allocation (a measured invariant
+// over a MemStore; quantized and file-backed stores add only their
+// decode path's small pinned budget). The returned logits are arena
+// matrices: they stay valid until the engine's next Forward, Step,
+// Generate, or Reset, and must be copied to outlive that.
 type Engine struct {
 	cfg      model.Config
 	weights  WeightStore
+	views    ViewStore // non-nil when weights serves zero-copy views
 	layers   []model.Layer
 	cache    []blockCache
 	pos      int            // positions already cached
 	prefetch *PrefetchStore // non-nil when built by NewPrefetched
+
+	ar       *tensor.Arena
+	scores   []float32    // one attention-score row, MaxSeq wide
+	retained []tensor.Mat // logits handed out, reclaimed next pass
+	stepTok  [1]int       // single-token batch for greedy decode loops
 }
 
 // New builds an engine over the model and weight store.
@@ -84,12 +125,19 @@ func New(cfg model.Config, w WeightStore) (*Engine, error) {
 	if w == nil {
 		return nil, fmt.Errorf("infer: nil weight store")
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		weights: w,
 		layers:  cfg.Layers(),
 		cache:   make([]blockCache, cfg.Blocks),
-	}, nil
+		ar:      tensor.NewArena(),
+		scores:  make([]float32, cfg.MaxSeq),
+	}
+	e.views, _ = w.(ViewStore)
+	for b := range e.cache {
+		e.cache[b].maxRows = cfg.MaxSeq
+	}
+	return e, nil
 }
 
 // NewPrefetched is New with a PrefetchStore (and a per-layer memo, so
@@ -114,7 +162,17 @@ func NewPrefetchedResilient(cfg model.Config, w WeightStore, r Retry) (*Engine, 
 // lifecycle context this way, so shutdown joins in-flight fetches
 // instead of abandoning them).
 func NewPrefetchedResilientContext(ctx context.Context, cfg model.Config, w WeightStore, r Retry) (*Engine, error) {
-	ps, err := NewPrefetchResilientContext(ctx, cfg, w, r)
+	return NewPrefetchedOpts(ctx, cfg, w, r, PrefetchOpts{Recycle: true})
+}
+
+// NewPrefetchedOpts is NewPrefetchedResilientContext with explicit
+// prefetch tuning (look-ahead depth, buffer recycling). The prefetch
+// store is private to the returned engine, so PrefetchOpts.Recycle is
+// safe here — it is how a prefetched engine reuses its dequantization
+// and decode buffers across the layer cycle instead of reallocating
+// them every layer.
+func NewPrefetchedOpts(ctx context.Context, cfg model.Config, w WeightStore, r Retry, opts PrefetchOpts) (*Engine, error) {
+	ps, err := NewPrefetchOpts(ctx, cfg, w, r, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -163,18 +221,48 @@ func (e *Engine) Close() error {
 	return e.prefetch.Close()
 }
 
-// Reset clears the KV cache and position counter.
+// Reset clears the KV cache and position counter. The KV slabs and
+// arena survive a reset, so a reused engine re-enters steady state
+// without reallocating.
 func (e *Engine) Reset() {
-	e.cache = make([]blockCache, e.cfg.Blocks)
+	e.reclaim()
+	for b := range e.cache {
+		e.cache[b].Truncate(0)
+	}
 	e.pos = 0
 }
 
 // Pos reports the number of cached positions.
 func (e *Engine) Pos() int { return e.pos }
 
+// reclaim recycles the logits handed out by the previous pass — the
+// other half of the "logits valid until the next call" contract.
+func (e *Engine) reclaim() {
+	for _, m := range e.retained {
+		e.ar.Put(m)
+	}
+	e.retained = e.retained[:0]
+}
+
+// retain marks an arena matrix as handed out to the caller; it is
+// recycled on the next pass instead of inside this one.
+func (e *Engine) retain(m tensor.Mat) {
+	e.retained = append(e.retained, m)
+}
+
+// fetch reads one weight tensor, preferring the store's zero-copy view
+// path. The result is read-only either way: kernels never write to
+// weight tensors.
+func (e *Engine) fetch(layer int, name string) ([]float32, error) {
+	if e.views != nil {
+		return e.views.TensorView(layer, name)
+	}
+	return e.weights.Tensor(layer, name)
+}
+
 // mat fetches a tensor as an r x c matrix.
 func (e *Engine) mat(layer int, name string, r, c int) (tensor.Mat, error) {
-	data, err := e.weights.Tensor(layer, name)
+	data, err := e.fetch(layer, name)
 	if err != nil {
 		return tensor.Mat{}, err
 	}
@@ -187,7 +275,7 @@ func (e *Engine) mat(layer int, name string, r, c int) (tensor.Mat, error) {
 
 // vec fetches a tensor as a length-n vector.
 func (e *Engine) vec(layer int, name string, n int) ([]float32, error) {
-	data, err := e.weights.Tensor(layer, name)
+	data, err := e.fetch(layer, name)
 	if err != nil {
 		return nil, err
 	}
@@ -198,8 +286,11 @@ func (e *Engine) vec(layer int, name string, n int) ([]float32, error) {
 }
 
 // Forward appends tokens to the context and returns the logits of the last
-// position (1 x vocab).
+// position (1 x vocab). The logits are arena-backed: they stay valid
+// until the engine's next Forward/Step/Reset and must be copied to
+// outlive that.
 func (e *Engine) Forward(tokens []int) (tensor.Mat, error) {
+	e.reclaim()
 	if len(tokens) == 0 {
 		return tensor.Mat{}, fmt.Errorf("infer: empty token batch")
 	}
@@ -213,16 +304,22 @@ func (e *Engine) Forward(tokens []int) (tensor.Mat, error) {
 	for b := 0; b < e.cfg.Blocks; b++ {
 		mha := e.layers[1+2*b]
 		ffn := e.layers[2+2*b]
-		if x, err = e.attentionBlock(mha, &e.cache[b], e.pos, x); err != nil {
+		nx, err := e.attentionBlock(mha, &e.cache[b], e.pos, x)
+		if err != nil {
 			e.rollback()
 			return tensor.Mat{}, err
 		}
-		if x, err = e.ffnBlock(ffn, x); err != nil {
+		e.ar.Put(x)
+		x = nx
+		if nx, err = e.ffnBlock(ffn, x); err != nil {
 			e.rollback()
 			return tensor.Mat{}, err
 		}
+		e.ar.Put(x)
+		x = nx
 	}
 	logits, err := e.output(x)
+	e.ar.Put(x)
 	if err != nil {
 		e.rollback()
 		return tensor.Mat{}, err
@@ -258,9 +355,10 @@ func (e *Engine) embed(tokens []int, pos int) (tensor.Mat, error) {
 			return tensor.Mat{}, err
 		}
 	}
-	x := tensor.New(len(tokens), h)
+	x := e.ar.Get(len(tokens), h)
 	for i, tok := range tokens {
 		if tok < 0 || tok >= e.cfg.Vocab {
+			e.ar.Put(x)
 			return tensor.Mat{}, fmt.Errorf("infer: token %d outside vocab %d", tok, e.cfg.Vocab)
 		}
 		copy(x.Row(i), table.Row(tok))
@@ -276,19 +374,35 @@ func (e *Engine) embed(tokens []int, pos int) (tensor.Mat, error) {
 	return x, nil
 }
 
-// norm applies the architecture's normalization using the layer's params.
+// normGainName resolves which gain tensor the layer carries: decoder
+// blocks use "w_norm" under Llama, while the output layer's final norm
+// is stored as "w_ln" for both architectures. Consulting the layer spec
+// (instead of probing the store and falling back on error) keeps the
+// hot path from fabricating error values every pass.
+func normGainName(layer model.Layer) string {
+	for _, w := range layer.Weights {
+		if w.Name == "w_norm" {
+			return "w_norm"
+		}
+	}
+	return "w_ln"
+}
+
+// norm applies the architecture's normalization using the layer's
+// params, into a fresh arena matrix the caller owns.
 func (e *Engine) norm(layer model.Layer, x tensor.Mat) (tensor.Mat, error) {
 	h := e.cfg.Hidden
 	if e.cfg.Arch == model.ArchLlama {
-		// Decoder blocks carry "w_norm"; the output layer's final norm is
-		// stored as "w_ln" for both architectures.
-		gamma, err := e.vec(layer.Index, "w_norm", h)
+		gamma, err := e.vec(layer.Index, normGainName(layer), h)
 		if err != nil {
-			if gamma, err = e.vec(layer.Index, "w_ln", h); err != nil {
-				return tensor.Mat{}, err
-			}
+			return tensor.Mat{}, err
 		}
-		return tensor.RMSNorm(x, gamma, normEps)
+		out := e.ar.Get(x.R, x.C)
+		if err := tensor.RMSNormInto(x, gamma, normEps, out); err != nil {
+			e.ar.Put(out)
+			return tensor.Mat{}, err
+		}
+		return out, nil
 	}
 	gamma, err := e.vec(layer.Index, "w_ln", h)
 	if err != nil {
@@ -298,25 +412,34 @@ func (e *Engine) norm(layer model.Layer, x tensor.Mat) (tensor.Mat, error) {
 	if err != nil {
 		return tensor.Mat{}, err
 	}
-	return tensor.LayerNorm(x, gamma, beta, normEps)
+	out := e.ar.Get(x.R, x.C)
+	if err := tensor.LayerNormInto(x, gamma, beta, normEps, out); err != nil {
+		e.ar.Put(out)
+		return tensor.Mat{}, err
+	}
+	return out, nil
 }
 
-// proj computes x @ W (+ bias for OPT).
+// proj computes x @ W (+ bias for OPT) into a fresh arena matrix the
+// caller owns.
 func (e *Engine) proj(layer model.Layer, x tensor.Mat, wName, bName string, outDim int) (tensor.Mat, error) {
 	w, err := e.mat(layer.Index, wName, x.C, outDim)
 	if err != nil {
 		return tensor.Mat{}, err
 	}
-	out, err := tensor.MatMul(x, w)
-	if err != nil {
+	out := e.ar.Get(x.R, outDim)
+	if err := tensor.MatMulInto(x, w, out); err != nil {
+		e.ar.Put(out)
 		return tensor.Mat{}, err
 	}
 	if bName != "" && e.cfg.Arch == model.ArchOPT {
 		b, err := e.vec(layer.Index, bName, outDim)
 		if err != nil {
+			e.ar.Put(out)
 			return tensor.Mat{}, err
 		}
 		if err := out.AddBias(b); err != nil {
+			e.ar.Put(out)
 			return tensor.Mat{}, err
 		}
 	}
@@ -345,16 +468,23 @@ func (e *Engine) attentionBlock(layer model.Layer, cache KVBlock, pos int, x ten
 	qName, kName, vName, oName := e.kvNames()
 	q, err := e.proj(layer, hn, qName, "b_q", h)
 	if err != nil {
+		e.ar.Put(hn)
 		return tensor.Mat{}, err
 	}
 	k, err := e.proj(layer, hn, kName, "b_k", kvDim)
 	if err != nil {
+		e.ar.Put(hn)
+		e.ar.Put(q)
 		return tensor.Mat{}, err
 	}
 	v, err := e.proj(layer, hn, vName, "b_v", kvDim)
 	if err != nil {
+		e.ar.Put(hn)
+		e.ar.Put(q)
+		e.ar.Put(k)
 		return tensor.Mat{}, err
 	}
+	e.ar.Put(hn)
 
 	// Rotary position embedding for LLaMA (applied to q and k).
 	if e.cfg.Arch == model.ArchLlama {
@@ -364,17 +494,24 @@ func (e *Engine) attentionBlock(layer model.Layer, cache KVBlock, pos int, x ten
 		}
 	}
 
-	// Append the new positions to the cache.
+	// Append the new positions to the cache (AppendRow copies the rows,
+	// so k and v can go back to the arena right after).
 	for i := 0; i < k.R; i++ {
 		if err := cache.AppendRow(k.Row(i), v.Row(i)); err != nil {
+			e.ar.Put(q)
+			e.ar.Put(k)
+			e.ar.Put(v)
 			return tensor.Mat{}, err
 		}
 	}
+	e.ar.Put(k)
+	e.ar.Put(v)
 
 	// Attention per query position and head, causally masked by
 	// construction: query at absolute position pos+i sees cache entries
-	// [0, pos+i].
-	out := tensor.New(q.R, h)
+	// [0, pos+i]. out comes from the arena zeroed, which the dst
+	// accumulation below relies on.
+	out := e.ar.Get(q.R, h)
 	scale := 1 / float32(math.Sqrt(float64(headDim)))
 	for i := 0; i < q.R; i++ {
 		limit := pos + i + 1
@@ -384,8 +521,10 @@ func (e *Engine) attentionBlock(layer model.Layer, cache KVBlock, pos int, x ten
 			qh := qrow[head*headDim : (head+1)*headDim]
 			kvHead := head / group
 			off := kvHead * headDim
-			// Scores over the visible cache.
-			scores := make([]float32, limit)
+			// Scores over the visible cache, in the engine's reusable
+			// score row (every scores[p] is assigned before it is read,
+			// so stale values from the previous head never leak).
+			scores := e.scores[:limit]
 			var maxS float32 = float32(math.Inf(-1))
 			for p := 0; p < limit; p++ {
 				krow := cache.KRow(p)[off : off+headDim]
@@ -420,11 +559,15 @@ func (e *Engine) attentionBlock(layer model.Layer, cache KVBlock, pos int, x ten
 		}
 	}
 
+	e.ar.Put(q)
+
 	attnOut, err := e.projFrom(layer, out, oName, "b_out", h)
+	e.ar.Put(out)
 	if err != nil {
 		return tensor.Mat{}, err
 	}
 	if err := attnOut.Add(x); err != nil {
+		e.ar.Put(attnOut)
 		return tensor.Mat{}, err
 	}
 	return attnOut, nil
@@ -474,50 +617,75 @@ func (e *Engine) ffnBlock(layer model.Layer, x tensor.Mat) (tensor.Mat, error) {
 	if e.cfg.Arch == model.ArchLlama {
 		gate, err := e.proj(layer, hn, "w_gate", "", f)
 		if err != nil {
+			e.ar.Put(hn)
 			return tensor.Mat{}, err
 		}
 		up, err := e.proj(layer, hn, "w_up", "", f)
 		if err != nil {
+			e.ar.Put(hn)
+			e.ar.Put(gate)
 			return tensor.Mat{}, err
 		}
+		e.ar.Put(hn)
 		gate.SiLU()
 		if err := gate.Mul(up); err != nil {
+			e.ar.Put(gate)
+			e.ar.Put(up)
 			return tensor.Mat{}, err
 		}
-		if out, err = e.proj(layer, gate, "w_down", "", h); err != nil {
+		e.ar.Put(up)
+		out, err = e.proj(layer, gate, "w_down", "", h)
+		e.ar.Put(gate)
+		if err != nil {
 			return tensor.Mat{}, err
 		}
 	} else {
 		mid, err := e.proj(layer, hn, "w_fc1", "b_fc1", f)
 		if err != nil {
+			e.ar.Put(hn)
 			return tensor.Mat{}, err
 		}
+		e.ar.Put(hn)
 		mid.GELU()
-		if out, err = e.proj(layer, mid, "w_fc2", "b_fc2", h); err != nil {
+		out, err = e.proj(layer, mid, "w_fc2", "b_fc2", h)
+		e.ar.Put(mid)
+		if err != nil {
 			return tensor.Mat{}, err
 		}
 	}
 	if err := out.Add(x); err != nil {
+		e.ar.Put(out)
 		return tensor.Mat{}, err
 	}
 	return out, nil
 }
 
 // output applies the final norm and the logit projection for the last
-// position only.
+// position only. The returned logits are retained arena storage: they
+// stay valid until the engine's next pass.
 func (e *Engine) output(x tensor.Mat) (tensor.Mat, error) {
 	l := e.layers[len(e.layers)-1]
-	last := tensor.New(1, x.C)
+	last := e.ar.Get(1, x.C)
 	copy(last.Row(0), x.Row(x.R-1))
 	hn, err := e.norm(l, last)
+	e.ar.Put(last)
 	if err != nil {
 		return tensor.Mat{}, err
 	}
 	table, err := e.mat(l.Index, "w_token", e.cfg.Vocab, e.cfg.Hidden)
 	if err != nil {
+		e.ar.Put(hn)
 		return tensor.Mat{}, err
 	}
-	return tensor.MatMulT(hn, table)
+	logits := e.ar.Get(1, e.cfg.Vocab)
+	err = tensor.MatMulTInto(hn, table, logits)
+	e.ar.Put(hn)
+	if err != nil {
+		e.ar.Put(logits)
+		return tensor.Mat{}, err
+	}
+	e.retain(logits)
+	return logits, nil
 }
 
 // Generate runs greedy decoding: prefill the prompt, then emit n tokens.
@@ -555,7 +723,8 @@ func (e *Engine) GenerateContext(ctx context.Context, prompt []int, n int) ([]in
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("infer: generation aborted after %d/%d tokens: %w", len(out), n, err)
 		}
-		if logits, err = e.Forward([]int{next}); err != nil {
+		e.stepTok[0] = next
+		if logits, err = e.Forward(e.stepTok[:]); err != nil {
 			return nil, err
 		}
 		next = logits.ArgmaxRow(0)

@@ -11,8 +11,21 @@ import (
 )
 
 // TensorKey names a tensor inside a checkpoint: "L<layer>/<name>".
+// It runs once per weight fetch on the out-of-core serving path, so the
+// common shape is formatted through a stack buffer (one allocation for
+// the returned string) instead of fmt.Sprintf.
 func TensorKey(layer int, name string) string {
-	return fmt.Sprintf("L%03d/%s", layer, name)
+	if layer < 0 || layer > 999 || len(name) > 59 {
+		return fmt.Sprintf("L%03d/%s", layer, name)
+	}
+	var buf [64]byte
+	buf[0] = 'L'
+	buf[1] = byte('0' + layer/100)
+	buf[2] = byte('0' + layer/10%10)
+	buf[3] = byte('0' + layer%10)
+	buf[4] = '/'
+	n := copy(buf[5:], name)
+	return string(buf[:5+n])
 }
 
 // FileStore serves weights straight from an indexed checkpoint file —
@@ -39,6 +52,23 @@ func OpenFileStore(path string) (*FileStore, error) {
 	return &FileStore{ix: ix}, nil
 }
 
+// OpenFileStoreMmap opens a checkpoint through an mmap view, so tensor
+// reads decode straight out of the page cache with no payload copy
+// (record CRCs are still verified per read). On platforms without mmap
+// it behaves exactly like OpenFileStore. Closing the store unmaps the
+// file — when the store sits under a SwappableStore, the swap path's
+// pin ordering guarantees no reader still holds a view (DESIGN §3h).
+func OpenFileStoreMmap(path string) (*FileStore, error) {
+	ix, err := checkpoint.OpenIndexedMmap(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{ix: ix}, nil
+}
+
+// Mapped reports whether reads are zero-copy mmap views.
+func (s *FileStore) Mapped() bool { return s.ix.Mapped() }
+
 // NewFileStore serves weights from an already-indexed checkpoint — the
 // hook for slotting a fault-injecting (or otherwise wrapped)
 // io.ReaderAt under the store via checkpoint.NewIndexed. Closing the
@@ -53,6 +83,18 @@ func NewFileStore(ix *checkpoint.Indexed) (*FileStore, error) {
 // Tensor implements WeightStore.
 func (s *FileStore) Tensor(layer int, name string) ([]float32, error) {
 	e, err := s.ix.ReadTensor(TensorKey(layer, name))
+	if err != nil {
+		return nil, err
+	}
+	s.reads.Add(1)
+	return e.Data, nil
+}
+
+// TensorInto implements IntoStore, decoding the record into dst when
+// its capacity suffices. The returned slice never aliases the
+// checkpoint's backing storage.
+func (s *FileStore) TensorInto(layer int, name string, dst []float32) ([]float32, error) {
+	e, err := s.ix.ReadTensorInto(TensorKey(layer, name), dst)
 	if err != nil {
 		return nil, err
 	}

@@ -16,8 +16,18 @@ import (
 // of the zig-zag schedule's weight reuse (§II-B).
 type layerMemo struct {
 	backing WeightStore
-	layer   int
-	cache   map[string][]float32
+	// into is backing's decode-into path, when it has one: evicted layers'
+	// buffers are then kept (keyed by tensor name) and the next layer
+	// decodes into them, so the memo stops allocating once it has seen
+	// one full layer cycle. The memo is single-consumer (one lockstep
+	// engine), which is what makes reuse safe: a recycled buffer is only
+	// overwritten after its layer was evicted, i.e. after the engine
+	// moved past it. A PrefetchStore backing never implements IntoStore —
+	// it owns (and recycles) its bundle buffers itself.
+	into  IntoStore
+	layer int
+	cache map[string][]float32
+	free  map[string][]float32
 	// fetches counts backing-store accesses (observable reuse); atomic so
 	// counter reads stay well-defined while a prefetching backing store
 	// runs in the background.
@@ -26,21 +36,39 @@ type layerMemo struct {
 
 // newLayerMemo wraps a store.
 func newLayerMemo(backing WeightStore) *layerMemo {
-	return &layerMemo{backing: backing, layer: -1, cache: map[string][]float32{}}
+	m := &layerMemo{backing: backing, layer: -1, cache: map[string][]float32{}}
+	if is, ok := backing.(IntoStore); ok {
+		m.into = is
+		m.free = map[string][]float32{}
+	}
+	return m
 }
 
 // Tensor implements WeightStore: a request for a new layer evicts the
-// previous layer's tensors (the map is cleared and reused, not
-// reallocated — the memo changes layer once per layer per step).
+// previous layer's tensors (the maps are cleared and reused, not
+// reallocated — the memo changes layer once per layer per step), whose
+// buffers become the new layer's decode targets when the backing store
+// decodes into buffers.
 func (m *layerMemo) Tensor(layer int, name string) ([]float32, error) {
 	if layer != m.layer {
 		m.layer = layer
+		if m.into != nil {
+			for n, d := range m.cache {
+				m.free[n] = d
+			}
+		}
 		clear(m.cache)
 	}
 	if d, ok := m.cache[name]; ok {
 		return d, nil
 	}
-	d, err := m.backing.Tensor(layer, name)
+	var d []float32
+	var err error
+	if m.into != nil {
+		d, err = m.into.TensorInto(layer, name, m.free[name])
+	} else {
+		d, err = m.backing.Tensor(layer, name)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +94,10 @@ type BatchEngine struct {
 	se       *StepEngine
 	seqs     []seqState
 	prefetch *PrefetchStore // non-nil when built by NewBatchPrefetched
+	// step scratch reused across Step calls (steady-state decode makes
+	// no per-step slice allocations).
+	stepSeqs []StepSeq
+	stepPtrs []*StepSeq
 }
 
 // NewBatch builds a lockstep engine for nSeqs sequences.
@@ -96,7 +128,16 @@ func NewBatchPrefetched(cfg model.Config, w WeightStore, nSeqs int) (*BatchEngin
 // retry policy: a transiently failed background fetch degrades to a
 // retried foreground fetch instead of failing the whole wave.
 func NewBatchPrefetchedResilient(cfg model.Config, w WeightStore, nSeqs int, r Retry) (*BatchEngine, error) {
-	ps, err := NewPrefetchResilient(cfg, w, r)
+	//lint:helmvet-ignore ctxflow compatibility shim: the no-ctx constructor deliberately builds an uncancellable engine
+	return NewBatchPrefetchedOpts(context.Background(), cfg, w, nSeqs, r, PrefetchOpts{Recycle: true})
+}
+
+// NewBatchPrefetchedOpts is NewBatchPrefetchedResilient with a
+// cancellation context and explicit prefetch tuning. The prefetch store
+// is private to the returned engine, so PrefetchOpts.Recycle is safe
+// here.
+func NewBatchPrefetchedOpts(ctx context.Context, cfg model.Config, w WeightStore, nSeqs int, r Retry, opts PrefetchOpts) (*BatchEngine, error) {
+	ps, err := NewPrefetchOpts(ctx, cfg, w, r, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -152,9 +193,14 @@ func (b *BatchEngine) Step(tokens [][]int) ([]tensor.Mat, error) {
 	if len(tokens) != len(b.seqs) {
 		return nil, fmt.Errorf("infer: step has %d token slices for %d sequences", len(tokens), len(b.seqs))
 	}
-	step := make([]*StepSeq, len(b.seqs))
+	if cap(b.stepSeqs) < len(b.seqs) {
+		b.stepSeqs = make([]StepSeq, len(b.seqs))
+		b.stepPtrs = make([]*StepSeq, len(b.seqs))
+	}
+	step := b.stepPtrs[:len(b.seqs)]
 	for i := range b.seqs {
-		step[i] = &StepSeq{Tokens: tokens[i], Pos: b.seqs[i].pos, KV: b.seqs[i].kv}
+		b.stepSeqs[i] = StepSeq{Tokens: tokens[i], Pos: b.seqs[i].pos, KV: b.seqs[i].kv}
+		step[i] = &b.stepSeqs[i]
 	}
 	out, err := b.se.Step(step)
 	if err != nil {
@@ -194,6 +240,9 @@ func (b *BatchEngine) GenerateBatchContext(ctx context.Context, prompts [][]int,
 		}
 		step[i] = p
 	}
+	// One single-token backing array per sequence, reused every decode
+	// step so the loop performs no per-token slice allocation.
+	toks := make([][1]int, len(prompts))
 	out := make([][]int, len(prompts))
 	for t := 0; t < n; t++ {
 		if err := ctx.Err(); err != nil {
@@ -206,7 +255,8 @@ func (b *BatchEngine) GenerateBatchContext(ctx context.Context, prompts [][]int,
 		for i := range step {
 			next := logits[i].ArgmaxRow(0)
 			out[i] = append(out[i], next)
-			step[i] = []int{next}
+			toks[i][0] = next
+			step[i] = toks[i][:]
 		}
 	}
 	return out, nil

@@ -9,18 +9,51 @@ import (
 	"helmsim/internal/model"
 )
 
-// PrefetchStore overlaps the next layer's weight fetch — and, when the
-// backing store is quantized or on disk, its dequantization and I/O —
+// PrefetchOpts tunes a PrefetchStore.
+type PrefetchOpts struct {
+	// Depth is how many layers ahead to keep in flight (1 = next layer
+	// only, the classic single-buffered overlap). Zero means 1; values
+	// are clamped to [1, 8] so the look-ahead budget stays a small
+	// constant number of layers regardless of caller arithmetic.
+	Depth int
+	// Recycle reuses fetched tensor buffers across the layer cycle,
+	// decoding each layer into the slabs of the layer the consumer just
+	// left (via the backing store's IntoStore path, when it has one).
+	// With Depth 1 this is double-buffered dequantization: two slab sets
+	// ping-pong between "being computed on" and "being decoded into".
+	// Only safe when the store has exactly ONE lockstep consumer — a
+	// recycled layer's slices are overwritten in the background as soon
+	// as the consumer moves past it, so a second reader at a different
+	// layer would see torn weights. The engine-private constructors
+	// (NewPrefetched*, NewStepEnginePrefetched*, NewBatchPrefetched*)
+	// enable it; the shared-store constructors (NewPrefetch*) never do.
+	Recycle bool
+}
+
+// depth returns the clamped look-ahead.
+func (o PrefetchOpts) depth() int {
+	d := o.Depth
+	if d <= 0 {
+		d = 1
+	}
+	if d > 8 {
+		d = 8
+	}
+	return d
+}
+
+// PrefetchStore overlaps the next layers' weight fetch — and, when the
+// backing store is quantized or on disk, their dequantization and I/O —
 // with the current layer's compute: the executable counterpart of
 // Listing 1's load_weight(i, j+1) ∥ compute(i, j). The first request for
 // a tensor of layer L hands back the prefetched bundle (or fetches it
-// synchronously on a miss) and immediately starts a background fetch of
-// the schedule's next layer; because the schedule cycles input-embed →
-// blocks → output-embed → input-embed (the zig-zag's per-step wrap), the
-// output layer's prefetch warms the next step's embedding.
+// synchronously on a miss) and immediately tops the pipeline back up to
+// its depth; because the schedule cycles input-embed → blocks →
+// output-embed → input-embed (the zig-zag's per-step wrap), the output
+// layer's prefetch warms the next step's embedding.
 //
-// Single-buffered by design: at most one layer is in flight, so peak
-// residency stays at two layers (current + next). Errors from the
+// Bounded by construction: at most Depth layers are in flight, so peak
+// residency stays at Depth+1 layers (current + in-flight). Errors from a
 // background fetch surface on the first request for that layer, and
 // cancelling the construction context (or calling Close) stops the
 // prefetcher and fails subsequent fetches cleanly.
@@ -34,19 +67,24 @@ import (
 //
 // The store is safe for concurrent use; it is *tuned* for one lockstep
 // consumer walking layers in schedule order. Multiple engines at
-// different layers stay correct but evict each other's bundles.
+// different layers stay correct but evict each other's bundles — and
+// must never share a Recycle-enabled store (see PrefetchOpts).
 type PrefetchStore struct {
 	backing WeightStore
+	into    IntoStore        // non-nil only in recycle mode, when backing decodes into buffers
 	next    map[int]int      // layer index -> successor in the schedule cycle
 	names   map[int][]string // layer index -> tensor names, spec order
 	retry   Retry            // foreground re-attempt policy (zero: none)
+	depth   int              // in-flight layer budget, >= 1
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
 	mu           sync.Mutex
 	cur          *layerBundle
-	pending      *fetchTicket
+	pending      []*fetchTicket // FIFO of in-flight fetches, schedule order
+	free         map[string][][]float32
+	freeMaps     []map[string][]float32
 	hits, misses int
 	degraded     int // background fetches that failed and were retried in the foreground
 }
@@ -90,8 +128,17 @@ func NewPrefetchContext(ctx context.Context, cfg model.Config, backing WeightSto
 }
 
 // NewPrefetchResilientContext combines a cancellation context with a
-// foreground retry policy.
+// foreground retry policy. The store is safe to share between engines
+// (no Recycle, Depth 1); use NewPrefetchOpts for deeper pipelines or
+// buffer recycling.
 func NewPrefetchResilientContext(ctx context.Context, cfg model.Config, backing WeightStore, r Retry) (*PrefetchStore, error) {
+	return NewPrefetchOpts(ctx, cfg, backing, r, PrefetchOpts{})
+}
+
+// NewPrefetchOpts is the fully tunable constructor: cancellation
+// context, foreground retry policy, look-ahead depth, and buffer
+// recycling (see PrefetchOpts for the sharing caveat).
+func NewPrefetchOpts(ctx context.Context, cfg model.Config, backing WeightStore, r Retry, opts PrefetchOpts) (*PrefetchStore, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -107,6 +154,16 @@ func NewPrefetchResilientContext(ctx context.Context, cfg model.Config, backing 
 		next:    make(map[int]int, len(layers)),
 		names:   make(map[int][]string, len(layers)),
 		retry:   r,
+		depth:   opts.depth(),
+	}
+	if opts.Recycle {
+		// Recycling needs a decode-into path; a backing store without one
+		// (e.g. a plain MemStore) silently keeps the allocate-per-fetch
+		// behavior, which is already cheap there.
+		if is, ok := backing.(IntoStore); ok {
+			s.into = is
+			s.free = make(map[string][][]float32)
+		}
 	}
 	for i, l := range layers {
 		s.next[l.Index] = layers[(i+1)%len(layers)].Index
@@ -121,8 +178,8 @@ func NewPrefetchResilientContext(ctx context.Context, cfg model.Config, backing 
 }
 
 // Tensor implements WeightStore. Requests for names outside the model's
-// layer specs (e.g. the engine's w_norm/w_ln probe) pass through to the
-// backing store so its error surfaces unchanged.
+// layer specs pass through to the backing store so its error surfaces
+// unchanged.
 func (s *PrefetchStore) Tensor(layer int, name string) ([]float32, error) {
 	b, err := s.bundle(layer)
 	if err != nil {
@@ -134,46 +191,74 @@ func (s *PrefetchStore) Tensor(layer int, name string) ([]float32, error) {
 	return s.backing.Tensor(layer, name)
 }
 
-// bundle returns the requested layer's tensors, consuming the pending
-// prefetch when it matches, fetching in the foreground when it does not,
-// and starting the next layer's background fetch either way.
+// bundle returns the requested layer's tensors, consuming the matching
+// in-flight prefetch when there is one, fetching in the foreground when
+// there is not, and topping the pipeline back up to its depth either
+// way.
 func (s *PrefetchStore) bundle(layer int) (*layerBundle, error) {
 	s.mu.Lock()
 	if b := s.cur; b != nil && b.layer == layer {
 		s.mu.Unlock()
 		return b, b.err
 	}
-	if t := s.pending; t != nil && t.layer == layer {
-		s.pending = nil
+	idx := -1
+	for i, t := range s.pending {
+		if t.layer == layer {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		// Tickets ahead of the match were skipped by the consumer (an
+		// off-schedule jump); they are drained and recycled without ever
+		// being exposed. In lockstep order idx is 0 and heads is empty.
+		var heads []*fetchTicket
+		if idx > 0 {
+			heads = append(heads, s.pending[:idx]...)
+		}
+		t := s.pending[idx]
+		n := copy(s.pending, s.pending[idx+1:])
+		s.pending = s.pending[:n]
 		s.mu.Unlock()
+		for _, h := range heads {
+			<-h.done
+		}
 		<-t.done
+		s.mu.Lock()
+		for _, h := range heads {
+			s.recycleBundleLocked(h.bundle)
+		}
 		b := t.bundle
 		if b.err != nil && s.ctx.Err() == nil {
 			// Graceful degradation: the background fetch failed, but the
 			// generation is not poisoned — re-fetch the layer in the
 			// foreground (with retries, when configured) and only
-			// surface an error if that fails too.
-			b = s.fetchLayerRetry(layer)
-			s.mu.Lock()
+			// surface an error if that fails too. Whatever the failed
+			// fetch produced is recycled first.
+			s.recycleBundleLocked(b)
+			dsts := s.takeSlabsLocked(layer)
 			s.degraded++
-			s.install(b)
+			s.mu.Unlock()
+			b = s.fetchLayerRetry(layer, dsts)
+			s.mu.Lock()
+			s.installLocked(b)
 			s.mu.Unlock()
 			return b, b.err
 		}
-		s.mu.Lock()
 		s.hits++
-		s.install(b)
+		s.installLocked(b)
 		s.mu.Unlock()
 		return b, b.err
 	}
-	s.mu.Unlock()
 
 	// Foreground path: the prefetcher did not have this layer (first
 	// access, or a second consumer off-schedule).
-	b := s.fetchLayerRetry(layer)
+	dsts := s.takeSlabsLocked(layer)
+	s.mu.Unlock()
+	b := s.fetchLayerRetry(layer, dsts)
 	s.mu.Lock()
 	s.misses++
-	s.install(b)
+	s.installLocked(b)
 	s.mu.Unlock()
 	return b, b.err
 }
@@ -186,66 +271,137 @@ func (s *PrefetchStore) bundle(layer int) (*layerBundle, error) {
 // compounds the per-tensor fault rate across every tensor of the layer
 // on each attempt, which can exhaust even a deep retry budget under a
 // modest injected fault rate. The outer layer-level loop remains as a
-// second line of defense.
-func (s *PrefetchStore) fetchLayerRetry(layer int) *layerBundle {
-	b := s.fetchLayer(layer, true)
+// second line of defense. Re-attempts reuse the failed bundle's buffers
+// (every IntoStore fully overwrites a buffer before success).
+func (s *PrefetchStore) fetchLayerRetry(layer int, dsts map[string][]float32) *layerBundle {
+	b := s.fetchLayer(layer, true, dsts)
 	for attempt := 1; b.err != nil && attempt <= s.retry.Max; attempt++ {
 		if !fault.IsTransient(b.err) || s.ctx.Err() != nil {
 			break
 		}
 		s.retry.pause(attempt)
-		b = s.fetchLayer(layer, true)
+		b = s.fetchLayer(layer, true, b.data)
 	}
 	return b
 }
 
-// install publishes a fetched bundle as current and kicks off the next
-// layer's prefetch (single-buffered: never while one is in flight, and
-// never for a layer that errored or was cancelled). Caller holds mu.
-func (s *PrefetchStore) install(b *layerBundle) {
+// installLocked publishes a fetched bundle as current, recycles the
+// bundle it displaces, and tops the prefetch pipeline back up to the
+// store's depth. Caller holds mu.
+func (s *PrefetchStore) installLocked(b *layerBundle) {
+	old := s.cur
 	s.cur = b
-	if b.err != nil || s.pending != nil || s.ctx.Err() != nil {
+	if old != nil && old != b {
+		// The consumer has moved past old's layer; in recycle mode its
+		// slabs become the decode targets of upcoming prefetches. The
+		// single-consumer contract (PrefetchOpts.Recycle) is what makes
+		// this safe: nobody still reads old's slices.
+		s.recycleBundleLocked(old)
+	}
+	s.scheduleLocked()
+}
+
+// scheduleLocked starts background fetches until Depth layers are in
+// flight, walking the schedule cycle from the last scheduled layer
+// (never after an error or cancellation). Caller holds mu.
+func (s *PrefetchStore) scheduleLocked() {
+	if s.cur == nil || s.cur.err != nil || s.ctx.Err() != nil {
 		return
 	}
-	next, ok := s.next[b.layer]
-	if !ok {
+	last := s.cur.layer
+	if n := len(s.pending); n > 0 {
+		last = s.pending[n-1].layer
+	}
+	for len(s.pending) < s.depth {
+		next, ok := s.next[last]
+		if !ok {
+			return
+		}
+		dsts := s.takeSlabsLocked(next)
+		t := &fetchTicket{layer: next, done: make(chan struct{})}
+		s.pending = append(s.pending, t)
+		go func() {
+			// Background fetches take a single attempt per tensor: a failure
+			// here is recoverable (the consumer refetches in the foreground
+			// and the degraded counter records the fault), so the retry
+			// budget is saved for the path where failure is terminal.
+			t.bundle = s.fetchLayer(t.layer, false, dsts)
+			close(t.done)
+		}()
+		last = next
+	}
+}
+
+// takeSlabsLocked prepares the decode-target map for a layer fetch from
+// the free pools: recycled buffers keyed by tensor name (absent names
+// decode into fresh allocations). Returns nil when recycling is off.
+// Caller holds mu.
+func (s *PrefetchStore) takeSlabsLocked(layer int) map[string][]float32 {
+	if s.into == nil {
+		return nil
+	}
+	names := s.names[layer]
+	var dsts map[string][]float32
+	if n := len(s.freeMaps); n > 0 {
+		dsts = s.freeMaps[n-1]
+		s.freeMaps = s.freeMaps[:n-1]
+	} else {
+		dsts = make(map[string][]float32, len(names))
+	}
+	for _, name := range names {
+		if bufs := s.free[name]; len(bufs) > 0 {
+			dsts[name] = bufs[len(bufs)-1]
+			s.free[name] = bufs[:len(bufs)-1]
+		}
+	}
+	return dsts
+}
+
+// recycleBundleLocked returns a bundle's buffers (and its map) to the
+// free pools for upcoming fetches. No-op when recycling is off. Caller
+// holds mu.
+func (s *PrefetchStore) recycleBundleLocked(b *layerBundle) {
+	if s.into == nil || b == nil || b.data == nil {
 		return
 	}
-	t := &fetchTicket{layer: next, done: make(chan struct{})}
-	s.pending = t
-	go func() {
-		// Background fetches take a single attempt per tensor: a failure
-		// here is recoverable (the consumer refetches in the foreground
-		// and the degraded counter records the fault), so the retry
-		// budget is saved for the path where failure is terminal.
-		t.bundle = s.fetchLayer(next, false)
-		close(t.done)
-	}()
+	for name, d := range b.data {
+		if cap(d) > 0 {
+			s.free[name] = append(s.free[name], d)
+		}
+	}
+	clear(b.data)
+	s.freeMaps = append(s.freeMaps, b.data)
+	b.data = nil
 }
 
 // fetchLayer reads every tensor of a layer from the backing store,
 // checking for cancellation between tensors. With retry set, each
 // transiently failed tensor read is re-attempted individually under the
-// store's retry policy before it fails the bundle.
-func (s *PrefetchStore) fetchLayer(layer int, retry bool) *layerBundle {
+// store's retry policy before it fails the bundle. dsts, when non-nil,
+// supplies recycled decode targets (and becomes the bundle's data map).
+func (s *PrefetchStore) fetchLayer(layer int, retry bool, dsts map[string][]float32) *layerBundle {
 	names, ok := s.names[layer]
 	if !ok {
 		return &layerBundle{layer: layer, err: fmt.Errorf("infer: prefetch: unknown layer %d", layer)}
 	}
-	b := &layerBundle{layer: layer, data: make(map[string][]float32, len(names))}
+	data := dsts
+	if data == nil {
+		data = make(map[string][]float32, len(names))
+	}
+	b := &layerBundle{layer: layer, data: data}
 	for _, name := range names {
 		if err := s.ctx.Err(); err != nil {
 			b.err = fmt.Errorf("infer: prefetch L%d cancelled: %w", layer, err)
 			return b
 		}
-		d, err := s.backing.Tensor(layer, name)
+		d, err := s.fetchTensor(layer, name, data[name])
 		if retry {
 			for attempt := 1; err != nil && attempt <= s.retry.Max; attempt++ {
 				if !fault.IsTransient(err) || s.ctx.Err() != nil {
 					break
 				}
 				s.retry.pause(attempt)
-				d, err = s.backing.Tensor(layer, name)
+				d, err = s.fetchTensor(layer, name, data[name])
 			}
 		}
 		if err != nil {
@@ -255,6 +411,15 @@ func (s *PrefetchStore) fetchLayer(layer int, retry bool) *layerBundle {
 		b.data[name] = d
 	}
 	return b
+}
+
+// fetchTensor reads one tensor, decoding into dst through the backing
+// store's IntoStore path in recycle mode.
+func (s *PrefetchStore) fetchTensor(layer int, name string, dst []float32) ([]float32, error) {
+	if s.into != nil {
+		return s.into.TensorInto(layer, name, dst)
+	}
+	return s.backing.Tensor(layer, name)
 }
 
 // Stats reports prefetch hits (layer was ready or in flight when first
@@ -274,29 +439,29 @@ func (s *PrefetchStore) DegradedFetches() int {
 	return s.degraded
 }
 
-// Settle blocks until no background fetch is in flight, leaving a
-// completed prefetch pending for the next consumer. Serving workers
+// Settle blocks until no background fetch is in flight, leaving the
+// completed prefetches pending for the next consumer. Serving workers
 // call it between requests so no fetch issued under one request's
 // generation pin outlives that pin.
 func (s *PrefetchStore) Settle() {
 	s.mu.Lock()
-	t := s.pending
+	ts := append([]*fetchTicket(nil), s.pending...)
 	s.mu.Unlock()
-	if t != nil {
+	for _, t := range ts {
 		<-t.done
 	}
 }
 
-// Close cancels the prefetcher and waits for any in-flight fetch, so no
-// background work outlives the store. Fetches after Close fail with the
-// cancellation error.
+// Close cancels the prefetcher and waits for every in-flight fetch, so
+// no background work outlives the store. Fetches after Close fail with
+// the cancellation error.
 func (s *PrefetchStore) Close() error {
 	s.cancel()
 	s.mu.Lock()
-	t := s.pending
+	ts := s.pending
 	s.pending = nil
 	s.mu.Unlock()
-	if t != nil {
+	for _, t := range ts {
 		<-t.done
 	}
 	return nil

@@ -141,3 +141,35 @@ func (s *ResilientStore) Tensor(layer int, name string) ([]float32, error) {
 	}
 	return nil, err
 }
+
+// TensorInto implements IntoStore with the same bounded retries,
+// threading dst through when the backing store can decode into it. A
+// failed attempt may leave dst partially written; every IntoStore
+// implementation fully overwrites it before returning success, so
+// retrying with the same buffer is safe.
+func (s *ResilientStore) TensorInto(layer int, name string, dst []float32) ([]float32, error) {
+	is, ok := s.backing.(IntoStore)
+	if !ok {
+		return s.Tensor(layer, name)
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		var d []float32
+		d, err = is.TensorInto(layer, name, dst)
+		if err == nil {
+			if attempt > 0 {
+				s.recovered.Add(1)
+			}
+			return d, nil
+		}
+		if attempt >= s.retry.Max || !fault.IsTransient(err) {
+			break
+		}
+		s.retries.Add(1)
+		s.retry.pause(attempt + 1)
+	}
+	if s.retry.Max > 0 && fault.IsTransient(err) {
+		return nil, fmt.Errorf("infer: L%d/%s failed after %d attempts: %w", layer, name, s.retry.Max+1, err)
+	}
+	return nil, err
+}

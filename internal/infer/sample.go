@@ -27,13 +27,37 @@ func (Greedy) Sample(logits tensor.Mat) (int, error) {
 }
 
 // TopK samples from the temperature-scaled distribution truncated to the K
-// most likely tokens, with a seeded deterministic RNG.
+// most likely tokens, with a seeded deterministic RNG. A TopK value
+// keeps its sort and probability scratch between calls, so sampling
+// allocates nothing once the vocabulary size has been seen; it is not
+// safe for concurrent use (each decoding loop owns its sampler).
 type TopK struct {
 	// K is the truncation width (must be positive).
 	K int
 	// Temperature scales the logits; 0 is invalid, lower is sharper.
 	Temperature float64
 	rng         *rand.Rand
+
+	sorter topkSorter
+	probs  []float64
+}
+
+// topkSorter orders indices by descending logit, breaking ties by index
+// so the ranking (and therefore every seeded sample) is fully
+// deterministic rather than left to the sort implementation.
+type topkSorter struct {
+	row []float32
+	idx []int
+}
+
+func (s *topkSorter) Len() int      { return len(s.idx) }
+func (s *topkSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *topkSorter) Less(a, b int) bool {
+	ra, rb := s.row[s.idx[a]], s.row[s.idx[b]]
+	if ra != rb {
+		return ra > rb
+	}
+	return s.idx[a] < s.idx[b]
 }
 
 // NewTopK builds a seeded top-k sampler.
@@ -57,17 +81,25 @@ func (s *TopK) Sample(logits tensor.Mat) (int, error) {
 	if k > len(row) {
 		k = len(row)
 	}
-	// Indices of the k largest logits.
-	idx := make([]int, len(row))
+	// Indices of the k largest logits, through the reusable sorter.
+	if cap(s.sorter.idx) < len(row) {
+		s.sorter.idx = make([]int, len(row))
+	}
+	idx := s.sorter.idx[:len(row)]
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+	s.sorter.row, s.sorter.idx = row, idx
+	sort.Sort(&s.sorter)
+	s.sorter.row = nil // don't retain the caller's logits past the call
 	top := idx[:k]
 
 	// Temperature-scaled softmax over the truncation, numerically stable.
 	maxV := float64(row[top[0]])
-	probs := make([]float64, k)
+	if cap(s.probs) < k {
+		s.probs = make([]float64, k)
+	}
+	probs := s.probs[:k]
 	var sum float64
 	for i, j := range top {
 		p := math.Exp((float64(row[j]) - maxV) / s.Temperature)
@@ -110,7 +142,8 @@ func (e *Engine) GenerateWith(prompt []int, n int, s Sampler) ([]int, error) {
 	}
 	out = append(out, next)
 	for len(out) < n {
-		if logits, err = e.Forward([]int{next}); err != nil {
+		e.stepTok[0] = next
+		if logits, err = e.Forward(e.stepTok[:]); err != nil {
 			return nil, err
 		}
 		if next, err = s.Sample(logits); err != nil {

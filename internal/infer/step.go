@@ -37,6 +37,10 @@ type StepEngine struct {
 	eng      *Engine
 	memo     *layerMemo
 	prefetch *PrefetchStore // non-nil when built by NewStepEnginePrefetched
+	// xs and out are per-step scratch reused across Step calls so the
+	// steady-state decode loop performs no per-step slice allocation.
+	xs  []tensor.Mat
+	out []tensor.Mat
 }
 
 // NewStepEngine builds an iteration-level engine over the model and
@@ -56,7 +60,14 @@ func NewStepEngine(cfg model.Config, w WeightStore) (*StepEngine, error) {
 // background-fetch failures. Cancelling ctx aborts the prefetcher;
 // Close the engine to stop it.
 func NewStepEnginePrefetched(ctx context.Context, cfg model.Config, w WeightStore, r Retry) (*StepEngine, error) {
-	ps, err := NewPrefetchResilientContext(ctx, cfg, w, r)
+	return NewStepEnginePrefetchedOpts(ctx, cfg, w, r, PrefetchOpts{Recycle: true})
+}
+
+// NewStepEnginePrefetchedOpts is NewStepEnginePrefetched with explicit
+// prefetch tuning. The prefetch store is private to the returned
+// engine, so PrefetchOpts.Recycle is safe here.
+func NewStepEnginePrefetchedOpts(ctx context.Context, cfg model.Config, w WeightStore, r Retry, opts PrefetchOpts) (*StepEngine, error) {
+	ps, err := NewPrefetchOpts(ctx, cfg, w, r, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +130,12 @@ func (se *StepEngine) Close() error {
 // on cache length.
 func (se *StepEngine) Step(seqs []*StepSeq) ([]tensor.Mat, error) {
 	cfg := se.eng.cfg
-	xs := make([]tensor.Mat, len(seqs))
+	se.eng.reclaim()
+	if cap(se.xs) < len(seqs) {
+		se.xs = make([]tensor.Mat, len(seqs))
+	}
+	xs := se.xs[:len(seqs)]
+	clear(xs)
 	active := 0
 	// Validate and embed every active sequence first (layer 0 weights
 	// fetched once). Nothing is appended to any KV cache yet, so errors
@@ -172,6 +188,7 @@ func (se *StepEngine) Step(seqs []*StepSeq) ([]tensor.Mat, error) {
 				rollback()
 				return nil, err
 			}
+			se.eng.ar.Put(xs[i])
 			xs[i] = x
 		}
 		ffn := se.eng.layers[2+2*blk]
@@ -184,11 +201,16 @@ func (se *StepEngine) Step(seqs []*StepSeq) ([]tensor.Mat, error) {
 				rollback()
 				return nil, err
 			}
+			se.eng.ar.Put(xs[i])
 			xs[i] = x
 		}
 	}
 
-	out := make([]tensor.Mat, len(seqs))
+	if cap(se.out) < len(seqs) {
+		se.out = make([]tensor.Mat, len(seqs))
+	}
+	out := se.out[:len(seqs)]
+	clear(out)
 	for i := range seqs {
 		if xs[i].R == 0 {
 			continue
@@ -198,6 +220,8 @@ func (se *StepEngine) Step(seqs []*StepSeq) ([]tensor.Mat, error) {
 			rollback()
 			return nil, err
 		}
+		se.eng.ar.Put(xs[i])
+		xs[i] = logits // keep non-zero: later sequences still gate on xs[i].R
 		out[i] = logits
 	}
 	return out, nil
@@ -205,10 +229,12 @@ func (se *StepEngine) Step(seqs []*StepSeq) ([]tensor.Mat, error) {
 
 // NewBlockCaches builds one private append-only KVBlock per decoder
 // block — the storage a solo sequence uses when no paged pool backs it.
+// The blocks pre-size their row slabs to the model's MaxSeq, so
+// steady-state appends allocate nothing.
 func NewBlockCaches(cfg model.Config) []KVBlock {
 	kv := make([]KVBlock, cfg.Blocks)
 	for i := range kv {
-		kv[i] = &blockCache{}
+		kv[i] = &blockCache{maxRows: cfg.MaxSeq}
 	}
 	return kv
 }

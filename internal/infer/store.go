@@ -33,6 +33,41 @@ type WeightStore interface {
 	Tensor(layer int, name string) ([]float32, error)
 }
 
+// ViewStore is an optional WeightStore extension serving zero-copy
+// read-only views. TensorView returns the store's own storage: the
+// caller must never mutate it, and may hold it only while the store
+// (or, under a SwappableStore, the pinned generation) stays open — see
+// DESIGN §3h for the ownership rules. Engines prefer views when the
+// store offers them, which removes the per-fetch defensive copy from
+// the decode hot path.
+type ViewStore interface {
+	WeightStore
+	// TensorView returns the tensor's contents without copying.
+	TensorView(layer int, name string) ([]float32, error)
+}
+
+// IntoStore is an optional WeightStore extension that decodes into a
+// caller-provided buffer: TensorInto fills dst when cap(dst) suffices
+// (allocating a fresh slice otherwise) and returns the filled slice,
+// which the caller owns. It is how dequantization and checkpoint-decode
+// output buffers get recycled across the layer cycle instead of being
+// reallocated every fetch.
+type IntoStore interface {
+	WeightStore
+	// TensorInto decodes the tensor into dst when possible and returns
+	// the filled slice.
+	TensorInto(layer int, name string, dst []float32) ([]float32, error)
+}
+
+// tensorInto fetches through the store's IntoStore fast path when it
+// has one, falling back to a plain (copying) Tensor call.
+func tensorInto(w WeightStore, layer int, name string, dst []float32) ([]float32, error) {
+	if is, ok := w.(IntoStore); ok {
+		return is.TensorInto(layer, name, dst)
+	}
+	return w.Tensor(layer, name)
+}
+
 // MemStore holds raw float32 weights in memory.
 type MemStore struct {
 	m map[storeKey][]float32
@@ -56,6 +91,16 @@ func (s *MemStore) Tensor(layer int, name string) ([]float32, error) {
 		return nil, fmt.Errorf("infer: missing tensor L%d/%s", layer, name)
 	}
 	return append([]float32(nil), d...), nil
+}
+
+// TensorView implements ViewStore: the returned slice is the store's
+// own storage (valid for the store's lifetime, never to be mutated).
+func (s *MemStore) TensorView(layer int, name string) ([]float32, error) {
+	d, ok := s.m[storeKey{layer, name}]
+	if !ok {
+		return nil, fmt.Errorf("infer: missing tensor L%d/%s", layer, name)
+	}
+	return d, nil
 }
 
 // RandomWeights builds a complete raw store for the model with seeded
@@ -166,4 +211,41 @@ func (s *QuantStore) Tensor(layer int, name string) ([]float32, error) {
 	}
 	s.dequants.Add(1)
 	return t.Dequantize(), nil
+}
+
+// TensorView implements ViewStore. Raw (norm/bias) tensors come back as
+// read-only views of the store's storage; quantized tensors still
+// require a fresh dequantization per call (use TensorInto to recycle
+// that buffer).
+func (s *QuantStore) TensorView(layer int, name string) ([]float32, error) {
+	key := storeKey{layer, name}
+	if d, ok := s.raw[key]; ok {
+		return d, nil
+	}
+	t, ok := s.q[key]
+	if !ok {
+		return nil, fmt.Errorf("infer: missing tensor L%d/%s", layer, name)
+	}
+	s.dequants.Add(1)
+	return t.Dequantize(), nil
+}
+
+// TensorInto implements IntoStore: quantized tensors dequantize into
+// dst (recycling the caller's buffer), raw ones are copied into it.
+func (s *QuantStore) TensorInto(layer int, name string, dst []float32) ([]float32, error) {
+	key := storeKey{layer, name}
+	if d, ok := s.raw[key]; ok {
+		if cap(dst) < len(d) {
+			return append([]float32(nil), d...), nil
+		}
+		dst = dst[:len(d)]
+		copy(dst, d)
+		return dst, nil
+	}
+	t, ok := s.q[key]
+	if !ok {
+		return nil, fmt.Errorf("infer: missing tensor L%d/%s", layer, name)
+	}
+	s.dequants.Add(1)
+	return t.DequantizeInto(dst), nil
 }

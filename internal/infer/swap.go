@@ -68,6 +68,25 @@ func (s *SwappableStore) Tensor(layer int, name string) ([]float32, error) {
 	return d, err
 }
 
+// TensorInto implements IntoStore over the current generation with the
+// same per-call pin, delegating to the backing store's into path when
+// it has one. The pin is what makes buffer-recycling readers safe over
+// an mmap-backed generation: the mapping cannot be unmapped while the
+// decode is mid-flight.
+func (s *SwappableStore) TensorInto(layer int, name string, dst []float32) ([]float32, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("infer: swappable store: L%d/%s: %w", layer, name, checkpoint.ErrClosed)
+	}
+	g := s.cur
+	g.refs++
+	s.mu.Unlock()
+	d, err := tensorInto(g.store, layer, name, dst)
+	s.unpin(g)
+	return d, err
+}
+
 // Acquire pins the current generation for a multi-call reader: the
 // returned store reads that generation directly for as long as the pin
 // is held, so a sequence of fetches — a serving request's foreground
@@ -97,6 +116,13 @@ type pinnedGen struct{ g *storeGen }
 
 func (p pinnedGen) Tensor(layer int, name string) ([]float32, error) {
 	return p.g.store.Tensor(layer, name)
+}
+
+// TensorInto implements IntoStore for the pinned generation: the
+// Acquire pin already guarantees the backing store (and any mmap view
+// under it) stays open, so the into path needs no extra bookkeeping.
+func (p pinnedGen) TensorInto(layer int, name string, dst []float32) ([]float32, error) {
+	return tensorInto(p.g.store, layer, name, dst)
 }
 
 // unpin releases one reader's pin and runs the generation's closer if

@@ -29,8 +29,26 @@ func (t *Tensor) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalBinary restores a tensor serialized by MarshalBinary.
+// UnmarshalBinary restores a tensor serialized by MarshalBinary. The
+// tensor copies what it needs out of data, which may be reused freely
+// afterwards.
 func (t *Tensor) UnmarshalBinary(data []byte) error {
+	return t.unmarshal(data, true)
+}
+
+// UnmarshalBinaryView is UnmarshalBinary without copying the packed
+// element bytes: the tensor aliases data's packed region directly, so
+// data must stay alive, unmodified, and mapped (for mmap-backed
+// checkpoints, pinned) for as long as the tensor is used. It exists for
+// the read-decode-discard pattern — unmarshal a view, DequantizeInto a
+// reusable buffer, drop the tensor — where the packed copy would be the
+// only per-read allocation left. The fp16 metadata is still decoded
+// into t's own storage, reusing its existing capacity when possible.
+func (t *Tensor) UnmarshalBinaryView(data []byte) error {
+	return t.unmarshal(data, false)
+}
+
+func (t *Tensor) unmarshal(data []byte, copyPacked bool) error {
 	le := binary.LittleEndian
 	if len(data) < 20 {
 		return fmt.Errorf("quant: truncated tensor header (%d bytes)", len(data))
@@ -57,9 +75,17 @@ func (t *Tensor) UnmarshalBinary(data []byte) error {
 	}
 	t.cfg = cfg
 	t.n = n
-	t.packed = append([]byte(nil), data[20:20+packedLen]...)
+	if copyPacked {
+		t.packed = append([]byte(nil), data[20:20+packedLen]...)
+	} else {
+		t.packed = data[20 : 20+packedLen : 20+packedLen]
+	}
 	off := 20 + packedLen
-	t.mins = make([]Float16, groups)
+	if cap(t.mins) >= groups {
+		t.mins = t.mins[:groups]
+	} else {
+		t.mins = make([]Float16, groups)
+	}
 	for i := range t.mins {
 		t.mins[i] = Float16(le.Uint16(data[off+2*i:]))
 		if !finite16(t.mins[i]) {
@@ -67,7 +93,11 @@ func (t *Tensor) UnmarshalBinary(data []byte) error {
 		}
 	}
 	off += 2 * groups
-	t.scales = make([]Float16, groups)
+	if cap(t.scales) >= groups {
+		t.scales = t.scales[:groups]
+	} else {
+		t.scales = make([]Float16, groups)
+	}
 	for i := range t.scales {
 		t.scales[i] = Float16(le.Uint16(data[off+2*i:]))
 		if !finite16(t.scales[i]) {

@@ -170,25 +170,52 @@ func (t *Tensor) Bytes() units.Bytes {
 // path's recurring compute, and it scales with cores. Output is
 // bit-identical at any worker count.
 func (t *Tensor) Dequantize() []float32 {
-	out := make([]float32, t.n)
+	return t.DequantizeInto(nil)
+}
+
+// DequantizeInto is Dequantize writing into dst when its capacity
+// suffices, allocating a fresh slice otherwise; it returns the filled
+// slice (length t.Len()). The decode loop and its parallel tiling are
+// identical to Dequantize, so the output bits match exactly. dst may be
+// nil. The caller owns the returned slice; it aliases dst when dst was
+// large enough.
+func (t *Tensor) DequantizeInto(dst []float32) []float32 {
+	var out []float32
+	if cap(dst) >= t.n {
+		out = dst[:t.n]
+	} else {
+		out = make([]float32, t.n)
+	}
 	// ~16Ki elements per tile at the default group size keeps tiny
-	// tensors (biases, norms) on the calling goroutine.
+	// tensors (biases, norms) on the calling goroutine. The serial path
+	// skips closure construction: building the func literal for the pool
+	// would heap-allocate on every decode, and recycled-buffer decodes
+	// sit on the engine's allocation-free hot path.
 	grain := 1 + (1<<14)/t.cfg.GroupSize
-	parallel.For(len(t.mins), grain, func(glo, ghi int) {
-		for g := glo; g < ghi; g++ {
-			lo := g * t.cfg.GroupSize
-			hi := lo + t.cfg.GroupSize
-			if hi > t.n {
-				hi = t.n
-			}
-			gmin := t.mins[g].Float32()
-			scale := t.scales[g].Float32()
-			for i := lo; i < hi; i++ {
-				out[i] = gmin + float32(t.getQ(i))*scale
-			}
-		}
-	})
+	if len(t.mins) <= grain || parallel.N() == 1 {
+		t.dequantGroups(out, 0, len(t.mins))
+		return out
+	}
+	parallel.For(len(t.mins), grain, func(glo, ghi int) { t.dequantGroups(out, glo, ghi) })
 	return out
+}
+
+// dequantGroups decodes groups [glo, ghi) into out — each group owns a
+// disjoint output range, decode order within a group identical to the
+// serial loop.
+func (t *Tensor) dequantGroups(out []float32, glo, ghi int) {
+	for g := glo; g < ghi; g++ {
+		lo := g * t.cfg.GroupSize
+		hi := lo + t.cfg.GroupSize
+		if hi > t.n {
+			hi = t.n
+		}
+		gmin := t.mins[g].Float32()
+		scale := t.scales[g].Float32()
+		for i := lo; i < hi; i++ {
+			out[i] = gmin + float32(t.getQ(i))*scale
+		}
+	}
 }
 
 // MaxGroupError bounds the absolute reconstruction error of one group:

@@ -205,6 +205,23 @@ func (bs breakerStore) Tensor(layer int, name string) ([]float32, error) {
 	return d, err
 }
 
+// TensorInto implements infer.IntoStore so the engines' buffer
+// recycling survives the instrumentation layer; accounting is identical
+// to Tensor.
+func (bs breakerStore) TensorInto(layer int, name string, dst []float32) ([]float32, error) {
+	is, ok := bs.backing.(infer.IntoStore)
+	if !ok {
+		return bs.Tensor(layer, name)
+	}
+	d, err := is.TensorInto(layer, name, dst)
+	bs.s.storeAccesses.Add(1)
+	if err != nil && fault.IsTransient(err) {
+		bs.s.storeTransients.Add(1)
+	}
+	bs.s.breaker.Record(err)
+	return d, err
+}
+
 // pinStore is the indirection between a worker's engine (built once per
 // generation, reused across requests) and the per-request generation
 // pin: serveJob points it at the handle SwappableStore.Acquire returned
@@ -229,6 +246,22 @@ func (p *pinStore) Tensor(layer int, name string) ([]float32, error) {
 	p.mu.Unlock()
 	if c == nil {
 		return nil, fmt.Errorf("server: L%d/%s fetched outside a pinned request", layer, name)
+	}
+	return c.Tensor(layer, name)
+}
+
+// TensorInto implements infer.IntoStore, passing the caller's buffer
+// through to the pinned generation (which keeps any mmap view under it
+// alive for the duration of the decode).
+func (p *pinStore) TensorInto(layer int, name string, dst []float32) ([]float32, error) {
+	p.mu.Lock()
+	c := p.cur
+	p.mu.Unlock()
+	if c == nil {
+		return nil, fmt.Errorf("server: L%d/%s fetched outside a pinned request", layer, name)
+	}
+	if is, ok := c.(infer.IntoStore); ok {
+		return is.TensorInto(layer, name, dst)
 	}
 	return c.Tensor(layer, name)
 }

@@ -27,22 +27,3 @@ func SetParallelism(n int) int { return parallel.Set(n) }
 
 // Parallelism reports the configured worker count.
 func Parallelism() int { return parallel.N() }
-
-// forRows runs body over row ranges of an r-row matrix when the total
-// element count warrants it, inline otherwise.
-func forRows(r, elems int, body func(lo, hi int)) {
-	if elems < minParallelElems || parallel.N() == 1 {
-		body(0, r)
-		return
-	}
-	parallel.For(r, rowGrain, body)
-}
-
-// forElems runs body over index ranges of a length-n buffer.
-func forElems(n int, body func(lo, hi int)) {
-	if n < minParallelElems || parallel.N() == 1 {
-		body(0, n)
-		return
-	}
-	parallel.For(n, elemGrain, body)
-}

@@ -71,20 +71,35 @@ func (m Mat) Clone() Mat {
 // the result is bit-identical to the serial loop at any worker count —
 // including NaN/Inf propagation, since no term is ever skipped.
 func MatMul(a, b Mat) (Mat, error) {
-	if a.C != b.R {
-		return Mat{}, fmt.Errorf("tensor: matmul shape mismatch (%dx%d)@(%dx%d)", a.R, a.C, b.R, b.C)
-	}
 	out := New(a.R, b.C)
+	if err := MatMulInto(a, b, out); err != nil {
+		return Mat{}, err
+	}
+	return out, nil
+}
+
+// MatMulInto is MatMul writing into a caller-provided a.R x b.C output
+// (typically from an Arena). out is fully overwritten — it is zeroed
+// before the accumulation so a recycled dirty buffer yields the same
+// bits as a fresh one. out must not alias a or b.
+func MatMulInto(a, b, out Mat) error {
+	if a.C != b.R {
+		return fmt.Errorf("tensor: matmul shape mismatch (%dx%d)@(%dx%d)", a.R, a.C, b.R, b.C)
+	}
+	if out.R != a.R || out.C != b.C {
+		return fmt.Errorf("tensor: matmul output %dx%d for (%dx%d)@(%dx%d)", out.R, out.C, a.R, a.C, b.R, b.C)
+	}
+	clear(out.Data)
 	if a.R*a.C*b.C < minParallelFlops || parallel.N() == 1 {
 		matMulRows(a, b, out, 0, a.R)
-		return out, nil
+		return nil
 	}
 	if a.R >= parallel.N() {
 		parallel.For(a.R, 1, func(lo, hi int) { matMulRows(a, b, out, lo, hi) })
 	} else {
 		parallel.For(b.C, minColTile, func(lo, hi int) { matMulCols(a, b, out, lo, hi) })
 	}
-	return out, nil
+	return nil
 }
 
 // matMulRows accumulates output rows [lo, hi) — each row owned by one
@@ -124,13 +139,26 @@ func matMulCols(a, b, out Mat, lo, hi int) {
 // each output element is an independent dot product, so any contiguous
 // split is bit-identical to serial.
 func MatMulT(a, b Mat) (Mat, error) {
-	if a.C != b.C {
-		return Mat{}, fmt.Errorf("tensor: matmulT shape mismatch (%dx%d)@(%dx%d)T", a.R, a.C, b.R, b.C)
-	}
 	out := New(a.R, b.R)
+	if err := MatMulTInto(a, b, out); err != nil {
+		return Mat{}, err
+	}
+	return out, nil
+}
+
+// MatMulTInto is MatMulT writing into a caller-provided a.R x b.R
+// output. Every element of out is assigned, so recycled buffers are
+// safe. out must not alias a or b.
+func MatMulTInto(a, b, out Mat) error {
+	if a.C != b.C {
+		return fmt.Errorf("tensor: matmulT shape mismatch (%dx%d)@(%dx%d)T", a.R, a.C, b.R, b.C)
+	}
+	if out.R != a.R || out.C != b.R {
+		return fmt.Errorf("tensor: matmulT output %dx%d for (%dx%d)@(%dx%d)T", out.R, out.C, a.R, a.C, b.R, b.C)
+	}
 	if a.R*a.C*b.R < minParallelFlops || parallel.N() == 1 {
 		matMulTRows(a, b, out, 0, a.R)
-		return out, nil
+		return nil
 	}
 	if a.R >= parallel.N() {
 		parallel.For(a.R, 1, func(lo, hi int) { matMulTRows(a, b, out, lo, hi) })
@@ -146,7 +174,7 @@ func MatMulT(a, b Mat) (Mat, error) {
 			}
 		})
 	}
-	return out, nil
+	return nil
 }
 
 // matMulTRows fills output rows [lo, hi) of a @ bᵀ.
@@ -204,7 +232,14 @@ func (m Mat) Scale(s float32) {
 // SoftmaxRows applies a numerically stable softmax to each row in place
 // (rows are independent, so row tiles parallelize bit-identically).
 func (m Mat) SoftmaxRows() {
-	forRows(m.R, len(m.Data), func(lo, hi int) { m.softmaxRows(lo, hi) })
+	// The serial bypass skips closure construction entirely: building the
+	// func literal for the pool would heap-allocate every call, and the
+	// per-row kernels sit on the engine's zero-alloc decode path.
+	if len(m.Data) < minParallelElems || parallel.N() == 1 {
+		m.softmaxRows(0, m.R)
+		return
+	}
+	parallel.For(m.R, rowGrain, func(lo, hi int) { m.softmaxRows(lo, hi) })
 }
 
 func (m Mat) softmaxRows(lo, hi int) {
@@ -233,76 +268,127 @@ func (m Mat) softmaxRows(lo, hi int) {
 // LayerNorm normalizes each row to zero mean / unit variance and applies
 // gamma and beta, returning a new matrix (OPT's normalization).
 func LayerNorm(x Mat, gamma, beta []float32, eps float32) (Mat, error) {
-	if len(gamma) != x.C || len(beta) != x.C {
-		return Mat{}, fmt.Errorf("tensor: layernorm params %d/%d for width %d", len(gamma), len(beta), x.C)
-	}
 	out := New(x.R, x.C)
-	forRows(x.R, len(x.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := x.Row(i)
-			var mean float64
-			for _, v := range row {
-				mean += float64(v)
-			}
-			mean /= float64(len(row))
-			var varsum float64
-			for _, v := range row {
-				d := float64(v) - mean
-				varsum += d * d
-			}
-			inv := 1 / math.Sqrt(varsum/float64(len(row))+float64(eps))
-			orow := out.Row(i)
-			for j, v := range row {
-				orow[j] = float32((float64(v)-mean)*inv)*gamma[j] + beta[j]
-			}
-		}
-	})
+	if err := LayerNormInto(x, gamma, beta, eps, out); err != nil {
+		return Mat{}, err
+	}
 	return out, nil
+}
+
+// LayerNormInto is LayerNorm writing into a caller-provided x.R x x.C
+// output. Every element of out is assigned. out must not alias x.
+func LayerNormInto(x Mat, gamma, beta []float32, eps float32, out Mat) error {
+	if len(gamma) != x.C || len(beta) != x.C {
+		return fmt.Errorf("tensor: layernorm params %d/%d for width %d", len(gamma), len(beta), x.C)
+	}
+	if out.R != x.R || out.C != x.C {
+		return fmt.Errorf("tensor: layernorm output %dx%d for input %dx%d", out.R, out.C, x.R, x.C)
+	}
+	if len(x.Data) < minParallelElems || parallel.N() == 1 {
+		layerNormRows(x, gamma, beta, eps, out, 0, x.R)
+		return nil
+	}
+	parallel.For(x.R, rowGrain, func(lo, hi int) { layerNormRows(x, gamma, beta, eps, out, lo, hi) })
+	return nil
+}
+
+// layerNormRows normalizes rows [lo, hi) — each row owned by one worker,
+// accumulation order identical to the serial kernel.
+func layerNormRows(x Mat, gamma, beta []float32, eps float32, out Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := x.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(len(row))
+		var varsum float64
+		for _, v := range row {
+			d := float64(v) - mean
+			varsum += d * d
+		}
+		inv := 1 / math.Sqrt(varsum/float64(len(row))+float64(eps))
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = float32((float64(v)-mean)*inv)*gamma[j] + beta[j]
+		}
+	}
 }
 
 // RMSNorm applies LLaMA's root-mean-square normalization with gamma.
 func RMSNorm(x Mat, gamma []float32, eps float32) (Mat, error) {
-	if len(gamma) != x.C {
-		return Mat{}, fmt.Errorf("tensor: rmsnorm params %d for width %d", len(gamma), x.C)
-	}
 	out := New(x.R, x.C)
-	forRows(x.R, len(x.Data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := x.Row(i)
-			var ms float64
-			for _, v := range row {
-				ms += float64(v) * float64(v)
-			}
-			inv := 1 / math.Sqrt(ms/float64(len(row))+float64(eps))
-			orow := out.Row(i)
-			for j, v := range row {
-				orow[j] = float32(float64(v)*inv) * gamma[j]
-			}
-		}
-	})
+	if err := RMSNormInto(x, gamma, eps, out); err != nil {
+		return Mat{}, err
+	}
 	return out, nil
+}
+
+// RMSNormInto is RMSNorm writing into a caller-provided x.R x x.C
+// output. Every element of out is assigned. out must not alias x.
+func RMSNormInto(x Mat, gamma []float32, eps float32, out Mat) error {
+	if len(gamma) != x.C {
+		return fmt.Errorf("tensor: rmsnorm params %d for width %d", len(gamma), x.C)
+	}
+	if out.R != x.R || out.C != x.C {
+		return fmt.Errorf("tensor: rmsnorm output %dx%d for input %dx%d", out.R, out.C, x.R, x.C)
+	}
+	if len(x.Data) < minParallelElems || parallel.N() == 1 {
+		rmsNormRows(x, gamma, eps, out, 0, x.R)
+		return nil
+	}
+	parallel.For(x.R, rowGrain, func(lo, hi int) { rmsNormRows(x, gamma, eps, out, lo, hi) })
+	return nil
+}
+
+// rmsNormRows normalizes rows [lo, hi), serial accumulation order per row.
+func rmsNormRows(x Mat, gamma []float32, eps float32, out Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := x.Row(i)
+		var ms float64
+		for _, v := range row {
+			ms += float64(v) * float64(v)
+		}
+		inv := 1 / math.Sqrt(ms/float64(len(row))+float64(eps))
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = float32(float64(v)*inv) * gamma[j]
+		}
+	}
 }
 
 // GELU applies the tanh-approximated Gaussian error linear unit in place
 // (OPT's FFN activation).
 func (m Mat) GELU() {
+	if len(m.Data) < minParallelElems || parallel.N() == 1 {
+		geluElems(m.Data)
+		return
+	}
+	parallel.For(len(m.Data), elemGrain, func(lo, hi int) { geluElems(m.Data[lo:hi]) })
+}
+
+func geluElems(data []float32) {
 	const c = 0.7978845608028654 // sqrt(2/pi)
-	forElems(len(m.Data), func(lo, hi int) {
-		for i, v := range m.Data[lo:hi] {
-			x := float64(v)
-			m.Data[lo+i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
-		}
-	})
+	for i, v := range data {
+		x := float64(v)
+		data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
 }
 
 // SiLU applies x*sigmoid(x) in place (LLaMA's gate activation).
 func (m Mat) SiLU() {
-	forElems(len(m.Data), func(lo, hi int) {
-		for i, v := range m.Data[lo:hi] {
-			x := float64(v)
-			m.Data[lo+i] = float32(x / (1 + math.Exp(-x)))
-		}
-	})
+	if len(m.Data) < minParallelElems || parallel.N() == 1 {
+		siluElems(m.Data)
+		return
+	}
+	parallel.For(len(m.Data), elemGrain, func(lo, hi int) { siluElems(m.Data[lo:hi]) })
+}
+
+func siluElems(data []float32) {
+	for i, v := range data {
+		x := float64(v)
+		data[i] = float32(x / (1 + math.Exp(-x)))
+	}
 }
 
 // Mul multiplies element-wise in place (the gated-FFN product).
