@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt-check vet helmvet vulncheck bench bench3 batch-bench daemon-smoke
+.PHONY: all build test race lint fmt-check vet helmvet vulncheck bench bench3 batch-bench daemon-smoke fleet-smoke
 
 all: build lint test
 
@@ -52,3 +52,11 @@ batch-bench:
 daemon-smoke:
 	$(GO) test -race -count=2 -run 'TestDaemonLifecycle|TestFlagErrors' ./cmd/helmd/
 	$(GO) test -race -run TestChaosLifecycle ./internal/server/
+
+# The CI fleet-smoke job: the 3-replica gateway chaos acceptance test
+# (replica kill, hot reload, drain cycle mid-traffic; zero failed
+# requests, byte-identical tokens, conserved fleet ledger) plus the
+# signal-driven helmgw lifecycle, both under the race detector.
+fleet-smoke:
+	$(GO) test -race -count=2 -run TestFleetChaosLifecycle ./internal/gateway/
+	$(GO) test -race -run 'TestGatewayLifecycle|TestParseWeights|TestBadFlagCombos' ./cmd/helmgw/

@@ -70,7 +70,8 @@ type options struct {
 	reqTimeout time.Duration
 	retries    int
 
-	drainTimeout time.Duration
+	drainTimeout    time.Duration
+	drainRetryAfter time.Duration
 
 	faultRate float64
 	faultSeed int64
@@ -101,6 +102,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.DurationVar(&o.reqTimeout, "request-timeout", 30*time.Second, "server-side deadline per admitted request (0 = none)")
 	fs.IntVar(&o.retries, "retries", 3, "max foreground retries per transiently failed fetch")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful-drain budget before in-flight requests are cancelled")
+	fs.DurationVar(&o.drainRetryAfter, "drain-retry-after", time.Second, "Retry-After advertised on drain-mode 503s (readyz and shed admissions)")
 	fs.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient read errors at this per-tensor probability (chaos mode)")
 	fs.Int64Var(&o.faultSeed, "fault-seed", 1, "base seed for the fault plan (each reload advances it)")
 	fs.IntVar(&o.breaker.Window, "breaker-window", 0, "breaker sliding-window size (0 = default)")
@@ -223,16 +225,17 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	// drain deadline — not fire the moment the signal lands.
 	//lint:helmvet-ignore ctxflow the daemon must outlive the signal ctx: SIGTERM drains gracefully; force-cancel is reserved for the drain deadline
 	s, err := server.New(context.Background(), server.Config{
-		Model:          cfg,
-		OpenStore:      openStore,
-		Workers:        o.workers,
-		MaxQueue:       o.maxQueue,
-		MaxWait:        o.maxWait,
-		MaxTokens:      o.maxTokens,
-		RequestTimeout: o.reqTimeout,
-		Retry:          infer.Retry{Max: o.retries},
-		Breaker:        o.breaker,
-		Batch:          o.batch,
+		Model:           cfg,
+		OpenStore:       openStore,
+		Workers:         o.workers,
+		MaxQueue:        o.maxQueue,
+		MaxWait:         o.maxWait,
+		MaxTokens:       o.maxTokens,
+		RequestTimeout:  o.reqTimeout,
+		Retry:           infer.Retry{Max: o.retries},
+		Breaker:         o.breaker,
+		Batch:           o.batch,
+		DrainRetryAfter: o.drainRetryAfter,
 	})
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package helmsim
 import (
 	"helmsim/internal/autotune"
 	"helmsim/internal/energy"
+	"helmsim/internal/gateway"
 	"helmsim/internal/infer"
 	"helmsim/internal/serve"
 	"helmsim/internal/server"
@@ -92,3 +93,23 @@ type BreakerConfig = server.BreakerConfig
 // worker pool of engines over one hot-swappable store chain, a storage
 // circuit breaker, and graceful drain.
 var NewServer = server.New
+
+// GatewayConfig configures the fleet gateway (see cmd/helmgw).
+type GatewayConfig = gateway.Config
+
+// GatewayBackendConfig describes one replica a gateway fronts.
+type GatewayBackendConfig = gateway.BackendConfig
+
+// FleetStats is the gateway's ledger snapshot (the /fleetz body).
+type FleetStats = gateway.FleetStats
+
+// NewGateway starts the fleet gateway: pluggable routing across N
+// replicas, health probing, per-backend circuit breakers, bounded
+// failover retries onto different healthy replicas, and administrative
+// drain-out of replicas.
+var NewGateway = gateway.New
+
+// FleetConserved is the fleet-level admission invariant: every gateway
+// arrival is finalized by exactly one replica or lands in exactly one
+// gateway shed bucket.
+var FleetConserved = serve.FleetConserved

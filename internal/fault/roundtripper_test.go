@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// okTransport is a trivial base transport: every round trip answers 200.
+type okTransport struct{ calls int }
+
+func (o *okTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	o.calls++
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(bytes.NewReader(nil)),
+		Request:    req,
+	}, nil
+}
+
+func TestRoundTripperInjectsTypedTransients(t *testing.T) {
+	base := &okTransport{}
+	rt, err := NewRoundTripper(base, Plan{Seed: 7, TransientRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodGet, "http://replica/readyz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	failed := 0
+	for i := 0; i < n; i++ {
+		resp, err := rt.RoundTrip(req)
+		if err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("access %d: injected error not transient-typed: %v", i, err)
+			}
+			failed++
+			continue
+		}
+		resp.Body.Close()
+	}
+	if failed == 0 || failed == n {
+		t.Fatalf("30%% transient plan failed %d of %d round trips", failed, n)
+	}
+	st := rt.Stats()
+	if st.Accesses != n || int(st.Transients) != failed {
+		t.Errorf("stats %+v, want %d accesses and %d transients", st, n, failed)
+	}
+	if base.calls != n-failed {
+		t.Errorf("base transport saw %d calls, want %d", base.calls, n-failed)
+	}
+}
+
+func TestRoundTripperBlackoutSwitch(t *testing.T) {
+	base := &okTransport{}
+	rt, err := NewRoundTripper(base, Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodGet, "http://replica/v1/generate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev := rt.SetDown(true); prev {
+		t.Error("fresh round tripper reported itself down")
+	}
+	if !rt.Down() {
+		t.Error("Down() false after SetDown(true)")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := rt.RoundTrip(req); !errors.Is(err, ErrTransient) {
+			t.Fatalf("blackout round trip %d: %v, want transient error", i, err)
+		}
+	}
+	// The blackout is a process death, not a plan event: no accesses
+	// consumed, so lifting it resumes the seeded stream exactly where it
+	// stopped.
+	if st := rt.Stats(); st.Accesses != 0 {
+		t.Errorf("blackout consumed %d plan accesses", st.Accesses)
+	}
+	if prev := rt.SetDown(false); !prev {
+		t.Error("SetDown(false) did not report the switch was down")
+	}
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		t.Fatalf("round trip after blackout lifted: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// The transport seam replays a plan's schedule identically to the store
+// seam: corruption outcomes are ignored at the transport (bit rot is a
+// storage concern) but still consume the rng stream.
+func TestRoundTripperReplaysStoreSchedule(t *testing.T) {
+	plan := Plan{Seed: 11, TransientRate: 0.2, CorruptRate: 0.1, SpikeRate: 0.1, Spike: time.Millisecond}
+	const n = 120
+	viaStore, _ := scheduleViaStore(t, plan, n)
+
+	spiked := 0
+	plan.Sleep = func(time.Duration) { spiked++ }
+	rt, err := NewRoundTripper(&okTransport{}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodGet, "http://replica/statz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		before := spiked
+		resp, err := rt.RoundTrip(req)
+		if gotFail := err != nil; gotFail != viaStore[i].fail {
+			t.Fatalf("access %d: transport fail=%v, store fail=%v", i, gotFail, viaStore[i].fail)
+		}
+		if gotSpike := spiked > before; gotSpike != viaStore[i].spiked {
+			t.Fatalf("access %d: transport spike=%v, store spike=%v", i, gotSpike, viaStore[i].spiked)
+		}
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// Injected errors survive http.Client's *url.Error wrapping, so gateway
+// code classifies them with IsTransient at the client seam.
+func TestRoundTripperClassifiesThroughClient(t *testing.T) {
+	rt, err := NewRoundTripper(&okTransport{}, Plan{FailAtAccess: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &http.Client{Transport: rt}
+	_, err = c.Get("http://replica/readyz")
+	if err == nil {
+		t.Fatal("scheduled failure did not surface through the client")
+	}
+	if !IsTransient(err) {
+		t.Errorf("client-wrapped injected error not classified transient: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HandlerTransport is an http.RoundTripper that serves every round trip
+// directly from an http.Handler — no listener, no socket, no port. It
+// is how a gateway fronts in-process server.Server replicas: each
+// replica's BackendConfig.Client wraps its Handler() in one of these,
+// and the whole fleet runs in a single process with the identical HTTP
+// contract a remote fleet would speak (including the fault package's
+// RoundTripper chaos layer, which composes on top unchanged).
+type HandlerTransport struct {
+	Handler http.Handler
+}
+
+// RoundTrip implements http.RoundTripper by invoking the handler
+// synchronously. The request context flows through unchanged, so
+// client cancellation and per-attempt timeouts behave exactly as over
+// a socket.
+func (t HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Handler == nil {
+		return nil, fmt.Errorf("gateway: HandlerTransport with nil handler")
+	}
+	rw := &memResponseWriter{header: make(http.Header), status: http.StatusOK}
+	t.Handler.ServeHTTP(rw, req)
+	return &http.Response{
+		Status:        http.StatusText(rw.status),
+		StatusCode:    rw.status,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        rw.header,
+		Body:          io.NopCloser(bytes.NewReader(rw.buf.Bytes())),
+		ContentLength: int64(rw.buf.Len()),
+		Request:       req,
+	}, nil
+}
+
+// memResponseWriter is the minimal in-memory http.ResponseWriter behind
+// HandlerTransport.
+type memResponseWriter struct {
+	header      http.Header
+	status      int
+	wroteHeader bool
+	buf         bytes.Buffer
+}
+
+func (w *memResponseWriter) Header() http.Header { return w.header }
+
+func (w *memResponseWriter) WriteHeader(status int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	w.status = status
+}
+
+func (w *memResponseWriter) Write(p []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.buf.Write(p)
+}

@@ -405,3 +405,88 @@ func TestSwappableStoreHotSwapUnderGeneration(t *testing.T) {
 		}
 	}
 }
+
+// TestSwappableStoreAcquireReleaseRace races Acquire pins — with
+// deliberately doubled, concurrent release calls — against a stream of
+// Swaps and a final Close. Release idempotency must hold under -race:
+// every retired generation's closer runs exactly once, no matter how
+// many times or from how many goroutines a pin is released.
+func TestSwappableStoreAcquireReleaseRace(t *testing.T) {
+	mc := tinyOPT()
+	base, err := RandomWeights(mc, 20, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closers := []*closeRecorder{{}}
+	s, err := NewSwappable(base, closers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nSwaps = 32
+	const nReaders = 8
+	var wg sync.WaitGroup
+
+	// Readers: acquire, read, then fire the same release from several
+	// goroutines at once.
+	for r := 0; r < nReaders; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				pinned, _, release, err := s.Acquire()
+				if err != nil {
+					return // store closed under us: the race is over
+				}
+				if _, err := pinned.Tensor(0, "w_token"); err != nil {
+					t.Errorf("pinned read failed: %v", err)
+				}
+				var rwg sync.WaitGroup
+				for k := 0; k < 3; k++ {
+					rwg.Add(1)
+					go func() {
+						defer rwg.Done()
+						release()
+					}()
+				}
+				rwg.Wait()
+				release() // and once more after the burst
+			}
+		}()
+	}
+
+	// Swapper: retire generations under the pins.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nSwaps; i++ {
+			w, err := RandomWeights(mc, int64(21+i), 0.08)
+			if err != nil {
+				t.Errorf("weights %d: %v", i, err)
+				return
+			}
+			c := &closeRecorder{}
+			closers = append(closers, c)
+			if _, err := s.Swap(w, c); err != nil {
+				t.Errorf("swap %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range closers {
+		if got := c.count(); got != 1 {
+			t.Errorf("generation %d closer ran %d times, want exactly 1", i+1, got)
+		}
+	}
+	if got := s.RetiredGenerations(); got != nSwaps+1 {
+		t.Errorf("retired generations = %d, want %d", got, nSwaps+1)
+	}
+	if err := s.DeferredCloseErr(); err != nil {
+		t.Errorf("deferred close error: %v", err)
+	}
+}

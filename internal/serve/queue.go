@@ -112,6 +112,27 @@ func Conserved(arrivals, admitted int, shed ...int) bool {
 	return total == arrivals
 }
 
+// FleetConserved lifts Conserved one level up, to a gateway fronting N
+// replicas: every client arrival at the gateway must be answered by
+// exactly one replica — perReplica counts the responses each replica
+// finalized for a gateway client — or land in exactly one gateway shed
+// bucket. Failover retries do not break the invariant: however many
+// replicas a request was attempted on, exactly one finalized it (or the
+// gateway shed it). Composed with each replica's own Conserved ledger,
+// this accounts for every request end to end: gateway arrivals split
+// into replica attributions plus gateway sheds, and each replica's
+// arrivals split into its own admitted plus shed buckets.
+func FleetConserved(arrivals int, perReplica []int, shed ...int) bool {
+	routed := 0
+	for _, n := range perReplica {
+		if n < 0 {
+			return false
+		}
+		routed += n
+	}
+	return Conserved(arrivals, routed, shed...)
+}
+
 // Conserved applies the conservation predicate to the simulation's own
 // ledger.
 func (m *QueueMetrics) Conserved() bool {

@@ -58,14 +58,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the client hanging up mid-body is not actionable
 }
 
-func (s *Server) shed(w http.ResponseWriter, status int, retryAfter time.Duration, msg string) {
-	if retryAfter > 0 {
-		secs := int(retryAfter.Round(time.Second) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+// setRetryAfter writes a Retry-After header, rounding to whole seconds
+// with a one-second floor (the header's granularity).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	if d <= 0 {
+		return
 	}
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+func (s *Server) shed(w http.ResponseWriter, status int, retryAfter time.Duration, msg string) {
+	setRetryAfter(w, retryAfter)
 	writeJSON(w, status, errorResponse{Error: msg})
 }
 
@@ -107,15 +114,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, status, retryAfter := s.admit(r.Context(), req.Prompt, maxTokens, time.Duration(req.TimeoutMS)*time.Millisecond)
+	j, status, retryAfter, reason := s.admit(r.Context(), req.Prompt, maxTokens, time.Duration(req.TimeoutMS)*time.Millisecond)
 	if j == nil {
-		msg := "draining"
-		if status == http.StatusTooManyRequests {
-			msg = "queue full"
-		} else if retryAfter > 0 {
-			msg = "storage circuit breaker open"
-		}
-		s.shed(w, status, retryAfter, msg)
+		s.shed(w, status, retryAfter, reason)
 		return
 	}
 	// The worker owns the job until done closes — even if the client
@@ -142,6 +143,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
+		// The readiness refusal carries the same Retry-After contract as
+		// breaker-open and queue-closed sheds: probers back off uniformly.
+		setRetryAfter(w, s.cfg.DrainRetryAfter)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}

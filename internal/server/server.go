@@ -51,6 +51,19 @@ type Config struct {
 	// paged KV cache: workers feed one shared batcher instead of each
 	// owning a whole-request engine.
 	Batch BatchConfig
+	// DrainRetryAfter is the Retry-After advertised on drain-mode 503s —
+	// the /readyz readiness refusal and queue-closed admission sheds —
+	// so probers and clients back off from a draining replica on the
+	// same uniform contract breaker-open responses already follow
+	// (default 1s).
+	DrainRetryAfter time.Duration
+	// OnStateChange, when non-nil, observes lifecycle transitions: it is
+	// called with "draining" when admission stops and "stopped" once the
+	// drain finalizes. A gateway fronting an in-process replica uses it
+	// to pull the replica from rotation the moment its drain begins,
+	// without waiting for the next readiness probe. Calls are
+	// synchronous; the hook must not call back into the server.
+	OnStateChange func(state string)
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTokens == 0 {
 		c.MaxTokens = 64
+	}
+	if c.DrainRetryAfter == 0 {
+		c.DrainRetryAfter = time.Second
 	}
 	return c
 }
@@ -89,6 +105,9 @@ func (c Config) Validate() error {
 	}
 	if c.RequestTimeout < 0 {
 		return fmt.Errorf("server: negative request timeout %v", c.RequestTimeout)
+	}
+	if c.DrainRetryAfter < 0 {
+		return fmt.Errorf("server: negative drain retry-after %v", c.DrainRetryAfter)
 	}
 	if err := c.Retry.Validate(); err != nil {
 		return err
@@ -324,30 +343,33 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 // admit runs the admission pipeline under the lock: drain state, queue
 // bound, breaker — in that order, so a full queue sheds before a probe
 // slot is consumed. It returns the job on success, or (status,
-// retryAfter) on shed.
-func (s *Server) admit(ctx context.Context, prompt []int, maxTokens int, timeout time.Duration) (*job, int, time.Duration) {
+// retryAfter, reason) on shed.
+func (s *Server) admit(ctx context.Context, prompt []int, maxTokens int, timeout time.Duration) (*job, int, time.Duration, string) {
 	s.arrivals.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != stateServing {
+		// Queue-closed sheds carry the same Retry-After contract as
+		// breaker-open ones: a prober or client that sees the header backs
+		// off uniformly, whatever the daemon's reason for refusing.
 		s.shedDraining.Add(1)
-		return nil, http.StatusServiceUnavailable, 0
+		return nil, http.StatusServiceUnavailable, s.cfg.DrainRetryAfter, "draining"
 	}
 	// Page pressure is a request-size verdict, not a load verdict: a
 	// context too large for the whole paged pool can never be served, no
 	// matter how long it waits, so it sheds before the queue bound.
 	if s.cfg.Batch.Enabled && s.cfg.Batch.pagesForContext(len(prompt)+maxTokens) > s.cfg.Batch.withDefaults().KVPages {
 		s.shedPagePressure.Add(1)
-		return nil, http.StatusServiceUnavailable, 0
+		return nil, http.StatusServiceUnavailable, 0, "context exceeds the paged KV budget"
 	}
 	if s.waiting >= s.cfg.MaxQueue {
 		s.shedQueueFull.Add(1)
-		return nil, http.StatusTooManyRequests, time.Second
+		return nil, http.StatusTooManyRequests, time.Second, "queue full"
 	}
 	probe, ok := s.breaker.Allow()
 	if !ok {
 		s.shedBreakerOpen.Add(1)
-		return nil, http.StatusServiceUnavailable, s.breaker.RetryAfter()
+		return nil, http.StatusServiceUnavailable, s.breaker.RetryAfter(), "storage circuit breaker open"
 	}
 	j := &job{
 		ctx: ctx, prompt: prompt, maxTokens: maxTokens, timeout: timeout,
@@ -357,7 +379,7 @@ func (s *Server) admit(ctx context.Context, prompt []int, maxTokens int, timeout
 	// Channel capacity equals the queue bound and waiting is tracked
 	// under the same lock, so this send cannot block.
 	s.queue <- j
-	return j, 0, 0
+	return j, 0, 0, ""
 }
 
 // workerState is one worker's engine and pin indirection, plus the
@@ -622,12 +644,18 @@ func (s *Server) Reload() error {
 // store chain is closed once workers exit.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
-	if s.state == stateServing {
+	flipped := s.state == stateServing
+	if flipped {
 		s.state = stateDraining
 		// Workers drain what was already admitted, then exit.
 		close(s.queue)
 	}
 	s.mu.Unlock()
+	// Only the caller that flipped the state notifies, so concurrent
+	// drains deliver each transition exactly once.
+	if flipped && s.cfg.OnStateChange != nil {
+		s.cfg.OnStateChange("draining")
+	}
 
 	var derr error
 	select {
@@ -662,6 +690,9 @@ func (s *Server) Drain(ctx context.Context) error {
 			derr = cerr
 		}
 		s.drainErr = derr
+		if s.cfg.OnStateChange != nil {
+			s.cfg.OnStateChange("stopped")
+		}
 		close(s.drainDone)
 	})
 	<-s.drainDone
@@ -675,13 +706,34 @@ func (s *Server) Draining() bool {
 	return s.state != stateServing
 }
 
-// Stats is the /statz document.
+// StatzSchemaVersion identifies the /statz JSON schema (the Stats
+// struct, documented field by field in DESIGN.md §3i). It bumps
+// whenever a field is renamed, removed, or changes meaning — additive
+// fields do not bump it — so a prober can refuse a replica speaking an
+// incompatible schema instead of misreading it.
+const StatzSchemaVersion = 2
+
+// Stats is the /statz document. The machine-readable fields a fleet
+// prober keys on — schema version, lifecycle state, checkpoint
+// generation, queue depth, breaker state, and the batcher's pinned
+// generation — are top-level and stable; see DESIGN.md §3i for the
+// schema contract.
 type Stats struct {
+	SchemaVersion      int    `json:"statz_version"`
 	State              string `json:"state"`
+	Draining           bool   `json:"draining"`
 	Workers            int    `json:"workers"`
 	QueueDepth         int    `json:"queue_depth"`
 	Generation         int64  `json:"generation"`
 	RetiredGenerations int64  `json:"retired_generations"`
+	// BreakerState duplicates Breaker.State at top level so shallow
+	// probers need not descend into the breaker snapshot.
+	BreakerState string `json:"breaker_state"`
+	// BatchGeneration is the checkpoint generation the active continuous
+	// batcher was built on (0 outside batch mode or after teardown). It
+	// trails Generation between a hot swap and the batcher rebuild, so a
+	// prober can observe reload convergence.
+	BatchGeneration int64 `json:"batch_generation"`
 
 	Arrivals         int64 `json:"arrivals"`
 	Admitted         int64 `json:"admitted"`
@@ -737,19 +789,25 @@ func (s *Server) Stats() Stats {
 		name = "stopped"
 	}
 	var bst *batch.Stats
+	var batchGen int64
 	s.batchMu.Lock()
 	if s.bat != nil {
 		s.foldBatchPrefetch(s.bat)
 		snap := s.bat.b.Stats()
 		bst = &snap
+		batchGen = s.bat.gen
 	}
 	s.batchMu.Unlock()
 	return Stats{
+		SchemaVersion:      StatzSchemaVersion,
 		State:              name,
+		Draining:           state != stateServing,
 		Workers:            s.cfg.Workers,
 		QueueDepth:         depth,
 		Generation:         s.store.Generation(),
 		RetiredGenerations: s.store.RetiredGenerations(),
+		BreakerState:       s.breaker.State().String(),
+		BatchGeneration:    batchGen,
 		Arrivals:           s.arrivals.Load(),
 		Admitted:           s.admitted.Load(),
 		Served:             s.served.Load(),
