@@ -1,16 +1,27 @@
 // Command helmvet runs the helmvet static-analysis suite — the
-// project's mechanical enforcement of its concurrency, error-handling
-// and determinism invariants (DESIGN.md §3e) — over the named package
-// patterns.
+// project's mechanical enforcement of its concurrency, error-handling,
+// determinism, and resource-lifecycle invariants (DESIGN.md §3e) —
+// over the named package patterns.
 //
 // Usage:
 //
-//	go run ./cmd/helmvet [-atomiccheck=false] [-errcheckwrap=false]
-//	                     [-determinism=false] [-ctxflow=false] [patterns]
+//	go run ./cmd/helmvet [-<analyzer>=false ...] [-json]
+//	                     [-strict-directives] [patterns]
 //
-// Patterns default to ./... . Each analyzer has a boolean flag (default
-// true) so a single check can be switched off. Exit status: 0 clean,
-// 1 findings, 2 usage or load failure.
+// Patterns default to ./... . Each of the eight analyzers (atomiccheck,
+// errcheckwrap, determinism, ctxflow, paircheck, mmapalias,
+// ledgerscope, goleak) has a boolean flag (default true) so a single
+// check can be switched off. -json emits the findings as a JSON array
+// of {file, line, col, analyzer, message, ignored} objects — including
+// directive-suppressed findings, marked ignored — for machine
+// consumers such as the CI annotation step. -strict-directives
+// additionally reports ignore directives that name an analyzer
+// disabled in this run: such a directive suppresses nothing and would
+// otherwise rot silently.
+//
+// Exit status is a contract CI relies on: 0 the analyzed packages are
+// clean (ignored findings do not count), 1 at least one active
+// finding, 2 usage error or package load/typecheck failure.
 //
 // Intentional exceptions are annotated in source:
 //
@@ -18,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +49,8 @@ func run(args []string, out, errw io.Writer) int {
 	for _, a := range analysis.Suite() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
 	}
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (file/line/col/analyzer/message/ignored), including directive-suppressed findings")
+	strict := fs.Bool("strict-directives", false, "report helmvet-ignore directives naming analyzers disabled in this run as dead")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -44,19 +58,61 @@ func run(args []string, out, errw io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := analysis.Run(".", patterns, selectAnalyzers(enabled))
+	opts := analysis.Options{StrictDirectives: *strict, IncludeIgnored: *jsonOut}
+	diags, err := analysis.RunOpts(".", patterns, selectAnalyzers(enabled), opts)
 	if err != nil {
 		fmt.Fprintln(errw, err)
 		return 2
 	}
+	active := 0
 	for _, d := range diags {
-		fmt.Fprintln(out, d)
+		if !d.Ignored {
+			active++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(errw, "helmvet: %d finding(s)\n", len(diags))
+	if *jsonOut {
+		if err := writeJSON(out, diags); err != nil {
+			fmt.Fprintln(errw, "helmvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+	}
+	if active > 0 {
+		fmt.Fprintf(errw, "helmvet: %d finding(s)\n", active)
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is one finding in -json output; the field set is part of
+// the CLI's contract with CI.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Ignored  bool   `json:"ignored"`
+}
+
+func writeJSON(out io.Writer, diags []analysis.Diagnostic) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Ignored:  d.Ignored,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
 }
 
 // selectAnalyzers returns the suite filtered to the enabled flags, in

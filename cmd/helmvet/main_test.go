@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -8,8 +9,9 @@ import (
 )
 
 const (
-	simpkg  = "../../internal/analysis/testdata/src/simpkg"
-	ctxtest = "../../internal/analysis/testdata/src/ctxtest"
+	simpkg     = "../../internal/analysis/testdata/src/simpkg"
+	ctxtest    = "../../internal/analysis/testdata/src/ctxtest"
+	ignoretest = "../../internal/analysis/testdata/src/ignoretest"
 )
 
 // TestFlagDisablesExactlyOneAnalyzer runs the CLI entry point over
@@ -53,7 +55,7 @@ func TestSelectAnalyzers(t *testing.T) {
 	for _, a := range selectAnalyzers(enabled) {
 		names = append(names, a.Name)
 	}
-	want := []string{"atomiccheck", "errcheckwrap", "ctxflow"}
+	want := []string{"atomiccheck", "errcheckwrap", "ctxflow", "paircheck", "mmapalias", "ledgerscope", "goleak"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("selectAnalyzers = %v, want %v", names, want)
 	}
@@ -66,5 +68,79 @@ func TestBadFlagExitsUsage(t *testing.T) {
 	var out, errw strings.Builder
 	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
 		t.Errorf("exit code %d, want 2 for unknown flag", code)
+	}
+}
+
+// TestExitCodeLoadFailure pins the third leg of the exit contract:
+// a pattern that loads nothing is 2, not 0 or 1.
+func TestExitCodeLoadFailure(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"./no-such-dir"}, &out, &errw); code != 2 {
+		t.Errorf("exit code %d, want 2 for unloadable pattern\nstderr: %s", code, errw.String())
+	}
+}
+
+// TestJSONOutput checks the machine-readable contract CI consumes:
+// valid JSON with the documented fields, directive-suppressed findings
+// present and marked ignored, and the exit code driven by active
+// findings only.
+func TestJSONOutput(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-json", ignoretest}, &out, &errw)
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+		Ignored  bool   `json:"ignored"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	var active, ignored int
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding with empty fields: %+v", f)
+		}
+		if f.Ignored {
+			ignored++
+		} else {
+			active++
+		}
+	}
+	if ignored == 0 {
+		t.Errorf("ignoretest's suppressed findings should appear marked ignored, got %+v", findings)
+	}
+	if active > 0 && code != 1 || active == 0 && code != 0 {
+		t.Errorf("exit code %d disagrees with %d active finding(s)", code, active)
+	}
+
+	// A clean run still emits valid JSON (an empty array) and exits 0.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-json", "-determinism=false", simpkg}, &out, &errw); code != 0 {
+		t.Fatalf("clean -json run exited %d\nstderr: %s", code, errw.String())
+	}
+	if s := strings.TrimSpace(out.String()); s != "[]" {
+		t.Errorf("clean -json run printed %q, want []", s)
+	}
+}
+
+// TestStrictDirectives checks that disabling an analyzer turns its
+// ignore directives into dead-directive findings under
+// -strict-directives, and only then.
+func TestStrictDirectives(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-strict-directives", "-determinism=false", ignoretest}, &out, &errw); code != 1 {
+		t.Fatalf("exit code %d, want 1 (dead directives)\nstderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "is dead: analyzer determinism is disabled") {
+		t.Errorf("no dead-directive finding in output:\n%s", out.String())
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-determinism=false", ignoretest}, &out, &errw); code != 0 {
+		t.Errorf("without -strict-directives the same run should be clean, exited %d:\n%s", code, out.String())
 	}
 }

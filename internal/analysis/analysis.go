@@ -8,7 +8,8 @@
 // typechecked with the gc export-data importer, so the driver works
 // offline and needs nothing beyond the Go toolchain.
 //
-// Invariants enforced (one analyzer each):
+// Invariants enforced (one analyzer each). The first four are
+// convention checks over single expressions and statements:
 //
 //   - atomiccheck: a variable accessed through sync/atomic anywhere is
 //     never read or written plainly elsewhere, and atomic.Int64-style
@@ -22,10 +23,30 @@
 //   - ctxflow: non-main packages never mint context.Background(); a
 //     function that receives a ctx passes it on.
 //
+// The second four are invariant-aware: they run on the flow layer
+// (flow.go — a per-function CFG with path queries) and the fact store
+// (facts.go — cross-package object facts computed bottom-up over the
+// module):
+//
+//   - paircheck: acquire/release pairs close on every path —
+//     SwappableStore.Acquire's release func, Arena.Get/Put, kvcache
+//     Admit/Release, Breaker probe settling — driven by a declarative
+//     table of pair signatures.
+//   - mmapalias: slices derived from mmap'd checkpoints never escape
+//     the fetching frame (no field stores, channel sends, goroutine
+//     captures, or returns), with view-returning functions propagated
+//     across packages as "mmapview" facts (DESIGN §3h).
+//   - ledgerscope: every shed bucket appears in its struct's
+//     Conserved/FleetConserved sum, is populated somewhere, and is
+//     serialized when its siblings are.
+//   - goleak: goroutines in library code carry a lifecycle tie
+//     (channel, select, context, WaitGroup) back to their spawner.
+//
 // Intentional exceptions carry a
 // `//lint:helmvet-ignore <analyzer> <reason>` directive on or directly
 // above the flagged line; the driver suppresses the finding and fails
-// if the directive is malformed.
+// if the directive is malformed. Options.StrictDirectives additionally
+// rejects directives naming an analyzer excluded from the run.
 package analysis
 
 import (
@@ -36,16 +57,26 @@ import (
 )
 
 // An Analyzer describes one invariant check. Run inspects a single
-// typechecked package and reports findings through the Pass.
+// typechecked package and reports findings through the Pass. FactRun,
+// when non-nil, is invoked over every in-module package in dependency
+// order before any Run — it must only export facts to pass.Facts
+// (reporting is discarded), so information about a package's exported
+// objects is available to analyzers running over its importers.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name    string
+	Doc     string
+	Run     func(*Pass) error
+	FactRun func(*Pass) error
 }
 
-// Suite returns the full helmvet analyzer suite in stable order.
+// Suite returns the full helmvet analyzer suite in stable order: the
+// four first-generation convention checks, then the four
+// invariant-aware analyzers built on the flow layer.
 func Suite() []*Analyzer {
-	return []*Analyzer{AtomicCheck, ErrCheckWrap, Determinism, CtxFlow}
+	return []*Analyzer{
+		AtomicCheck, ErrCheckWrap, Determinism, CtxFlow,
+		PairCheck, MmapAlias, LedgerScope, GoLeak,
+	}
 }
 
 // A Pass carries one typechecked package to an Analyzer.
@@ -55,6 +86,7 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Facts     *FactStore
 
 	report func(Diagnostic)
 }
@@ -74,10 +106,14 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 }
 
 // A Diagnostic is one finding, positioned in the analyzed source.
+// Ignored marks a finding suppressed by a //lint:helmvet-ignore
+// directive; such findings are only present when Options.IncludeIgnored
+// asked for them.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Ignored  bool
 }
 
 func (d Diagnostic) String() string {

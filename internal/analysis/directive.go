@@ -16,6 +16,12 @@ import (
 // is mandatory — a directive is documentation of why the exception is
 // safe, not a mute button. Malformed directives are themselves
 // findings, so a typoed analyzer name cannot silently disable a check.
+//
+// A well-formed directive can still be dead: it names a suite analyzer
+// that this run excluded by flag, so it suppresses nothing and would
+// rot unnoticed if the analyzer were ever retired from the default
+// set. Under Options.StrictDirectives such directives are findings
+// too.
 var directiveRE = regexp.MustCompile(`^//lint:helmvet-ignore(?:\s+(\S+))?\s*(.*)$`)
 
 type directive struct {
@@ -30,8 +36,11 @@ type directiveSet struct {
 }
 
 // parseDirectives scans the comments of files for ignore directives.
-// It returns the set plus diagnostics for malformed ones.
-func parseDirectives(fset *token.FileSet, files []*ast.File) (*directiveSet, []Diagnostic) {
+// It returns the set plus diagnostics for malformed ones — and, under
+// strict, for well-formed ones naming an analyzer disabled this run.
+// enabled holds the names of the analyzers actually running; nil means
+// the full suite.
+func parseDirectives(fset *token.FileSet, files []*ast.File, enabled map[string]bool, strict bool) (*directiveSet, []Diagnostic) {
 	known := map[string]bool{"all": true}
 	for _, a := range Suite() {
 		known[a.Name] = true
@@ -57,6 +66,9 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (*directiveSet, []D
 				case reason == "":
 					bad(c.Pos(), "helmvet-ignore directive is missing a reason")
 				default:
+					if strict && name != "all" && enabled != nil && !enabled[name] {
+						bad(c.Pos(), "helmvet-ignore directive is dead: analyzer "+name+" is disabled in this run")
+					}
 					p := fset.Position(c.Pos())
 					key := p.Filename
 					set.dirs[key] = append(set.dirs[key], directive{analyzer: name, line: p.Line})

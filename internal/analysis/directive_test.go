@@ -32,7 +32,7 @@ func TestDirectiveMalformed(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			fset, files := parseOne(t, "package p\n\n"+tc.comment+"\nvar X int\n")
-			_, diags := parseDirectives(fset, files)
+			_, diags := parseDirectives(fset, files, nil, false)
 			if len(diags) != 1 {
 				t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
 			}
@@ -43,6 +43,25 @@ func TestDirectiveMalformed(t *testing.T) {
 				t.Errorf("malformed-directive diagnostic attributed to %q, want helmvet", diags[0].Analyzer)
 			}
 		})
+	}
+}
+
+// TestDirectiveDead checks strict mode: a well-formed directive naming
+// an analyzer excluded from this run is reported as dead, but only
+// under strict, never for "all", and never when the analyzer runs.
+func TestDirectiveDead(t *testing.T) {
+	src := "package p\n\n//lint:helmvet-ignore determinism seam\nvar a int\n\n//lint:helmvet-ignore all seam\nvar b int\n"
+	fset, files := parseOne(t, src)
+	enabled := map[string]bool{"ctxflow": true}
+	_, diags := parseDirectives(fset, files, enabled, true)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "dead: analyzer determinism") {
+		t.Fatalf("strict run over disabled analyzer: got %v, want one dead-directive finding", diags)
+	}
+	if _, diags := parseDirectives(fset, files, enabled, false); len(diags) != 0 {
+		t.Fatalf("non-strict run reported dead directives: %v", diags)
+	}
+	if _, diags := parseDirectives(fset, files, map[string]bool{"determinism": true}, true); len(diags) != 0 {
+		t.Fatalf("strict run with analyzer enabled reported: %v", diags)
 	}
 }
 
@@ -59,7 +78,7 @@ var a int
 var b int
 `
 	fset, files := parseOne(t, src)
-	set, diags := parseDirectives(fset, files)
+	set, diags := parseDirectives(fset, files, nil, false)
 	if len(diags) != 0 {
 		t.Fatalf("unexpected diagnostics: %v", diags)
 	}

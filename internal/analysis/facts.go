@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// The fact store is the flow layer's cross-package half: an analyzer
+// that learns something about an exported object while analyzing its
+// defining package — "this function's result aliases an mmap view" —
+// records it here, and the analyzers running later over dependent
+// packages read it back. Facts are keyed the way gc export data names
+// objects (defining package import path + the function's full name),
+// so a fact survives the switch between a package's plain and
+// in-package-test variants, which compile the same objects under the
+// same export-data identity. The driver computes facts bottom-up: Run
+// analyzes in-module packages in dependency order, so by the time a
+// package is inspected, facts for everything it imports exist.
+//
+// The store is deliberately small: boolean object facts only, no
+// package facts, no serialization — it lives for one Run.
+
+type factKey struct {
+	pkg  string // defining package import path, as export data names it
+	obj  string // types.Func FullName / types.Object Id
+	kind string // fact name, e.g. "mmapview"
+}
+
+// A FactStore accumulates object facts across one Run.
+type FactStore struct {
+	m map[factKey]bool
+	// exportKey maps an import path to the export-data file the fact
+	// was computed against, recording what identity "this package"
+	// had when its facts were written.
+	exportKey map[string]string
+}
+
+func newFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]bool), exportKey: make(map[string]string)}
+}
+
+func objKey(obj types.Object, kind string) (factKey, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return factKey{}, false
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		name = fn.FullName()
+	}
+	return factKey{pkg: obj.Pkg().Path(), obj: name, kind: kind}, true
+}
+
+// ExportObjectFact records a boolean fact about obj.
+func (s *FactStore) ExportObjectFact(obj types.Object, kind string) {
+	if s == nil {
+		return
+	}
+	if k, ok := objKey(obj, kind); ok {
+		s.m[k] = true
+	}
+}
+
+// ImportObjectFact reports whether a fact of the given kind was
+// recorded for obj — by this package's own pass or by the pass over
+// the defining package earlier in dependency order.
+func (s *FactStore) ImportObjectFact(obj types.Object, kind string) bool {
+	if s == nil {
+		return false
+	}
+	k, ok := objKey(obj, kind)
+	return ok && s.m[k]
+}
+
+// setExportKey records which export data a package's facts came from.
+func (s *FactStore) setExportKey(pkgPath, export string) {
+	if s != nil {
+		s.exportKey[pkgPath] = export
+	}
+}

@@ -1,0 +1,546 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the suite's intra-procedural flow layer: a lightweight
+// per-function control-flow graph built over the AST, shared by the
+// invariant-aware analyzers (paircheck walks paths on it; goleak and
+// mmapalias reuse its function enumeration). It is deliberately
+// path-insensitive — blocks are straight-line statement runs, edges
+// carry at most the branch condition they were taken under — with one
+// narrow concession to path shape: an edge knows whether it is the
+// "error was non-nil" side of an `if err != nil` check, so a resource
+// analyzer can exempt the path where the acquisition itself failed.
+//
+// The graph is conservative in the direction that favors reports for
+// "must happen on every path" questions (extra edges can only add
+// paths) with two exceptions kept deliberately silent: a `goto` ends
+// its path (the repo has none), and a statement that cannot complete —
+// panic(...) or an infinite `for {}` with no break — does not reach the
+// exit, so paths that die there demand no release.
+
+// A flowBlock is a maximal straight-line run of statements.
+type flowBlock struct {
+	stmts []ast.Stmt
+	succs []flowEdge
+}
+
+// A flowEdge connects blocks; cond/sense record the controlling branch
+// condition (nil for unconditional edges) and which way it evaluated.
+type flowEdge struct {
+	to    *flowBlock
+	cond  ast.Expr
+	sense bool
+}
+
+// A funcCFG is one function body's graph. exit is a synthetic empty
+// block that every return (and the body's natural fall-off) reaches.
+type funcCFG struct {
+	entry  *flowBlock
+	exit   *flowBlock
+	blocks []*flowBlock
+	// cond marks the synthesized pseudo-statements wrapping branch
+	// conditions and case expressions, so analyzers can tell "the value
+	// was tested" apart from "the value was used".
+	cond map[ast.Stmt]bool
+}
+
+// isCondStmt reports whether s is a synthesized condition/case-
+// expression pseudo-statement rather than a real statement.
+func (g *funcCFG) isCondStmt(s ast.Stmt) bool { return g.cond[s] }
+
+// cfgBuilder threads break/continue targets and the label table
+// through construction.
+type cfgBuilder struct {
+	g         *funcCFG
+	breakTo   []*flowBlock
+	contTo    []*flowBlock
+	labels    map[string][2]*flowBlock // label -> {break target, continue target}
+	labelNext string
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{cond: make(map[ast.Stmt]bool)}
+	b := &cfgBuilder{g: g, labels: make(map[string][2]*flowBlock)}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	last := b.stmts(g.entry, body.List)
+	if last != nil {
+		b.edge(last, g.exit, nil, false)
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *flowBlock {
+	blk := &flowBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *flowBlock, cond ast.Expr, sense bool) {
+	from.succs = append(from.succs, flowEdge{to: to, cond: cond, sense: sense})
+}
+
+// condStmt records x's evaluation in blk as a pseudo-statement marked
+// as a condition.
+func (b *cfgBuilder) condStmt(blk *flowBlock, x ast.Expr) {
+	s := &ast.ExprStmt{X: x}
+	b.g.cond[s] = true
+	blk.stmts = append(blk.stmts, s)
+}
+
+// stmts appends list to cur, splitting blocks at control flow. It
+// returns the block control falls out of, or nil when every path
+// diverted (returned, branched, or died).
+func (b *cfgBuilder) stmts(cur *flowBlock, list []ast.Stmt) *flowBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminator; give it its own
+			// island so its statements still exist in the graph.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt adds one statement, returning the fall-through block (nil when
+// control cannot fall past it).
+func (b *cfgBuilder) stmt(cur *flowBlock, s ast.Stmt) *flowBlock {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, st.List)
+
+	case *ast.LabeledStmt:
+		b.labelNext = st.Label.Name
+		return b.stmt(cur, st.Stmt)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			cur = b.stmt(cur, st.Init)
+		}
+		b.condStmt(cur, st.Cond)
+		then := b.newBlock()
+		b.edge(cur, then, st.Cond, true)
+		thenEnd := b.stmts(then, st.Body.List)
+		merge := b.newBlock()
+		if thenEnd != nil {
+			b.edge(thenEnd, merge, nil, false)
+		}
+		if st.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els, st.Cond, false)
+			elseEnd := b.stmt(els, st.Else)
+			if elseEnd != nil {
+				b.edge(elseEnd, merge, nil, false)
+			}
+		} else {
+			b.edge(cur, merge, st.Cond, false)
+		}
+		return merge
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			cur = b.stmt(cur, st.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head, nil, false)
+		body := b.newBlock()
+		after := b.newBlock()
+		if st.Cond != nil {
+			b.condStmt(head, st.Cond)
+			b.edge(head, body, st.Cond, true)
+			b.edge(head, after, st.Cond, false)
+		} else {
+			b.edge(head, body, nil, false)
+			// No condition: only a break (or return) leaves the loop.
+		}
+		post := b.newBlock()
+		if st.Post != nil {
+			end := b.stmt(post, st.Post)
+			b.edge(end, head, nil, false)
+		} else {
+			b.edge(post, head, nil, false)
+		}
+		b.pushLoop(after, post, label)
+		bodyEnd := b.stmts(body, st.Body.List)
+		b.popLoop(label)
+		if bodyEnd != nil {
+			b.edge(bodyEnd, post, nil, false)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		// Only the ranged expression's evaluation belongs to the current
+		// block; appending the whole RangeStmt would duplicate the loop
+		// body's statements into it.
+		b.condStmt(cur, st.X)
+		head := b.newBlock()
+		b.edge(cur, head, nil, false)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body, nil, false)
+		b.edge(head, after, nil, false) // range exhausted
+		b.pushLoop(after, head, label)
+		bodyEnd := b.stmts(body, st.Body.List)
+		b.popLoop(label)
+		if bodyEnd != nil {
+			b.edge(bodyEnd, head, nil, false)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			cur = b.stmt(cur, st.Init)
+		}
+		if st.Tag != nil {
+			b.condStmt(cur, st.Tag)
+		}
+		return b.caseClauses(cur, st.Body.List, label, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			cur = b.stmt(cur, st.Init)
+		}
+		cur.stmts = append(cur.stmts, st.Assign)
+		return b.caseClauses(cur, st.Body.List, label, true)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		return b.caseClauses(cur, st.Body.List, label, false)
+
+	case *ast.ReturnStmt:
+		cur.stmts = append(cur.stmts, s)
+		b.edge(cur, b.g.exit, nil, false)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.stmts = append(cur.stmts, s)
+		switch st.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(st, 0); t != nil {
+				b.edge(cur, t, nil, false)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(st, 1); t != nil {
+				b.edge(cur, t, nil, false)
+			}
+		case token.FALLTHROUGH:
+			// Handled by caseClauses wiring; treat as fall-through here.
+			return cur
+		case token.GOTO:
+			// Conservatively terminal: the repo carries no gotos, and a
+			// dangling edge would either invent or hide paths.
+		}
+		return nil
+
+	case *ast.ExprStmt:
+		cur.stmts = append(cur.stmts, s)
+		if isPanicCall(st.X) {
+			// Terminal: a panicking path never reaches the exit, so it
+			// owes no release.
+			return nil
+		}
+		return cur
+
+	default:
+		// Assignments, declarations, sends, incdec, defer, go — plain
+		// nodes in the current block.
+		cur.stmts = append(cur.stmts, s)
+		return cur
+	}
+}
+
+// caseClauses wires a switch/select body: every clause gets an edge
+// from the dispatch block, a missing default adds a skip edge, and
+// fallthrough chains switch clauses.
+func (b *cfgBuilder) caseClauses(cur *flowBlock, clauses []ast.Stmt, label string, isSwitch bool) *flowBlock {
+	after := b.newBlock()
+	b.pushLoop(after, nil, label)
+	defer b.popLoop(label)
+	hasDefault := false
+	var bodies [][]ast.Stmt
+	var blocks []*flowBlock
+	for _, c := range clauses {
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				b.condStmt(cur, e)
+			}
+			list = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				list = append([]ast.Stmt{cc.Comm}, cc.Body...)
+				bodies = append(bodies, list)
+				blk := b.newBlock()
+				blocks = append(blocks, blk)
+				b.edge(cur, blk, nil, false)
+				continue
+			}
+			list = cc.Body
+		}
+		blk := b.newBlock()
+		bodies = append(bodies, list)
+		blocks = append(blocks, blk)
+		b.edge(cur, blk, nil, false)
+	}
+	// A switch with no default can match nothing and skip every clause;
+	// a select with no default always executes some clause.
+	if !hasDefault && isSwitch {
+		b.edge(cur, after, nil, false)
+	}
+	for i, list := range bodies {
+		end := b.stmts(blocks[i], list)
+		if end != nil {
+			if isSwitch && endsInFallthrough(list) && i+1 < len(blocks) {
+				b.edge(end, blocks[i+1], nil, false)
+			} else {
+				b.edge(end, after, nil, false)
+			}
+		}
+	}
+	return after
+}
+
+func endsInFallthrough(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	br, ok := list[len(list)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.labelNext
+	b.labelNext = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *flowBlock, label string) {
+	b.breakTo = append(b.breakTo, brk)
+	b.contTo = append(b.contTo, cont)
+	if label != "" {
+		b.labels[label] = [2]*flowBlock{brk, cont}
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.contTo = b.contTo[:len(b.contTo)-1]
+	if label != "" {
+		delete(b.labels, label)
+	}
+}
+
+// branchTarget resolves break (kind 0) / continue (kind 1) to a block.
+func (b *cfgBuilder) branchTarget(st *ast.BranchStmt, kind int) *flowBlock {
+	if st.Label != nil {
+		if t, ok := b.labels[st.Label.Name]; ok {
+			return t[kind]
+		}
+		return nil
+	}
+	// Unlabeled continue skips non-loop (switch/select) frames, whose
+	// continue slot is nil; unlabeled break binds the innermost frame.
+	for i := len(b.breakTo) - 1; i >= 0; i-- {
+		if kind == 0 {
+			return b.breakTo[i]
+		}
+		if b.contTo[i] != nil {
+			return b.contTo[i]
+		}
+	}
+	return nil
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// funcBody pairs one analyzable function body with its declaration
+// node (a FuncDecl or FuncLit).
+type funcBody struct {
+	node ast.Node
+	body *ast.BlockStmt
+}
+
+// functionsOf enumerates every function body in f — declarations and
+// literals — each exactly once. Nested literals are their own entries;
+// a body's statements exclude those of the literals inside it only in
+// the CFG sense (builders treat a FuncLit as an opaque expression).
+func functionsOf(f *ast.File) []funcBody {
+	var fns []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				fns = append(fns, funcBody{fn, fn.Body})
+			}
+		case *ast.FuncLit:
+			fns = append(fns, funcBody{fn, fn.Body})
+		}
+		return true
+	})
+	return fns
+}
+
+// stmtPos locates the smallest statement containing pos — smallest so
+// a position inside a loop body resolves to the body's own statement,
+// not an enclosing construct. Statements inside nested function
+// literals are excluded — they belong to the literal's own graph.
+func (g *funcCFG) stmtPos(pos token.Pos) (*flowBlock, int) {
+	var bestBlk *flowBlock
+	bestIdx := 0
+	bestSpan := token.Pos(-1)
+	for _, blk := range g.blocks {
+		for i, s := range blk.stmts {
+			if s.Pos() <= pos && pos < s.End() && !inNestedFuncLit(s, pos) {
+				span := s.End() - s.Pos()
+				if bestBlk == nil || span < bestSpan {
+					bestBlk, bestIdx, bestSpan = blk, i, span
+				}
+			}
+		}
+	}
+	return bestBlk, bestIdx
+}
+
+func inNestedFuncLit(s ast.Stmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if lit.Pos() <= pos && pos < lit.End() {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// pathMissing reports whether some path from just after (startBlk,
+// startIdx) reaches the exit without passing a statement satisfied()
+// accepts and without traversing an edge exempt() accepts. This is the
+// "must release on every path" query: a true result is the leaking
+// path's existence.
+func (g *funcCFG) pathMissing(startBlk *flowBlock, startIdx int, satisfied func(ast.Stmt) bool, exempt func(flowEdge) bool) bool {
+	seen := make(map[*flowBlock]bool)
+	var walkBlock func(blk *flowBlock, from int) bool
+	walkBlock = func(blk *flowBlock, from int) bool {
+		for i := from; i < len(blk.stmts); i++ {
+			if satisfied(blk.stmts[i]) {
+				return false
+			}
+		}
+		if blk == g.exit {
+			return true
+		}
+		if len(blk.succs) == 0 {
+			return false // path dies (panic, infinite loop): nothing leaks
+		}
+		for _, e := range blk.succs {
+			if exempt != nil && exempt(e) {
+				continue
+			}
+			if seen[e.to] {
+				continue
+			}
+			seen[e.to] = true
+			if walkBlock(e.to, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return walkBlock(startBlk, startIdx+1)
+}
+
+// canReach reports whether any statement satisfied() accepts is
+// reachable from just after (startBlk, startIdx) — the weaker
+// "a settle path exists at all" query.
+func (g *funcCFG) canReach(startBlk *flowBlock, startIdx int, satisfied func(ast.Stmt) bool) bool {
+	seen := make(map[*flowBlock]bool)
+	var walkBlock func(blk *flowBlock, from int) bool
+	walkBlock = func(blk *flowBlock, from int) bool {
+		for i := from; i < len(blk.stmts); i++ {
+			if satisfied(blk.stmts[i]) {
+				return true
+			}
+		}
+		for _, e := range blk.succs {
+			if seen[e.to] {
+				continue
+			}
+			seen[e.to] = true
+			if walkBlock(e.to, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return walkBlock(startBlk, startIdx+1)
+}
+
+// errExemptEdge returns an exempt() predicate accepting the edge taken
+// when errVar was observed non-nil — the path where the acquisition
+// itself failed and there is nothing to release.
+func errExemptEdge(info *types.Info, errVar *types.Var) func(flowEdge) bool {
+	if errVar == nil {
+		return nil
+	}
+	return func(e flowEdge) bool {
+		be, ok := ast.Unparen(e.cond).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		var idSide, nilSide ast.Expr
+		if isNilIdent(be.Y) {
+			idSide, nilSide = be.X, be.Y
+		} else if isNilIdent(be.X) {
+			idSide, nilSide = be.Y, be.X
+		}
+		if nilSide == nil {
+			return false
+		}
+		id, ok := ast.Unparen(idSide).(*ast.Ident)
+		if !ok || info.Uses[id] != errVar {
+			return false
+		}
+		switch be.Op {
+		case token.NEQ:
+			return e.sense // took the "err != nil" branch
+		case token.EQL:
+			return !e.sense // skipped the "err == nil" branch
+		}
+		return false
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// cfgOf builds the CFG for a function body given as source statements.
+// Parse-only: the flow layer needs no type information.
+func cfgOf(t *testing.T, body string) *funcCFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "flow_src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse %q: %v", body, err)
+	}
+	return buildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// callsIdent matches statements containing a call to the named
+// function. Test bodies keep calls out of branch conditions so the
+// synthesized condition pseudo-statements never match.
+func callsIdent(name string) func(ast.Stmt) bool {
+	return func(s ast.Stmt) bool {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return true
+		})
+		return found
+	}
+}
+
+// TestPathMissing pins the shape of the "must release on every path"
+// query, including the deliberate asymmetries: panic and infinite
+// loops end their paths (owing nothing), a select without default
+// always runs a case, a switch without default can skip them all.
+func TestPathMissing(t *testing.T) {
+	cases := []struct {
+		name, body string
+		missing    bool
+	}{
+		{"straight line", "release()", false},
+		{"early return skips release", "if x {\n\treturn\n}\nrelease()", true},
+		{"both branches covered", "if x {\n\trelease()\n\treturn\n}\nrelease()", false},
+		{"panic path owes nothing", "if x {\n\tpanic(\"boom\")\n}\nrelease()", false},
+		{"select no default always runs a case", "select {\ncase <-a:\n\trelease()\ncase <-b:\n\trelease()\n}", false},
+		{"select case can miss release", "select {\ncase <-a:\n\trelease()\ncase <-b:\n}", true},
+		{"switch no default can skip every case", "switch x {\ncase 1:\n\trelease()\n}", true},
+		{"switch with default covered", "switch x {\ncase 1:\n\trelease()\ndefault:\n\trelease()\n}", false},
+		{"break leaves before release", "for {\n\tif x {\n\t\tbreak\n\t}\n\trelease()\n}", true},
+		{"infinite loop never exits", "for {\n\tspin()\n}", false},
+		{"release after loop", "for i := 0; i < n; i++ {\n\tspin()\n}\nrelease()", false},
+	}
+	for _, tc := range cases {
+		g := cfgOf(t, tc.body)
+		if got := g.pathMissing(g.entry, -1, callsIdent("release"), nil); got != tc.missing {
+			t.Errorf("%s: pathMissing = %v, want %v", tc.name, got, tc.missing)
+		}
+	}
+}
+
+// TestCanReach pins the weaker reachability query paircheck's probe
+// rule uses.
+func TestCanReach(t *testing.T) {
+	cases := []struct {
+		name, body string
+		reach      bool
+	}{
+		{"settle in one branch suffices", "if x {\n\tsettle()\n}", true},
+		{"no settle anywhere", "spin()", false},
+		{"settle inside loop", "for {\n\tif x {\n\t\tbreak\n\t}\n\tsettle()\n}", true},
+	}
+	for _, tc := range cases {
+		g := cfgOf(t, tc.body)
+		if got := g.canReach(g.entry, -1, callsIdent("settle")); got != tc.reach {
+			t.Errorf("%s: canReach = %v, want %v", tc.name, got, tc.reach)
+		}
+	}
+}

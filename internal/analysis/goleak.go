@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak flags fire-and-forget goroutines in library code. The
+// engine's shutdown story depends on every background goroutine
+// having a lifecycle tie to its spawner — a channel it ranges over or
+// closes, a select it parks in, a context it consults, a WaitGroup it
+// signals — because a goroutine with none of those outlives Close(),
+// keeps pinned generations and arena pages alive, and turns the
+// chaos suite's clean-shutdown assertion into a flake. The batcher's
+// dropped-queue-tail deadlock (fixed in the continuous-batching PR)
+// was exactly this shape: a loop goroutine with no close signal, so
+// Drain waited on work the loop would never see.
+//
+// The check is a reachability heuristic, conservative toward silence:
+// a `go` statement passes if the spawned body — a literal, or a
+// same-package function resolved through one level of calls —
+// contains any lifecycle signal (channel receive/send/close/range,
+// select, context use, WaitGroup/Cond operations), or if the spawn
+// site is preceded by a WaitGroup.Add in the same function. Bodies
+// the analyzer cannot see (cross-package calls, method values) are
+// assumed supervised. Package main and test files are exempt:
+// binaries may legitimately spawn for their whole lifetime, and tests
+// have the race detector and goroutine-leak checks of their own.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "flags fire-and-forget goroutines in library code with no join, channel, context, or WaitGroup lifecycle tie",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, fn := range functionsOf(f) {
+			inspectOwnStmts(fn, func(n ast.Node) {
+				st, ok := n.(*ast.GoStmt)
+				if !ok {
+					return
+				}
+				checkGoStmt(pass, decls, fn, st)
+			})
+		}
+	}
+	return nil
+}
+
+// packageFuncDecls maps this package's function objects to their
+// declarations so spawned named functions can be inspected.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[obj] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+func checkGoStmt(pass *Pass, decls map[*types.Func]*ast.FuncDecl, enclosing funcBody, st *ast.GoStmt) {
+	body := spawnedBody(pass, decls, st.Call)
+	if body == nil {
+		return // body not visible: assume the callee supervises itself
+	}
+	if bodyHasLifecycleSignal(pass, decls, body, make(map[*ast.BlockStmt]bool), 2) {
+		return
+	}
+	if waitGroupAddBefore(pass, enclosing, st.Pos()) {
+		return
+	}
+	pass.Reportf(st.Pos(), "goroutine is fire-and-forget: no channel, select, context, or WaitGroup ties its lifetime to the spawner")
+}
+
+// spawnedBody resolves the body the go statement runs: a function
+// literal, or a same-package named function or method.
+func spawnedBody(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeFunc(pass, call); fn != nil {
+		if fd := decls[fn]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// bodyHasLifecycleSignal scans body (and, up to depth levels, the
+// bodies of same-package functions it calls) for any construct that
+// ties the goroutine's lifetime to the outside world.
+func bodyHasLifecycleSignal(pass *Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, seen map[*ast.BlockStmt]bool, depth int) bool {
+	if seen[body] {
+		return false
+	}
+	seen[body] = true
+	found := false
+	var callees []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true // channel receive
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isCloseCall(pass, x) || isContextCall(pass, x) || isSyncLifecycleCall(pass, x) || callPassesContext(pass, x) {
+				found = true
+				return false
+			}
+			if fn := calleeFunc(pass, x); fn != nil {
+				if fd := decls[fn]; fd != nil {
+					callees = append(callees, fd.Body)
+				}
+			}
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	if depth > 0 {
+		for _, cb := range callees {
+			if bodyHasLifecycleSignal(pass, decls, cb, seen, depth-1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isCloseCall matches the close builtin.
+func isCloseCall(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// isContextCall matches ctx.Done() / ctx.Err() / ctx.Deadline() on a
+// context.Context receiver.
+func isContextCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Done", "Err", "Deadline":
+	default:
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && isContextType(tv.Type)
+}
+
+// callPassesContext reports whether any argument is a context.Context
+// — handing the context on delegates cancellation downstream.
+func callPassesContext(pass *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncLifecycleCall matches WaitGroup.Done/Wait/Add and Cond.Wait/
+// Signal/Broadcast method calls.
+func isSyncLifecycleCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "WaitGroup":
+		switch sel.Sel.Name {
+		case "Done", "Wait", "Add":
+			return true
+		}
+	case "Cond":
+		switch sel.Sel.Name {
+		case "Wait", "Signal", "Broadcast":
+			return true
+		}
+	}
+	return false
+}
+
+// waitGroupAddBefore reports whether the enclosing function calls
+// WaitGroup.Add textually before the spawn — the spawner registered
+// the goroutine with a join it will Wait on.
+func waitGroupAddBefore(pass *Pass, enclosing funcBody, spawnPos token.Pos) bool {
+	found := false
+	inspectOwnStmts(enclosing, func(n ast.Node) {
+		if found {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.End() > spawnPos {
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return
+		}
+		if isSyncLifecycleCall(pass, call) {
+			found = true
+		}
+	})
+	return found
+}

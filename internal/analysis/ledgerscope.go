@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LedgerScope enforces exhaustiveness of the shed ledgers: every
+// request the serving path drops must land in exactly one named shed
+// bucket, the buckets must sum inside the struct's Conserved (or
+// FleetConserved) identity so the accounting test can prove
+// admitted = completed + shed, and when the struct is serialized for
+// /statz or /fleetz every bucket must be visible there. A bucket
+// missing from the sum silently breaks conservation the first time
+// its shed path fires; a bucket that is summed but never incremented
+// is a dead ledger entry hiding a shed path that vanishes from the
+// books; a bucket without a json tag on an otherwise-serialized
+// struct is invisible to operators exactly when it starts counting.
+//
+// Detection is structural: a "bucket" is a struct field whose name
+// starts with Shed or whose json tag starts with shed_. Any struct
+// declaring buckets must carry a Conserved/FleetConserved method.
+// Package main and test files are exempt — binaries consume ledgers,
+// they do not define them.
+var LedgerScope = &Analyzer{
+	Name: "ledgerscope",
+	Doc:  "flags shed ledger buckets missing from Conserved sums, never populated, or invisible to /statz serialization",
+	Run:  runLedgerScope,
+}
+
+func runLedgerScope(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				checkLedgerStruct(pass, ts)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLedgerStruct applies the bucket rules to one type declaration.
+func checkLedgerStruct(pass *Pass, ts *ast.TypeSpec) {
+	if ts.Assign.IsValid() {
+		return // alias: the ledger lives with (and is checked at) the defining type
+	}
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	var buckets []*types.Var
+	anyJSON := false
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		tag := jsonTagName(st.Tag(i))
+		if tag != "" {
+			anyJSON = true
+		}
+		if strings.HasPrefix(field.Name(), "Shed") || strings.HasPrefix(tag, "shed_") {
+			buckets = append(buckets, field)
+		}
+	}
+	if len(buckets) == 0 {
+		return
+	}
+
+	sumBody := conservedBody(pass, obj.Name())
+	if sumBody == nil {
+		pass.Reportf(ts.Pos(), "%s declares shed buckets but no Conserved/FleetConserved method sums them; conservation cannot be checked", obj.Name())
+		return
+	}
+	for _, b := range buckets {
+		if !bodyUsesField(pass, sumBody, b) {
+			pass.Reportf(b.Pos(), "bucket %s.%s is missing from the conservation sum; a request shed there breaks admitted = completed + shed", obj.Name(), b.Name())
+		}
+		if !fieldPopulated(pass, b, sumBody) {
+			pass.Reportf(b.Pos(), "bucket %s.%s is summed but never incremented or assigned in this package; the shed path it names is unaccounted", obj.Name(), b.Name())
+		}
+		if anyJSON && jsonTagName(st.Tag(fieldIndex(st, b))) == "" {
+			pass.Reportf(b.Pos(), "bucket %s.%s has no json tag while sibling fields are serialized; the count is invisible to /statz", obj.Name(), b.Name())
+		}
+	}
+}
+
+func fieldIndex(st *types.Struct, f *types.Var) int {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == f {
+			return i
+		}
+	}
+	return 0
+}
+
+// jsonTagName extracts the name part of a json struct tag.
+func jsonTagName(tag string) string {
+	for _, part := range strings.Split(tag, " ") {
+		part = strings.TrimSpace(part)
+		if !strings.HasPrefix(part, `json:"`) {
+			continue
+		}
+		val := strings.TrimPrefix(part, `json:"`)
+		val = strings.TrimSuffix(val, `"`)
+		if i := strings.IndexByte(val, ','); i >= 0 {
+			val = val[:i]
+		}
+		if val == "-" {
+			return ""
+		}
+		return val
+	}
+	return ""
+}
+
+// conservedBody finds the Conserved or FleetConserved method declared
+// on typeName in this package (non-test files).
+func conservedBody(pass *Pass, typeName string) *ast.BlockStmt {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Conserved" && fd.Name.Name != "FleetConserved" {
+				continue
+			}
+			if recvTypeName(fd) == typeName {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// bodyUsesField reports whether body references field (by object
+// identity, so shadowing cannot fool it).
+func bodyUsesField(pass *Pass, body *ast.BlockStmt, field *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == field {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// fieldPopulated reports whether field is written anywhere in the
+// package's non-test files outside the conservation sum itself: an
+// assignment or op-assignment target, an increment, or a composite
+// literal key.
+func fieldPopulated(pass *Pass, field *types.Var, sumBody *ast.BlockStmt) bool {
+	usesField := func(e ast.Expr) bool {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return pass.TypesInfo.Uses[sel.Sel] == field
+	}
+	found := false
+	for _, f := range pass.Files {
+		if found || pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if n == sumBody {
+				return false
+			}
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					if usesField(lhs) {
+						found = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if usesField(st.X) {
+					found = true
+				}
+			case *ast.CompositeLit:
+				for _, el := range st.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == field {
+							found = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -26,6 +26,7 @@ type listedPackage struct {
 	ForTest    string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	DepOnly    bool
 	Standard   bool
 	ImportMap  map[string]string
@@ -36,12 +37,28 @@ type listedError struct {
 	Err string
 }
 
+// Options tunes one Run of the suite.
+type Options struct {
+	// StrictDirectives reports //lint:helmvet-ignore directives that
+	// name an analyzer excluded from this run as dead: such a
+	// directive suppresses nothing and rots silently otherwise.
+	StrictDirectives bool
+	// IncludeIgnored keeps directive-suppressed findings in the result,
+	// marked Ignored, instead of dropping them.
+	IncludeIgnored bool
+}
+
 // Run loads the packages matched by patterns (relative to dir), runs
 // every analyzer over each, applies //lint:helmvet-ignore directives,
 // and returns the surviving findings sorted by position. Test files
 // are included: in-package _test.go files are analyzed together with
 // the package, external _test packages separately.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunOpts(dir, patterns, analyzers, Options{})
+}
+
+// RunOpts is Run with explicit Options.
+func RunOpts(dir string, patterns []string, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
 	pkgs, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -54,10 +71,37 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	for _, p := range pkgs {
 		byPath[p.ImportPath] = p
 	}
+	ld := &loader{byPath: byPath, cache: make(map[string]*checkedPackage)}
+	facts := newFactStore()
+	// Fact phase: walk every in-module source package bottom-up so an
+	// analyzer inspecting a package can import facts about everything
+	// it depends on, whether or not the dependency was itself a target.
+	if hasFactRuns(analyzers) {
+		for _, lp := range factOrder(pkgs) {
+			cp, err := ld.check(lp)
+			if err != nil {
+				return nil, err
+			}
+			facts.setExportKey(lp.ImportPath, lp.Export)
+			for _, a := range analyzers {
+				if a.FactRun == nil {
+					continue
+				}
+				pass := cp.newPass(a, facts, func(Diagnostic) {})
+				if err := a.FactRun(pass); err != nil {
+					return nil, fmt.Errorf("helmvet: %s facts on %s: %v", a.Name, lp.ImportPath, err)
+				}
+			}
+		}
+	}
+	enabled := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
 	absDir, _ := filepath.Abs(dir)
 	var diags []Diagnostic
 	for _, lp := range targets {
-		ds, err := analyzePackage(lp, byPath, analyzers)
+		ds, err := analyzePackage(ld, lp, analyzers, enabled, facts, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -84,13 +128,22 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	return diags, nil
 }
 
+func hasFactRuns(analyzers []*Analyzer) bool {
+	for _, a := range analyzers {
+		if a.FactRun != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // goList shells out to `go list -export -deps -test` so every
 // dependency arrives with compiled export data; the target packages
 // themselves are then typechecked from source.
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	args := append([]string{
 		"list", "-e", "-export", "-deps", "-test",
-		"-json=Dir,ImportPath,Name,ForTest,Export,GoFiles,DepOnly,Standard,ImportMap,Error",
+		"-json=Dir,ImportPath,Name,ForTest,Export,GoFiles,Imports,DepOnly,Standard,ImportMap,Error",
 		"--",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -140,11 +193,82 @@ func selectTargets(pkgs []*listedPackage) []*listedPackage {
 	return targets
 }
 
-// analyzePackage parses and typechecks one listed package from source
-// and runs the analyzers over it.
-func analyzePackage(lp *listedPackage, byPath map[string]*listedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+// factOrder returns every in-module source package — targets and
+// in-module dependencies alike, plain variants only — topologically
+// sorted so imports precede importers. The module carries no external
+// dependencies, so "non-standard with source" is "in-module".
+func factOrder(pkgs []*listedPackage) []*listedPackage {
+	inModule := make(map[string]*listedPackage)
+	for _, p := range pkgs {
+		if p.Standard || p.Error != nil || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		inModule[p.ImportPath] = p
+	}
+	var order []*listedPackage
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		p := inModule[path]
+		if p == nil || state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		for _, imp := range p.Imports {
+			visit(imp)
+		}
+		state[path] = 2
+		order = append(order, p)
+	}
+	// Deterministic root order.
+	paths := make([]string, 0, len(inModule))
+	for path := range inModule {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		visit(path)
+	}
+	return order
+}
+
+// checkedPackage is one parsed and typechecked package, reused between
+// the fact and reporting phases.
+type checkedPackage struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func (cp *checkedPackage) newPass(a *Analyzer, facts *FactStore, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      cp.fset,
+		Files:     cp.files,
+		Pkg:       cp.pkg,
+		TypesInfo: cp.info,
+		Facts:     facts,
+		report:    report,
+	}
+}
+
+// loader parses and typechecks listed packages from source, memoized
+// by (bracketed) import path.
+type loader struct {
+	byPath map[string]*listedPackage
+	cache  map[string]*checkedPackage
+}
+
+func (ld *loader) check(lp *listedPackage) (*checkedPackage, error) {
 	if lp.Error != nil {
 		return nil, fmt.Errorf("helmvet: %s: %s", lp.ImportPath, lp.Error.Err)
+	}
+	if cp, ok := ld.cache[lp.ImportPath]; ok {
+		return cp, nil
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -157,7 +281,7 @@ func analyzePackage(lp *listedPackage, byPath map[string]*listedPackage, analyze
 	}
 	var typeErrs []error
 	conf := types.Config{
-		Importer: newExportImporter(fset, byPath, lp.ImportMap),
+		Importer: newExportImporter(fset, ld.byPath, lp.ImportMap),
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	info := &types.Info{
@@ -172,20 +296,32 @@ func analyzePackage(lp *listedPackage, byPath map[string]*listedPackage, analyze
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("helmvet: typechecking %s: %v", lp.ImportPath, typeErrs[0])
 	}
-	dirs, diags := parseDirectives(fset, files)
+	cp := &checkedPackage{fset: fset, files: files, pkg: pkg, info: info}
+	ld.cache[lp.ImportPath] = cp
+	return cp, nil
+}
+
+// analyzePackage runs the analyzers over one target package, applying
+// ignore directives: suppressed findings are dropped (or kept, marked
+// Ignored), malformed or — under StrictDirectives — dead directives
+// are findings of their own.
+func analyzePackage(ld *loader, lp *listedPackage, analyzers []*Analyzer, enabled map[string]bool, facts *FactStore, opts Options) ([]Diagnostic, error) {
+	cp, err := ld.check(lp)
+	if err != nil {
+		return nil, err
+	}
+	dirs, diags := parseDirectives(cp.fset, cp.files, enabled, opts.StrictDirectives)
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			report: func(d Diagnostic) {
-				if !dirs.suppresses(d) {
+		pass := cp.newPass(a, facts, func(d Diagnostic) {
+			if dirs.suppresses(d) {
+				if opts.IncludeIgnored {
+					d.Ignored = true
 					diags = append(diags, d)
 				}
-			},
-		}
+				return
+			}
+			diags = append(diags, d)
+		})
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("helmvet: %s on %s: %v", a.Name, lp.ImportPath, err)
 		}

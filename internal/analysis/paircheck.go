@@ -1,0 +1,393 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PairCheck enforces paired-resource discipline on the engine's
+// acquire/release seams, the invariants PR 5–7 made load-bearing at
+// runtime: a SwappableStore.Acquire pin left unreleased keeps a
+// retired checkpoint generation (and its mmap view) alive forever, an
+// Arena.Get matrix dropped on an early return leaks the zero-alloc
+// free list's capacity, a kvcache Admit without Release strands pages
+// until the ledger poisons, and a Breaker probe that never settles
+// wedges the half-open state with its one probe slot consumed.
+//
+// The discipline is configured by a declarative table of pair
+// signatures (receiver type + method names + token shape), not
+// hardcoded call sites, and checked on the flow layer's per-function
+// CFG in the spirit of go vet's lostcancel: from each acquisition,
+// every path to the function's exit must either use the token —
+// calling the release, passing it on, storing it, returning it; any
+// reference is treated as a handoff of responsibility — or traverse
+// the "acquisition itself failed" branch of an `if err != nil` check
+// on the acquisition's own error. The Breaker pair is weaker by
+// design: probe==false paths legally skip settling, and path
+// insensitivity cannot see the flag's value, so the analyzer only
+// demands that a ProbeDone/ProbeAbort (or an escape of the flag) be
+// reachable at all.
+var PairCheck = &Analyzer{
+	Name: "paircheck",
+	Doc:  "flags acquire/release pairs (Acquire/release, Arena Get/Put, kvcache Admit/Release, Breaker probe settle) left open on some path",
+	Run:  runPairCheck,
+}
+
+type pairKind int
+
+const (
+	// pairReleaseFunc: the acquisition returns a release closure that
+	// must be called (or deferred, or handed off) on all paths.
+	pairReleaseFunc pairKind = iota
+	// pairValue: the acquisition returns a value that must flow into a
+	// release method or be handed off on all paths.
+	pairValue
+	// pairKeyedArg: the acquisition registers a caller-supplied key
+	// (arg tokenArg); a local key must reach a release call or hand
+	// off on all paths.
+	pairKeyedArg
+	// pairProbe: the acquisition returns a flag; a settle call (or an
+	// escape of the flag) must merely be reachable.
+	pairProbe
+)
+
+// A pairSpec declares one paired-resource signature. Matching is by
+// receiver type name, method name, and call shape — declarative and
+// codebase-tuned, so the golden packages can model the real types
+// without importing them.
+type pairSpec struct {
+	recv     string
+	method   string
+	kind     pairKind
+	tokenRes int      // result index of the token (non-keyed kinds)
+	tokenArg int      // argument index of the key (pairKeyedArg)
+	errRes   int      // result index of the acquisition error, -1 if none
+	releases []string // release/settle method names on recv
+	leak     string   // what leaks, for messages
+}
+
+var pairTable = []pairSpec{
+	{recv: "SwappableStore", method: "Acquire", kind: pairReleaseFunc, tokenRes: 2, errRes: 3,
+		leak: "the pinned checkpoint generation"},
+	{recv: "Arena", method: "Get", kind: pairValue, tokenRes: 0, errRes: -1, releases: []string{"Put"},
+		leak: "the scratch matrix"},
+	{recv: "Pool", method: "Admit", kind: pairKeyedArg, tokenArg: 0, errRes: 1, releases: []string{"Release"},
+		leak: "the admitted sequence's pages"},
+	{recv: "PagedCache", method: "Admit", kind: pairKeyedArg, tokenArg: 0, errRes: 0, releases: []string{"Release"},
+		leak: "the admitted prompt's pages"},
+	{recv: "Breaker", method: "Allow", kind: pairProbe, tokenRes: 0, errRes: -1, releases: []string{"ProbeDone", "ProbeAbort"},
+		leak: "the half-open probe slot"},
+}
+
+func runPairCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, fn := range functionsOf(f) {
+			checkPairsInFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkPairsInFunc inspects one function body for acquisition calls
+// and walks the CFG from each.
+func checkPairsInFunc(pass *Pass, fn funcBody) {
+	var sites []*ast.CallExpr
+	var specs []*pairSpec
+	inspectOwnStmts(fn, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if spec := matchPair(pass, call); spec != nil {
+			sites = append(sites, call)
+			specs = append(specs, spec)
+		}
+	})
+	if len(sites) == 0 {
+		return
+	}
+	g := buildCFG(fn.body)
+	for i, call := range sites {
+		checkPairSite(pass, g, fn, call, specs[i])
+	}
+}
+
+// inspectOwnStmts walks fn's body, skipping nested function literals —
+// their bodies are separate funcBody entries.
+func inspectOwnStmts(fn funcBody, visit func(ast.Node)) {
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != fn.node {
+			return false
+		}
+		visit(n)
+		return true
+	})
+}
+
+// matchPair reports the table entry call matches, verifying the call
+// shape so same-named unrelated methods cannot collide.
+func matchPair(pass *Pass, call *ast.CallExpr) *pairSpec {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil
+	}
+	recvName := namedTypeName(selection.Recv())
+	if recvName == "" {
+		return nil
+	}
+	sig, ok := selection.Obj().Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := range pairTable {
+		spec := &pairTable[i]
+		if spec.recv != recvName || spec.method != sel.Sel.Name {
+			continue
+		}
+		if !pairShapeOK(spec, sig) {
+			continue
+		}
+		return spec
+	}
+	return nil
+}
+
+// pairShapeOK verifies the method's signature has the token and error
+// slots the spec declares.
+func pairShapeOK(spec *pairSpec, sig *types.Signature) bool {
+	res := sig.Results()
+	if spec.errRes >= 0 {
+		if res.Len() <= spec.errRes || !isErrorType(res.At(spec.errRes).Type()) {
+			return false
+		}
+	}
+	switch spec.kind {
+	case pairReleaseFunc:
+		if res.Len() <= spec.tokenRes {
+			return false
+		}
+		fnSig, ok := res.At(spec.tokenRes).Type().(*types.Signature)
+		return ok && fnSig.Params().Len() == 0
+	case pairValue:
+		return res.Len() > spec.tokenRes
+	case pairKeyedArg:
+		return sig.Params().Len() > spec.tokenArg
+	case pairProbe:
+		if res.Len() <= spec.tokenRes {
+			return false
+		}
+		basic, ok := res.At(spec.tokenRes).Type().(*types.Basic)
+		return ok && basic.Kind() == types.Bool
+	}
+	return false
+}
+
+// checkPairSite resolves the token and error bindings at one
+// acquisition call and runs the path query.
+func checkPairSite(pass *Pass, g *funcCFG, fn funcBody, call *ast.CallExpr, spec *pairSpec) {
+	blk, idx := g.stmtPos(call.Pos())
+	if blk == nil {
+		return
+	}
+	stmt := blk.stmts[idx]
+	relNames := strings.Join(spec.releases, "/")
+
+	var tokVar, errVar *types.Var
+	switch spec.kind {
+	case pairKeyedArg:
+		id, ok := ast.Unparen(call.Args[spec.tokenArg]).(*ast.Ident)
+		if !ok {
+			return // key is an expression (field, call): responsibility lives elsewhere
+		}
+		tokVar = identVar(pass, id)
+		if tokVar == nil || !varIsLocal(tokVar, fn.node) {
+			return // non-local key: the holder outlives this function by design
+		}
+		errVar = boundResultVar(pass, stmt, call, spec.errRes)
+	default:
+		tok, bound := resultBinding(pass, stmt, call, spec.tokenRes)
+		if !bound {
+			// Results discarded outright (expression statement or all-blank
+			// assignment): the token can never be used again.
+			switch spec.kind {
+			case pairReleaseFunc:
+				pass.Reportf(call.Pos(), "release func from %s.%s is discarded; %s leaks", spec.recv, spec.method, spec.leak)
+			case pairValue:
+				pass.Reportf(call.Pos(), "result of %s.%s is discarded without %s; %s leaks", spec.recv, spec.method, relNames, spec.leak)
+			case pairProbe:
+				pass.Reportf(call.Pos(), "probe flag from %s.%s is discarded; a granted probe can never settle and %s leaks", spec.recv, spec.method, spec.leak)
+			}
+			return
+		}
+		if tok == nil {
+			return // bound to a field or other non-ident: responsibility escaped
+		}
+		tokVar = tok
+		if spec.errRes >= 0 {
+			errVar = boundResultVar(pass, stmt, call, spec.errRes)
+		}
+	}
+	if tokVar == nil {
+		return
+	}
+
+	usesTok := func(s ast.Stmt) bool {
+		return s != stmt && stmtReferencesVar(pass, s, tokVar)
+	}
+	switch spec.kind {
+	case pairProbe:
+		settles := func(s ast.Stmt) bool {
+			if g.isCondStmt(s) {
+				// The flag read in a branch condition is a test, not a
+				// settle or a handoff.
+				return stmtHasSettleCall(pass, s, spec)
+			}
+			return usesTok(s) || stmtHasSettleCall(pass, s, spec)
+		}
+		if !g.canReach(blk, idx, settles) {
+			pass.Reportf(call.Pos(), "no %s is reachable after %s.%s and the probe flag does not escape; %s leaks",
+				relNames, spec.recv, spec.method, spec.leak)
+		}
+	default:
+		if g.pathMissing(blk, idx, usesTok, errExemptEdge(pass.TypesInfo, errVar)) {
+			switch spec.kind {
+			case pairReleaseFunc:
+				pass.Reportf(call.Pos(), "release func %q from %s.%s is not called or handed off on every path; %s leaks",
+					tokVar.Name(), spec.recv, spec.method, spec.leak)
+			case pairValue:
+				pass.Reportf(call.Pos(), "%q from %s.%s neither reaches %s nor is handed off on some path; %s leaks",
+					tokVar.Name(), spec.recv, spec.method, relNames, spec.leak)
+			case pairKeyedArg:
+				pass.Reportf(call.Pos(), "key %q admitted via %s.%s does not reach %s and is not handed off on some path; %s leaks",
+					tokVar.Name(), spec.recv, spec.method, relNames, spec.leak)
+			}
+		}
+	}
+}
+
+// resultBinding finds what result index i of call is bound to in stmt:
+// (var, true) for a plain identifier, (nil, true) for any other
+// binding (field, index — responsibility escaped), (nil, false) when
+// the results are discarded.
+func resultBinding(pass *Pass, stmt ast.Stmt, call *ast.CallExpr, i int) (*types.Var, bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || ast.Unparen(as.Rhs[0]) != call {
+		// The call's value is consumed by a larger expression (argument,
+		// return value, ...): treat as handed off.
+		if _, isExpr := stmt.(*ast.ExprStmt); isExpr {
+			return nil, false
+		}
+		return nil, true
+	}
+	if len(as.Lhs) <= i {
+		return nil, false
+	}
+	id, ok := as.Lhs[i].(*ast.Ident)
+	if !ok {
+		return nil, true
+	}
+	if id.Name == "_" {
+		return nil, false
+	}
+	return identVar(pass, id), true
+}
+
+// boundResultVar resolves the variable bound to result i, nil when
+// blank or not a plain identifier.
+func boundResultVar(pass *Pass, stmt ast.Stmt, call *ast.CallExpr, i int) *types.Var {
+	if i < 0 {
+		return nil
+	}
+	v, _ := resultBinding(pass, stmt, call, i)
+	return v
+}
+
+func identVar(pass *Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// stmtReferencesVar reports whether any identifier in s (including
+// inside nested closures — capture is a handoff) resolves to v.
+func stmtReferencesVar(pass *Pass, s ast.Stmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if pass.TypesInfo.Uses[id] == v || pass.TypesInfo.Defs[id] == v {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stmtHasSettleCall reports whether s contains a call to one of the
+// spec's settle methods on the spec's receiver type.
+func stmtHasSettleCall(pass *Pass, s ast.Stmt, spec *pairSpec) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return true
+		}
+		if namedTypeName(selection.Recv()) != spec.recv {
+			return true
+		}
+		for _, r := range spec.releases {
+			if sel.Sel.Name == r {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// varIsLocal reports whether v is declared inside fn (body or
+// parameter list).
+func varIsLocal(v *types.Var, fn ast.Node) bool {
+	return v.Pos() >= fn.Pos() && v.Pos() < fn.End()
+}
+
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch n := t.(type) {
+	case *types.Named:
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -28,8 +28,46 @@ func TestIgnoreDirectiveGolden(t *testing.T) {
 	runGolden(t, Determinism, "ignoretest")
 }
 
+func TestPairCheckGolden(t *testing.T) {
+	runGolden(t, PairCheck, "pairtest")
+}
+
+// TestMmapAliasGolden runs both sides of the cross-package fact:
+// mmapsrc exports the view-returning function, mmaptest consumes it.
+func TestMmapAliasGolden(t *testing.T) {
+	runGolden(t, MmapAlias, "mmapsrc", "mmaptest")
+}
+
+func TestLedgerScopeGolden(t *testing.T) {
+	runGolden(t, LedgerScope, "ledgertest")
+}
+
+func TestGoLeakGolden(t *testing.T) {
+	runGolden(t, GoLeak, "goleaktest")
+}
+
+// TestRepoClean asserts the real repository is clean under the full
+// eight-analyzer suite: every invariant either holds or carries a
+// reasoned //lint:helmvet-ignore directive. A regression that trips
+// any analyzer fails here before it reaches CI's lint gate.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide load and typecheck is not -short friendly")
+	}
+	diags, err := Run("../..", []string{"./..."}, Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo finding: %s", d)
+	}
+}
+
 func TestSuiteStable(t *testing.T) {
-	names := []string{"atomiccheck", "errcheckwrap", "determinism", "ctxflow"}
+	names := []string{
+		"atomiccheck", "errcheckwrap", "determinism", "ctxflow",
+		"paircheck", "mmapalias", "ledgerscope", "goleak",
+	}
 	s := Suite()
 	if len(s) != len(names) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(s), len(names))

@@ -1,0 +1,80 @@
+// Package goleaktest is golden input for the goleak analyzer.
+package goleaktest
+
+import (
+	"context"
+	"sync"
+)
+
+type Worker struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// True positive: a spin loop nothing can stop.
+func badSpin(w *Worker) {
+	go func() { // want "goroutine is fire-and-forget"
+		for i := 0; ; i++ {
+			spin(i)
+		}
+	}()
+}
+
+// True positive: a named same-package function with no lifecycle tie.
+func badNamed() {
+	go orphanLoop() // want "goroutine is fire-and-forget"
+}
+
+func orphanLoop() {
+	for {
+		spin(0)
+	}
+}
+
+// Allowed: the goroutine ranges over a channel the spawner closes.
+func goodRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			spin(v)
+		}
+	}()
+}
+
+// Allowed: parked in a select on the context.
+func goodCtx(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// Allowed: joined through the WaitGroup it signals.
+func goodWG(w *Worker) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		spin(1)
+	}()
+}
+
+// Allowed: the spawner registered a WaitGroup join even though the
+// spawned body itself shows no signal.
+func goodAddBefore(w *Worker) {
+	w.wg.Add(1)
+	go spinOnce()
+}
+
+func spinOnce() { spin(3) }
+
+// Allowed: the close signal sits one call level down.
+func goodIndirect(w *Worker) {
+	go runThenClose(w)
+}
+
+func runThenClose(w *Worker) {
+	spin(2)
+	close(w.done)
+}
+
+func spin(int) {}

@@ -1,0 +1,59 @@
+// Package ledgertest is golden input for the ledgerscope analyzer.
+package ledgertest
+
+// Allowed: every bucket is summed, populated, and serialized.
+type GoodStats struct {
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	ShedFull  int64 `json:"shed_full"`
+	ShedStale int64 `json:"shed_stale"`
+}
+
+func (s *GoodStats) Conserved() bool {
+	return s.Admitted == s.Completed+s.ShedFull+s.ShedStale
+}
+
+func (s *GoodStats) observe(full bool) {
+	s.Admitted++
+	if full {
+		s.ShedFull++
+	} else {
+		s.ShedStale++
+	}
+}
+
+// Allowed: a fleet ledger under FleetConserved, with no serialization
+// (no json tags anywhere, so no tag parity to enforce).
+type FleetGood struct {
+	Routed        int64
+	ShedNoBackend int64
+}
+
+func (f *FleetGood) FleetConserved() bool { return f.Routed >= f.ShedNoBackend }
+
+func (f *FleetGood) shed() { f.ShedNoBackend++ }
+
+// True positives: one bucket per failure mode.
+type BadStats struct {
+	Admitted  int64 `json:"admitted"`
+	ShedLost  int64 `json:"shed_lost"`  // want "bucket BadStats.ShedLost is missing from the conservation sum"
+	ShedGhost int64 `json:"shed_ghost"` // want "bucket BadStats.ShedGhost is summed but never incremented or assigned"
+	ShedDark  int64 // want "bucket BadStats.ShedDark has no json tag while sibling fields are serialized"
+}
+
+func (s *BadStats) Conserved() bool {
+	return s.Admitted == s.ShedGhost+s.ShedDark
+}
+
+func (s *BadStats) observe() {
+	s.Admitted++
+	s.ShedLost++
+	s.ShedDark++
+}
+
+// True positive: buckets with no conservation identity at all.
+type Orphan struct { // want "Orphan declares shed buckets but no Conserved/FleetConserved method sums them"
+	ShedAny int64
+}
+
+func (o *Orphan) observe() { o.ShedAny++ }

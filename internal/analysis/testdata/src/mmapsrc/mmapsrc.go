@@ -1,0 +1,29 @@
+// Package mmapsrc is golden input for the mmapalias analyzer's source
+// side: it models the mapping type and exports a view-returning
+// function, so the fact phase marks View with "mmapview" and the
+// importing golden package (mmaptest) exercises cross-package taint.
+package mmapsrc
+
+type MappedFile struct {
+	data []byte
+}
+
+func (m *MappedFile) Bytes() []byte { return m.data }
+
+// View returns a sub-view of the mapping. Returning a tainted slice is
+// itself a finding (the fetch scope ends at the function boundary) and
+// exports the cross-package fact.
+func View(m *MappedFile, off, n int) []byte {
+	b := m.Bytes()
+	return b[off : off+n] // want "returned to the caller"
+}
+
+// Sum is an allowed pattern: the view stays inside the frame.
+func Sum(m *MappedFile) int {
+	b := m.Bytes()
+	s := 0
+	for _, v := range b {
+		s += int(v)
+	}
+	return s
+}

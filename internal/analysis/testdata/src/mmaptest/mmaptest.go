@@ -1,0 +1,59 @@
+// Package mmaptest is golden input for the mmapalias analyzer's
+// consumer side: views obtained from mmapsrc (directly via Bytes, or
+// through the cross-package "mmapview" fact on mmapsrc.View) must not
+// escape the fetching frame.
+package mmaptest
+
+import "helmsim/internal/analysis/testdata/src/mmapsrc"
+
+type holder struct {
+	buf []byte
+}
+
+// True positive: the view outlives the fetch in a struct field.
+func badStore(h *holder, m *mmapsrc.MappedFile) {
+	b := m.Bytes()
+	h.buf = b // want "stored to a struct field or element"
+}
+
+// True positive: the view crosses a channel to an unknown lifetime.
+func badSend(m *mmapsrc.MappedFile, ch chan []byte) {
+	ch <- m.Bytes() // want "sent on a channel"
+}
+
+// True positive: a spawned goroutine may touch the view after unmap.
+func badGo(m *mmapsrc.MappedFile) {
+	view := m.Bytes()
+	go func() { // want "captured by a spawned goroutine"
+		_ = view[0]
+	}()
+}
+
+// True positive through the cross-package fact: View's result is a
+// view even though nothing here called Bytes.
+func badCrossPackage(h *holder, m *mmapsrc.MappedFile) {
+	v := mmapsrc.View(m, 0, 8)
+	h.buf = v[2:4] // want "stored to a struct field or element"
+}
+
+// Allowed: copying out breaks the alias before anything escapes.
+func goodCopy(m *mmapsrc.MappedFile) []byte {
+	b := m.Bytes()
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Allowed: passing the view down a call that consumes it within the
+// fetch window.
+func goodConsume(m *mmapsrc.MappedFile) int {
+	return checksum(m.Bytes())
+}
+
+func checksum(b []byte) int {
+	s := 0
+	for _, v := range b {
+		s += int(v)
+	}
+	return s
+}

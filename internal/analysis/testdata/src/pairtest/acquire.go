@@ -1,0 +1,38 @@
+package pairtest
+
+// True positive: the success path can return without releasing.
+func badLeakOnBranch(s *SwappableStore) error {
+	_, _, release, err := s.Acquire() // want "release func \"release\" from SwappableStore.Acquire is not called or handed off on every path"
+	if err != nil {
+		return err
+	}
+	if tooBig() {
+		return nil
+	}
+	release()
+	return nil
+}
+
+// True positive: the release func can never be called.
+func badDiscard(s *SwappableStore) {
+	_, _, _, _ = s.Acquire() // want "release func from SwappableStore.Acquire is discarded"
+}
+
+// Allowed: the canonical defer, with the error branch exempt.
+func goodDefer(s *SwappableStore) error {
+	_, _, release, err := s.Acquire()
+	if err != nil {
+		return err
+	}
+	defer release()
+	return use()
+}
+
+// Allowed: responsibility handed to the caller.
+func goodHandoff(s *SwappableStore) (func(), error) {
+	_, _, release, err := s.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	return release, nil
+}

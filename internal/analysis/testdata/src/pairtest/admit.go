@@ -1,0 +1,47 @@
+package pairtest
+
+// True positive: the shared-prefix path returns without releasing id.
+func badAdmitLeak(p *Pool, prompt []int) error {
+	id := nextID()
+	shared, err := p.Admit(id, prompt) // want "key \"id\" admitted via Pool.Admit does not reach Release and is not handed off on some path"
+	if err != nil {
+		return err
+	}
+	if shared > 0 {
+		return nil
+	}
+	return p.Release(id)
+}
+
+// True positive: paged admit with a forgotten release on success.
+func badPagedLeak(c *PagedCache, tokens int) error {
+	id := nextID()
+	if err := c.Admit(id, tokens); err != nil { // want "key \"id\" admitted via PagedCache.Admit does not reach Release and is not handed off on some path"
+		return err
+	}
+	return nil
+}
+
+// Allowed: admit failure is exempt, success defers the release.
+func goodAdmit(p *Pool, prompt []int) error {
+	id := nextID()
+	if _, err := p.Admit(id, prompt); err != nil {
+		return err
+	}
+	defer p.Release(id)
+	return work2()
+}
+
+// Allowed: the id is handed off to a tracker that owns the release.
+func goodAdmitHandoff(c *PagedCache, tokens int) *tracker {
+	id := nextID()
+	if err := c.Admit(id, tokens); err != nil {
+		return nil
+	}
+	return &tracker{id: id}
+}
+
+// Allowed: a non-local key is someone else's responsibility.
+func goodAdmitField(c *PagedCache, t *tracker, tokens int) error {
+	return c.Admit(t.id, tokens)
+}

@@ -1,0 +1,36 @@
+package pairtest
+
+// True positive: the early return drops the matrix.
+func badArenaEarlyReturn(a *Arena, n int) int {
+	m := a.Get(n, n) // want "\"m\" from Arena.Get neither reaches Put nor is handed off on some path"
+	if n > 8 {
+		return 0
+	}
+	a.Put(m)
+	return n
+}
+
+// True positive: the result is dropped on the floor.
+func badArenaDiscard(a *Arena) {
+	a.Get(1, 1) // want "result of Arena.Get is discarded without Put"
+}
+
+// Allowed: deferred Put covers every path.
+func goodArenaDefer(a *Arena, n int) {
+	m := a.Get(n, n)
+	defer a.Put(m)
+	work(m)
+}
+
+// Allowed: ownership transfers to the caller.
+func goodArenaTransfer(a *Arena, n int) Mat {
+	m := a.Get(n, n)
+	return m
+}
+
+// Allowed: passing the matrix to a helper is a handoff (the engine
+// moves scratch matrices through kernel helpers that Put internally).
+func goodArenaHelper(a *Arena, n int) {
+	m := a.Get(n, n)
+	work(m)
+}

@@ -1,0 +1,45 @@
+// Package pairtest is golden input for the paircheck analyzer. The
+// mini types mirror the real acquire/release signatures (paircheck
+// matches by receiver type name, method name, and call shape), so the
+// findings here are exactly what the real seams would produce.
+package pairtest
+
+type WeightStore interface{ Rows() int }
+
+type SwappableStore struct{}
+
+func (s *SwappableStore) Acquire() (WeightStore, int64, func(), error) {
+	return nil, 0, func() {}, nil
+}
+
+type Mat struct{ d []float32 }
+
+type Arena struct{}
+
+func (a *Arena) Get(r, c int) Mat { return Mat{d: make([]float32, r*c)} }
+func (a *Arena) Put(m Mat)        {}
+
+type Pool struct{}
+
+func (p *Pool) Admit(id int, prompt []int) (int, error) { return 0, nil }
+func (p *Pool) Release(id int) error                    { return nil }
+
+type PagedCache struct{}
+
+func (c *PagedCache) Admit(id, tokens int) error { return nil }
+func (c *PagedCache) Release(id int) error       { return nil }
+
+type Breaker struct{}
+
+func (b *Breaker) Allow() (bool, bool) { return true, true }
+func (b *Breaker) ProbeDone(ok bool)   {}
+func (b *Breaker) ProbeAbort()         {}
+
+func tooBig() bool  { return false }
+func use() error    { return nil }
+func nextID() int   { return 7 }
+func work(m Mat)    {}
+func work2() error  { return nil }
+func spinOnce() int { return 1 }
+
+type tracker struct{ id int }

@@ -1,0 +1,42 @@
+package pairtest
+
+// True positive: the probe flag is only ever tested, never settled —
+// a granted probe wedges the breaker half-open.
+func badProbeNeverSettled(b *Breaker, work func()) {
+	probe, ok := b.Allow() // want "no ProbeDone/ProbeAbort is reachable after Breaker.Allow and the probe flag does not escape"
+	if !ok {
+		return
+	}
+	if probe {
+		work()
+	}
+}
+
+// True positive: the flag is discarded outright.
+func badProbeDiscard(b *Breaker) bool {
+	_, ok := b.Allow() // want "probe flag from Breaker.Allow is discarded"
+	return ok
+}
+
+// Allowed: a settle call is reachable (paircheck deliberately does not
+// demand it on every path — probe==false paths legally skip it).
+func goodProbeSettle(b *Breaker, work func() error) {
+	probe, ok := b.Allow()
+	if !ok {
+		return
+	}
+	err := work()
+	if probe {
+		if err != nil {
+			b.ProbeAbort()
+		} else {
+			b.ProbeDone(true)
+		}
+	}
+}
+
+// Allowed: the flag escapes to the caller, who settles.
+func goodProbeEscape(b *Breaker) bool {
+	probe, _ := b.Allow()
+	return probe
+}

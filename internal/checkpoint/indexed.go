@@ -198,6 +198,7 @@ func (ix *Indexed) payload(name string, m entryMeta) ([]byte, error) {
 			if m.offset < 0 || end < m.offset || end > int64(len(b)) {
 				return nil, fmt.Errorf("checkpoint: tensor %q extends past the mapped file: %w", name, ErrCorrupt)
 			}
+			//lint:helmvet-ignore mmapalias payload is the view-or-copy seam itself: its doc binds the view's lifetime to the open index, and every exported reader copies out (ReadTensorInto) before returning
 			return b[m.offset:end:end], nil
 		}
 	}
