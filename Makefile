@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-full fmt-check vet helmvet vulncheck bench bench3 batch-bench daemon-smoke fleet-smoke
+.PHONY: all build test race lint lint-full fmt-check vet helmvet vulncheck bench bench3 batch-bench daemon-smoke fleet-smoke overload-smoke
 
 all: build lint test
 
@@ -66,3 +66,14 @@ daemon-smoke:
 fleet-smoke:
 	$(GO) test -race -count=2 -run TestFleetChaosLifecycle ./internal/gateway/
 	$(GO) test -race -run 'TestGatewayLifecycle|TestParseWeights|TestBadFlagCombos' ./cmd/helmgw/
+
+# The CI overload-smoke job: a 3-replica fleet offered roughly twice
+# its lower-class token budgets over three sustained waves. Interactive
+# traffic must never shed, shedding must land on batch before rag with
+# honest Retry-After, admitted requests must return byte-identical
+# tokens, and fleet + per-replica per-class ledgers must conserve —
+# under the race detector. The verbose log carries the per-class
+# ledger JSON that CI archives as the run artifact.
+overload-smoke:
+	@$(GO) test -race -count=2 -run 'TestOverloadGracefulDegradation|TestFleetBrownoutShedsAtEdge|TestBrownoutEntersShedsAndExits' -v ./internal/gateway/ ./internal/server/ > overload-smoke.log 2>&1; \
+	status=$$?; cat overload-smoke.log; exit $$status

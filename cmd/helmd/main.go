@@ -69,6 +69,12 @@ type options struct {
 	maxTokens  int
 	reqTimeout time.Duration
 	retries    int
+	jitterSeed int64
+
+	cost              server.CostConfig
+	budgetInteractive int
+	budgetRAG         int
+	budgetBatch       int
 
 	drainTimeout    time.Duration
 	drainRetryAfter time.Duration
@@ -101,6 +107,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&o.maxTokens, "max-tokens", 64, "per-request generation cap (and default)")
 	fs.DurationVar(&o.reqTimeout, "request-timeout", 30*time.Second, "server-side deadline per admitted request (0 = none)")
 	fs.IntVar(&o.retries, "retries", 3, "max foreground retries per transiently failed fetch")
+	fs.Int64Var(&o.jitterSeed, "backoff-jitter", 0, "seed for deterministic retry-backoff jitter (0 = no jitter); give each replica its own seed so fleet retries desynchronize")
+	fs.IntVar(&o.cost.TokenBudget, "token-budget", 0, "admitted-cost backlog cap in estimated tokens (0 disables cost admission and brownout)")
+	fs.IntVar(&o.budgetInteractive, "budget-interactive", 0, "interactive-class backlog cap in estimated tokens (0 = uncapped)")
+	fs.IntVar(&o.budgetRAG, "budget-rag", 0, "rag-class backlog cap in estimated tokens (0 = uncapped)")
+	fs.IntVar(&o.budgetBatch, "budget-batch", 0, "batch-class backlog cap in estimated tokens (0 = uncapped)")
+	fs.Float64Var(&o.cost.BrownoutHigh, "brownout-high", 0, "backlog fraction of -token-budget that sustains into brownout (0 = default 0.8)")
+	fs.Float64Var(&o.cost.BrownoutLow, "brownout-low", 0, "backlog fraction at which brownout exits (0 = default 0.5)")
+	fs.IntVar(&o.cost.BrownoutSustain, "brownout-sustain", 0, "consecutive over-high arrivals before brownout escalates (0 = default 8)")
+	fs.DurationVar(&o.cost.BrownoutRetryAfter, "brownout-retry-after", 0, "Retry-After advertised on brownout 503s (0 = default 2s)")
+	fs.Int64Var(&o.cost.PredictorSeed, "predictor-seed", 0, "output-length predictor seed (0 = default 1); replicas of one fleet should share it")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful-drain budget before in-flight requests are cancelled")
 	fs.DurationVar(&o.drainRetryAfter, "drain-retry-after", time.Second, "Retry-After advertised on drain-mode 503s (readyz and shed admissions)")
 	fs.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient read errors at this per-tensor probability (chaos mode)")
@@ -220,6 +236,24 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		return flaky, fs, nil
 	}
 
+	cost := o.cost
+	if o.budgetInteractive > 0 || o.budgetRAG > 0 || o.budgetBatch > 0 {
+		cost.ClassBudgets = map[string]int{}
+		if o.budgetInteractive > 0 {
+			cost.ClassBudgets["interactive"] = o.budgetInteractive
+		}
+		if o.budgetRAG > 0 {
+			cost.ClassBudgets["rag"] = o.budgetRAG
+		}
+		if o.budgetBatch > 0 {
+			cost.ClassBudgets["batch"] = o.budgetBatch
+		}
+	}
+	retry := infer.Retry{Max: o.retries}
+	if o.jitterSeed != 0 {
+		retry.Backoff = infer.JitteredBackoff(o.jitterSeed)
+	}
+
 	// The daemon anchors on Background, not the signal context: SIGTERM
 	// must trigger a graceful drain, with force-cancel reserved for the
 	// drain deadline — not fire the moment the signal lands.
@@ -232,9 +266,10 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 		MaxWait:         o.maxWait,
 		MaxTokens:       o.maxTokens,
 		RequestTimeout:  o.reqTimeout,
-		Retry:           infer.Retry{Max: o.retries},
+		Retry:           retry,
 		Breaker:         o.breaker,
 		Batch:           o.batch,
+		Cost:            cost,
 		DrainRetryAfter: o.drainRetryAfter,
 	})
 	if err != nil {
@@ -312,9 +347,10 @@ func run(ctx context.Context, o options, stdout, stderr io.Writer) error {
 	<-serveErr // Serve has returned http.ErrServerClosed
 
 	st := s.Stats()
+	shed := st.ShedQueueFull + st.ShedMaxWait + st.ShedClientGone + st.ShedBreakerOpen +
+		st.ShedDraining + st.ShedPagePressure + st.ShedDeadline + st.ShedBrownout + st.ShedCostBudget
 	fmt.Fprintf(stdout, "helmd: drained: served %d, failed %d, shed %d, force-cancelled %d, reloads %d, transients absorbed %d\n",
-		st.Served, st.Failed, st.ShedQueueFull+st.ShedMaxWait+st.ShedClientGone+st.ShedBreakerOpen+st.ShedDraining,
-		st.ForceCancelled, st.Reloads, st.StoreTransients)
+		st.Served, st.Failed, shed, st.ForceCancelled, st.Reloads, st.StoreTransients)
 	if drainErr != nil {
 		return fmt.Errorf("drain: %w", drainErr)
 	}

@@ -3,15 +3,25 @@
 // configured cap. It answers the operational question behind §V-C: what
 // request rate can each placement sustain, and at what tail latency?
 //
+// With -mix, it simulates the cost-aware mixed-class pipeline instead
+// (serve.SimulateMix — the same predictor, brownout machine, and
+// shedding order helmd runs live): per-class Poisson streams admitted
+// against a token budget, reported as a per-class conserved ledger.
+//
 // Usage:
 //
 //	helmserve -mem NVDRAM -policy all-cpu -cap 44 -rate 2 -n 200 -slo 60s
+//	helmserve -mix -token-budget 120000 -mix-interactive 2,128,64,60s \
+//	    -mix-rag 1,1024,64,180s -mix-batch 0.5,256,256 -n 300
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"helmsim/internal/core"
@@ -35,12 +45,156 @@ func main() {
 		slo       = flag.Duration("slo", 0, "end-to-end latency SLO (0 = off)")
 		maxQueue  = flag.Int("max-queue", 0, "admission bound on the waiting line (0 = unbounded)")
 		maxWait   = flag.Duration("max-wait", 0, "renege bound on queueing delay (0 = unbounded)")
+
+		mix         = flag.Bool("mix", false, "mixed-class cost-aware mode (serve.SimulateMix)")
+		mixInt      = flag.String("mix-interactive", "2,128,64,60s", "interactive spec: rate,promptlen,maxnew[,slo[,deadline]] (empty = class absent)")
+		mixRAG      = flag.String("mix-rag", "1,1024,64,180s", "rag spec: rate,promptlen,maxnew[,slo[,deadline]]")
+		mixBatch    = flag.String("mix-batch", "0.5,256,256", "batch spec: rate,promptlen,maxnew[,slo[,deadline]]")
+		tokenBudget = flag.Int("token-budget", 0, "admitted-cost backlog cap in estimated tokens (0 = unbounded, brownout off)")
+		brownHigh   = flag.Float64("brownout-high", 0, "brownout enter fraction of -token-budget (0 = default 0.8)")
+		brownLow    = flag.Float64("brownout-low", 0, "brownout exit fraction (0 = default 0.5)")
+		brownSus    = flag.Int("brownout-sustain", 0, "consecutive over-high arrivals before brownout escalates (0 = default 8)")
 	)
 	flag.Parse()
-	if err := run(*modelName, *memName, *polName, *compress, *capSize, *rate, *n, *seed, *slo, *maxQueue, *maxWait); err != nil {
+	var err error
+	if *mix {
+		err = runMix(*modelName, *memName, *polName, *compress, *capSize, *n, *seed, *maxQueue, *maxWait,
+			*mixInt, *mixRAG, *mixBatch, *tokenBudget, *brownHigh, *brownLow, *brownSus)
+	} else {
+		err = run(*modelName, *memName, *polName, *compress, *capSize, *rate, *n, *seed, *slo, *maxQueue, *maxWait)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "helmserve:", err)
 		os.Exit(1)
 	}
+}
+
+// parseClassSpec parses "rate,promptlen,maxnew[,slo[,deadline]]".
+func parseClassSpec(class serve.Class, s string) (serve.ClassSpec, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 3 || len(parts) > 5 {
+		return serve.ClassSpec{}, fmt.Errorf("class %s spec %q: want rate,promptlen,maxnew[,slo[,deadline]]", class, s)
+	}
+	cs := serve.ClassSpec{Class: class}
+	var err error
+	if cs.ArrivalRate, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+		return serve.ClassSpec{}, fmt.Errorf("class %s rate: %w", class, err)
+	}
+	if cs.PromptLen, err = strconv.Atoi(strings.TrimSpace(parts[1])); err != nil {
+		return serve.ClassSpec{}, fmt.Errorf("class %s prompt length: %w", class, err)
+	}
+	if cs.MaxNew, err = strconv.Atoi(strings.TrimSpace(parts[2])); err != nil {
+		return serve.ClassSpec{}, fmt.Errorf("class %s max-new: %w", class, err)
+	}
+	if len(parts) > 3 && strings.TrimSpace(parts[3]) != "" {
+		d, err := time.ParseDuration(strings.TrimSpace(parts[3]))
+		if err != nil {
+			return serve.ClassSpec{}, fmt.Errorf("class %s slo: %w", class, err)
+		}
+		cs.SLO = units.Duration(d.Seconds())
+	}
+	if len(parts) > 4 && strings.TrimSpace(parts[4]) != "" {
+		d, err := time.ParseDuration(strings.TrimSpace(parts[4]))
+		if err != nil {
+			return serve.ClassSpec{}, fmt.Errorf("class %s deadline: %w", class, err)
+		}
+		cs.Deadline = units.Duration(d.Seconds())
+	}
+	return cs, nil
+}
+
+func runMix(modelName, memName, polName string, compress bool, capSize, n int, seed int64,
+	maxQueue int, maxWait time.Duration, specInt, specRAG, specBatch string,
+	tokenBudget int, brownHigh, brownLow float64, brownSus int) error {
+	cfg, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	mem, err := core.ParseMemoryConfig(memName)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(polName)
+	if err != nil {
+		return err
+	}
+	var classes []serve.ClassSpec
+	for _, c := range []struct {
+		class serve.Class
+		spec  string
+	}{
+		{serve.ClassInteractive, specInt},
+		{serve.ClassRAG, specRAG},
+		{serve.ClassBatch, specBatch},
+	} {
+		if strings.TrimSpace(c.spec) == "" {
+			continue
+		}
+		cs, err := parseClassSpec(c.class, c.spec)
+		if err != nil {
+			return err
+		}
+		classes = append(classes, cs)
+	}
+	m, err := serve.SimulateMix(serve.MixConfig{
+		Run: core.RunConfig{
+			Model: cfg, Memory: mem, Policy: pol, Batch: capSize, Compress: compress,
+		},
+		Classes:         classes,
+		NumPrompts:      n,
+		Seed:            seed,
+		MaxQueue:        maxQueue,
+		MaxWait:         units.Duration(maxWait.Seconds()),
+		TokenBudget:     tokenBudget,
+		BrownoutHigh:    brownHigh,
+		BrownoutLow:     brownLow,
+		BrownoutSustain: brownSus,
+	})
+	if err != nil {
+		return err
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("mixed-class serving: %s on %s, %s, cap %d, budget %d tokens",
+			cfg.Name, mem, polName, capSize, tokenBudget),
+		Headers: []string{"class", "arrivals", "admitted", "shed (brown/budget/queue/deadline/wait/other)", "E2E mean/p99", "SLO"},
+	}
+	for c := serve.NumClasses - 1; c >= 0; c-- { // highest class first
+		row := m.Classes[c]
+		if row.Arrivals == 0 {
+			continue
+		}
+		att := "n/a"
+		if !math.IsNaN(m.SLOAttainment[c]) {
+			att = fmt.Sprintf("%.1f%%", m.SLOAttainment[c]*100)
+		}
+		t.AddRow(row.Class,
+			row.Arrivals, row.Admitted,
+			fmt.Sprintf("%d/%d/%d/%d/%d/%d",
+				row.ShedBrownout, row.ShedCostBudget, row.ShedQueueFull,
+				row.ShedDeadline, row.ShedMaxWait, row.ShedOther),
+			fmt.Sprintf("%.1fs / %.1fs", m.MeanE2E[c].Seconds(), m.P99E2E[c].Seconds()),
+			att)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("waves %d, mean occupancy %.1f, utilization %.1f%%, peak backlog %d tokens, brownout entries/exits %d/%d, ledger conserved: %v\n",
+		m.Waves, m.MeanBatch, m.Utilization*100, m.MaxBacklog, m.BrownoutEntries, m.BrownoutExits, m.Conserved())
+	return nil
+}
+
+// parsePolicy maps the -policy flag to a placement policy.
+func parsePolicy(polName string) (placement.Policy, error) {
+	switch polName {
+	case "baseline":
+		return nil, nil
+	case "helm":
+		return placement.HeLM{Default: placement.Baseline{CPUPct: 80, GPUPct: 20}}, nil
+	case "all-cpu":
+		return placement.AllCPU{}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", polName)
 }
 
 func run(modelName, memName, polName string, compress bool, capSize int, rate float64, n int, seed int64, slo time.Duration, maxQueue int, maxWait time.Duration) error {
@@ -52,16 +206,9 @@ func run(modelName, memName, polName string, compress bool, capSize int, rate fl
 	if err != nil {
 		return err
 	}
-	var pol placement.Policy
-	switch polName {
-	case "baseline":
-		pol = nil
-	case "helm":
-		pol = placement.HeLM{Default: placement.Baseline{CPUPct: 80, GPUPct: 20}}
-	case "all-cpu":
-		pol = placement.AllCPU{}
-	default:
-		return fmt.Errorf("unknown policy %q", polName)
+	pol, err := parsePolicy(polName)
+	if err != nil {
+		return err
 	}
 
 	m, err := serve.SimulateQueue(serve.QueueConfig{

@@ -23,6 +23,19 @@ import (
 // declaring buckets must carry a Conserved/FleetConserved method.
 // Package main and test files are exempt — binaries consume ledgers,
 // they do not define them.
+//
+// Nested ledgers extend the rule one level: a field holding a
+// COLLECTION (slice, array, or map, possibly of pointers) whose
+// element is a named struct declaring its own shed buckets — the
+// per-class row shape — must be referenced inside the outer
+// conservation sum, and the row type must itself carry a Conserved
+// method so the outer sum has a per-row predicate to delegate to.
+// Otherwise per-class buckets ride along in /statz while silently
+// escaping the conservation identity. A scalar field mirroring
+// another layer's ledger (a probed snapshot) is exempt: conservation
+// of a single snapshot is owned by the snapshot's type, and callers
+// can invoke its predicate directly — only a set of rows needs the
+// outer identity to iterate.
 var LedgerScope = &Analyzer{
 	Name: "ledgerscope",
 	Doc:  "flags shed ledger buckets missing from Conserved sums, never populated, or invisible to /statz serialization",
@@ -67,7 +80,7 @@ func checkLedgerStruct(pass *Pass, ts *ast.TypeSpec) {
 	if !ok {
 		return
 	}
-	var buckets []*types.Var
+	var buckets, nested []*types.Var
 	anyJSON := false
 	for i := 0; i < st.NumFields(); i++ {
 		field := st.Field(i)
@@ -77,9 +90,11 @@ func checkLedgerStruct(pass *Pass, ts *ast.TypeSpec) {
 		}
 		if strings.HasPrefix(field.Name(), "Shed") || strings.HasPrefix(tag, "shed_") {
 			buckets = append(buckets, field)
+		} else if rowType(field.Type()) != nil {
+			nested = append(nested, field)
 		}
 	}
-	if len(buckets) == 0 {
+	if len(buckets) == 0 && len(nested) == 0 {
 		return
 	}
 
@@ -99,6 +114,71 @@ func checkLedgerStruct(pass *Pass, ts *ast.TypeSpec) {
 			pass.Reportf(b.Pos(), "bucket %s.%s has no json tag while sibling fields are serialized; the count is invisible to /statz", obj.Name(), b.Name())
 		}
 	}
+	for _, nf := range nested {
+		row := rowType(nf.Type())
+		if !bodyUsesField(pass, sumBody, nf) {
+			pass.Reportf(nf.Pos(), "nested ledger %s.%s is missing from the conservation sum; its per-class shed buckets escape the identity", obj.Name(), nf.Name())
+		}
+		if !hasConservedMethod(row) {
+			pass.Reportf(nf.Pos(), "nested ledger %s.%s has row type %s with shed buckets but no Conserved method; the outer sum has no per-row predicate to delegate to", obj.Name(), nf.Name(), row.Obj().Name())
+		}
+	}
+}
+
+// rowType unwraps slices, arrays, pointers, and map values down to a
+// named struct, and returns it if the path crossed at least one
+// collection and that struct declares shed buckets of its own — the
+// per-class ledger row shape. A bare struct or pointer field (a
+// snapshot mirror of another layer's ledger) returns nil: only
+// collections of rows need the outer sum to iterate.
+func rowType(t types.Type) *types.Named {
+	collection := false
+	for {
+		switch u := t.(type) {
+		case *types.Slice:
+			t, collection = u.Elem(), true
+		case *types.Array:
+			t, collection = u.Elem(), true
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Map:
+			t, collection = u.Elem(), true
+		default:
+			if !collection {
+				return nil
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return nil
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return nil
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if strings.HasPrefix(st.Field(i).Name(), "Shed") ||
+					strings.HasPrefix(jsonTagName(st.Tag(i)), "shed_") {
+					return named
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// hasConservedMethod reports whether named (or its pointer receiver
+// set) declares a Conserved or FleetConserved method, possibly in
+// another package — per-class rows are defined once and embedded into
+// every layer's stats struct.
+func hasConservedMethod(named *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Conserved", "FleetConserved":
+			return true
+		}
+	}
+	return false
 }
 
 func fieldIndex(st *types.Struct, f *types.Var) int {

@@ -57,3 +57,60 @@ type Orphan struct { // want "Orphan declares shed buckets but no Conserved/Flee
 }
 
 func (o *Orphan) observe() { o.ShedAny++ }
+
+// Allowed: the per-class row shape. Each row declares its own buckets
+// and its own Conserved; the outer ledger holds a slice of rows and
+// delegates to the row predicate inside its sum.
+type ClassRow struct {
+	Arrivals   int64 `json:"arrivals"`
+	Admitted   int64 `json:"admitted"`
+	ShedBudget int64 `json:"shed_budget"`
+}
+
+func (r ClassRow) Conserved() bool { return r.Arrivals == r.Admitted+r.ShedBudget }
+
+func (r *ClassRow) observe() { r.Arrivals++; r.ShedBudget++ }
+
+type GoodNested struct {
+	Waves   int64      `json:"waves"`
+	Classes []ClassRow `json:"classes"`
+}
+
+func (s *GoodNested) Conserved() bool {
+	for _, r := range s.Classes {
+		if !r.Conserved() {
+			return false
+		}
+	}
+	return true
+}
+
+// Allowed: a scalar snapshot mirror of another layer's ledger. The
+// row type owns its own conservation; only COLLECTIONS of rows need
+// the outer sum to iterate, so no method is demanded here.
+type Mirror struct {
+	Last    ClassRow
+	LastPtr *ClassRow
+}
+
+// True positive: per-class rows carried in the stats struct but never
+// entering the conservation identity.
+type BadNested struct {
+	Waves   int64
+	Classes []ClassRow // want "nested ledger BadNested.Classes is missing from the conservation sum"
+}
+
+func (s *BadNested) Conserved() bool { return s.Waves >= 0 }
+
+// True positives: a row shape with no per-row predicate. The raw row
+// is flagged directly, and so is every ledger that wraps it — the
+// outer sum has nothing to delegate to.
+type RawRow struct { // want "RawRow declares shed buckets but no Conserved/FleetConserved method sums them"
+	ShedRaw int64
+}
+
+type WrapsRaw struct {
+	Rows []RawRow // want "nested ledger WrapsRaw.Rows has row type RawRow with shed buckets but no Conserved method"
+}
+
+func (w *WrapsRaw) Conserved() bool { return len(w.Rows) >= 0 }

@@ -4,9 +4,11 @@
 // holds a slot for a request's whole lifetime, so one long generation
 // pins the wave while finished slots idle; here every decode step
 // retires finished sequences, admits queued ones against the paged KV
-// pool's free-page ledger, and sheds pressure by preempting the
-// youngest sequence (its tokens are requeued and its KV pages — still
-// warm in the prefix index — are mostly recovered on re-admission).
+// pool's free-page ledger by estimated cost (prompt plus the
+// output-length predictor's decode bucket, when one is configured),
+// and sheds pressure by preempting the lowest-class-youngest sequence
+// (its tokens are requeued and its KV pages — still warm in the prefix
+// index — are mostly recovered on re-admission).
 //
 // Scheduling is deterministic by construction: the queue is FIFO, the
 // running set is a slice in admission order, and no map is ever
@@ -22,6 +24,7 @@ import (
 
 	"helmsim/internal/infer"
 	"helmsim/internal/kvcache"
+	"helmsim/internal/serve"
 )
 
 // ErrStopped rejects work submitted to a stopped batcher.
@@ -43,6 +46,13 @@ type Options struct {
 	// safe because steps are atomic: a failed step rolls every KV cache
 	// back to its pre-step length.
 	StepRetries int
+	// Predictor, when set, tightens the page-pressure admission gate
+	// from worst-case (maxNew tokens of decode) to the predictor's
+	// output-length bucket: short-answer classes stop reserving pages
+	// for generations they will never emit. Underprediction is safe —
+	// a sequence that outgrows its estimate hits ErrOutOfPages and the
+	// normal preemption path recovers, exactly as without a predictor.
+	Predictor *serve.Predictor
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +80,7 @@ type request struct {
 	prompt []int // original prompt
 	out    []int // tokens generated so far (non-empty after a preemption)
 	maxNew int
+	class  serve.Class
 	ch     chan result // buffered(1); the loop delivers exactly once
 }
 
@@ -160,9 +171,22 @@ func New(se *infer.StepEngine, pool *kvcache.Pool, opts Options) *Batcher {
 // equal recomputed ones, and preempted sequences resume from their
 // full token history.
 func (b *Batcher) Submit(ctx context.Context, prompt []int, maxNew int) ([]int, error) {
+	return b.SubmitClass(ctx, prompt, maxNew, serve.ClassInteractive)
+}
+
+// SubmitClass is Submit with an explicit request class. The class
+// steers the cost-aware admission estimate and, under page pressure,
+// the preemption order: the lowest class running is evicted first, so
+// batch work yields pages to interactive work instead of the other way
+// around. Scheduling stays FIFO — class never lets a request overtake
+// the queue.
+func (b *Batcher) SubmitClass(ctx context.Context, prompt []int, maxNew int, class serve.Class) ([]int, error) {
 	if ctx == nil {
 		//lint:helmvet-ignore ctxflow nil-ctx guard: callers passing nil get the documented undeadlined behavior
 		ctx = context.Background()
+	}
+	if !class.Valid() {
+		return nil, fmt.Errorf("batch: invalid request class %d", int(class))
 	}
 	if len(prompt) == 0 {
 		return nil, fmt.Errorf("batch: empty prompt")
@@ -173,7 +197,7 @@ func (b *Batcher) Submit(ctx context.Context, prompt []int, maxNew int) ([]int, 
 	if max := b.se.Config().MaxSeq; len(prompt)+maxNew > max {
 		return nil, fmt.Errorf("batch: prompt %d + generation %d exceeds model max sequence %d", len(prompt), maxNew, max)
 	}
-	r := &request{ctx: ctx, prompt: prompt, maxNew: maxNew, ch: make(chan result, 1)}
+	r := &request{ctx: ctx, prompt: prompt, maxNew: maxNew, class: class, ch: make(chan result, 1)}
 	b.mu.Lock()
 	if b.stopped {
 		b.mu.Unlock()
@@ -271,16 +295,18 @@ func (b *Batcher) admitLocked() {
 			admitPrompt = append(append([]int(nil), r.prompt...), r.out...)
 		}
 		// Page-pressure gate: with other sequences running, hold a
-		// request back until the pool could cover its whole prompt plus
-		// one decode page even with zero prefix reuse. Without the gate
-		// a preempted request re-admits immediately, fails the next
+		// request back until the pool could cover its estimated cost —
+		// the whole prompt plus the predicted remaining decode (worst
+		// case the full maxNew remainder, the predictor's bucket when
+		// one is configured) — even with zero prefix reuse. Without the
+		// gate a preempted request re-admits immediately, fails the next
 		// step's allocation, and is preempted again — a livelock. The
 		// gate is conservative (prefix sharing only reduces real need),
 		// and it never blocks an empty batch: a lone sequence must run
 		// so the pool can evict cached prefixes on its behalf. Admission
 		// stays FIFO — nothing overtakes a held-back head, or a large
 		// request starves forever.
-		if len(b.running) > 0 && b.pool.PagesFor(len(admitPrompt)+1) > b.pool.FreePages() {
+		if len(b.running) > 0 && b.pool.PagesFor(len(admitPrompt)+b.estDecode(r)) > b.pool.FreePages() {
 			// Keep the held-back head AND everything behind it: the break
 			// skips the rest of the loop, so they must be carried over
 			// here or the compaction below would silently drop them and
@@ -323,6 +349,23 @@ func (b *Batcher) admitLocked() {
 	}
 }
 
+// estDecode is the admission estimate of how many more tokens r will
+// generate: the worst-case remainder of its cap, tightened by the
+// predictor's class bucket when one is configured, and never below 1
+// (every admitted request decodes at least once).
+func (b *Batcher) estDecode(r *request) int {
+	est := r.maxNew - len(r.out)
+	if b.opts.Predictor != nil {
+		if p := b.opts.Predictor.PredictDecode(r.class, len(r.prompt), r.maxNew) - len(r.out); p < est {
+			est = p
+		}
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
 // buildStep fills the batcher's reusable step scratch from the current
 // running set (rebuilt inside the retry loop after preemption changes
 // membership).
@@ -361,7 +404,7 @@ func (b *Batcher) step() {
 			}
 		}
 		if errors.Is(err, kvcache.ErrOutOfPages) {
-			if !b.preemptYoungest() {
+			if !b.preemptLowestYoungest() {
 				// A lone sequence that cannot grow even after the pool
 				// evicted every cached prefix will never fit.
 				b.failAllRunning(err)
@@ -451,18 +494,29 @@ func (b *Batcher) retireCancelled() {
 	}
 }
 
-// preemptYoungest evicts the most recently admitted sequence and
-// requeues it at the head of the queue (it outranks every waiter).
-// Its pages return to the pool; its token history — prompt plus
-// generated — re-enters through Admit, where the prefix index usually
-// recovers most of the KV without recomputation. It reports false when
-// no preemption is possible (one or zero running sequences: evicting
-// the only grower frees nothing it can use).
-func (b *Batcher) preemptYoungest() bool {
+// preemptLowestYoungest evicts the most recently admitted sequence of
+// the lowest class running and requeues it at the head of the queue
+// (it outranks every waiter). Class orders eviction — batch yields
+// before rag, rag before interactive — and recency breaks ties within
+// the class: the youngest has the least sunk work and the warmest
+// prefix, so its pages return to the pool at the smallest replay cost.
+// Its token history — prompt plus generated — re-enters through Admit,
+// where the prefix index usually recovers most of the KV without
+// recomputation. It reports false when no preemption is possible (one
+// or zero running sequences: evicting the only grower frees nothing it
+// can use).
+func (b *Batcher) preemptLowestYoungest() bool {
 	if len(b.running) <= 1 {
 		return false
 	}
-	victim := b.running[len(b.running)-1]
+	vi := 0
+	for i, s := range b.running {
+		if s.req.class <= b.running[vi].req.class {
+			vi = i
+		}
+	}
+	victim := b.running[vi]
+	copy(b.running[vi:], b.running[vi+1:])
 	b.running[len(b.running)-1] = nil
 	b.running = b.running[:len(b.running)-1]
 	if err := b.pool.Release(victim.id); err != nil {

@@ -1,0 +1,164 @@
+package batch
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"helmsim/internal/infer"
+	"helmsim/internal/kvcache"
+	"helmsim/internal/serve"
+)
+
+// idleBatcher builds a batcher whose loop is NOT running, so the test
+// can drive admission and preemption directly and deterministically.
+func idleBatcher(t *testing.T, pages, pageTokens int, opts Options) *Batcher {
+	t.Helper()
+	cfg := batchConfig()
+	w, err := infer.RandomWeights(cfg, 17, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := infer.NewStepEngine(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := kvcache.NewPool(cfg, pages, pageTokens, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Batcher{se: se, pool: pool, opts: opts.withDefaults(), loopDone: make(chan struct{})}
+	b.cond = sync.NewCond(&b.mu)
+	t.Cleanup(func() { se.Close() })
+	return b
+}
+
+// run admits one request into the idle batcher's running set.
+func (b *Batcher) runFor(t *testing.T, class serve.Class, prompt []int, maxNew int) *seqRun {
+	t.Helper()
+	r := &request{ctx: context.Background(), prompt: prompt, maxNew: maxNew, class: class, ch: make(chan result, 1)}
+	id := b.nextID
+	shared, err := b.pool.Admit(id, prompt)
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	b.nextID++
+	s := &seqRun{req: r, id: id, pos: shared, pending: prompt[shared:]}
+	b.running = append(b.running, s)
+	return s
+}
+
+// TestPreemptLowestClassYoungest pins the eviction policy: the victim
+// is the most recently admitted sequence of the LOWEST class running —
+// not the youngest overall. An older batch sequence yields before a
+// younger interactive one.
+func TestPreemptLowestClassYoungest(t *testing.T) {
+	b := idleBatcher(t, 64, 4, Options{MaxSeqs: 8})
+	batch1 := b.runFor(t, serve.ClassBatch, []int{1, 2, 3}, 8)
+	batch2 := b.runFor(t, serve.ClassBatch, []int{4, 5, 6}, 8)
+	inter := b.runFor(t, serve.ClassInteractive, []int{7, 8, 9}, 8)
+
+	// First eviction: the youngest of the two batch sequences, even
+	// though interactive is younger than both.
+	if !b.preemptLowestYoungest() {
+		t.Fatal("preemption refused with three running")
+	}
+	if len(b.queue) != 1 || b.queue[0] != batch2.req {
+		t.Fatalf("victim not the youngest batch request: queue %v", b.queue)
+	}
+	if len(b.running) != 2 || b.running[0] != batch1 || b.running[1] != inter {
+		t.Fatalf("running order disturbed: %v", b.running)
+	}
+	// Second: the remaining batch sequence, preserving interactive.
+	if !b.preemptLowestYoungest() {
+		t.Fatal("preemption refused with two running")
+	}
+	if b.queue[0] != batch1.req {
+		t.Fatalf("victim not the remaining batch request")
+	}
+	if len(b.running) != 1 || b.running[0] != inter {
+		t.Fatalf("interactive evicted while batch ran: %v", b.running)
+	}
+	// A lone sequence is never evicted: nothing useful is freed.
+	if b.preemptLowestYoungest() {
+		t.Fatal("lone sequence preempted")
+	}
+	if st := b.Stats(); st.Preemptions != 2 {
+		t.Fatalf("preemptions = %d, want 2", st.Preemptions)
+	}
+	// Victims requeue at the head, newest eviction first.
+	if b.queue[0] != batch1.req || b.queue[1] != batch2.req {
+		t.Fatal("requeue order wrong")
+	}
+}
+
+// TestEstDecodeUsesPredictor pins the admission estimate: worst-case
+// remaining cap without a predictor, the class bucket (clamped to the
+// cap and floored at 1) with one.
+func TestEstDecodeUsesPredictor(t *testing.T) {
+	b := idleBatcher(t, 64, 4, Options{})
+	r := &request{prompt: []int{1, 2, 3}, maxNew: 100, class: serve.ClassInteractive}
+	if got := b.estDecode(r); got != 100 {
+		t.Fatalf("no predictor: est %d, want worst-case 100", got)
+	}
+	r.out = []int{9}
+	if got := b.estDecode(r); got != 99 {
+		t.Fatalf("no predictor after 1 token: est %d, want 99", got)
+	}
+
+	pred := serve.NewPredictor(5)
+	b.opts.Predictor = pred
+	r.out = nil
+	want := pred.PredictDecode(serve.ClassInteractive, 3, 100)
+	if got := b.estDecode(r); got != want {
+		t.Fatalf("predictor est %d, want bucket %d", got, want)
+	}
+	// Generated tokens shrink the estimated remainder, floored at 1.
+	r.out = make([]int, want+50)
+	if got := b.estDecode(r); got != 1 {
+		t.Fatalf("over-bucket remainder est %d, want floor 1", got)
+	}
+}
+
+// TestClassByteIdentityUnderPressure is the end-to-end property: mixed
+// classes under page pressure — preemptions and cost-gated admission
+// included — still produce token streams byte-identical to the solo
+// engine for every class.
+func TestClassByteIdentityUnderPressure(t *testing.T) {
+	cfg := batchConfig()
+	w, err := infer.RandomWeights(cfg, 29, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := [][]int{{3, 1, 4, 1}, {9, 2, 6, 5}, {8, 7, 1, 2}}
+	classes := []serve.Class{serve.ClassInteractive, serve.ClassRAG, serve.ClassBatch}
+	const n = 12
+	want := make([][]int, len(prompts))
+	for i, p := range prompts {
+		want[i] = soloGenerate(t, cfg, w, p, n)
+	}
+	b := newTestBatcher(t, cfg, w, 8, 4, Options{MaxSeqs: 3, Predictor: serve.NewPredictor(1)})
+	defer b.Stop()
+	var wg sync.WaitGroup
+	got := make([][]int, len(prompts))
+	errs := make([]error, len(prompts))
+	for i := range prompts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = b.SubmitClass(context.Background(), prompts[i], n, classes[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range prompts {
+		if errs[i] != nil {
+			t.Fatalf("class %v: %v", classes[i], errs[i])
+		}
+		if !equalInts(got[i], want[i]) {
+			t.Fatalf("class %v diverged: got %v, want %v", classes[i], got[i], want[i])
+		}
+	}
+	if _, err := b.SubmitClass(context.Background(), []int{1}, 1, serve.Class(9)); err == nil {
+		t.Fatal("invalid class accepted")
+	}
+}

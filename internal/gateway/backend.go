@@ -180,6 +180,32 @@ func (b *Backend) queueDepth() int {
 	return b.lastStats.QueueDepth
 }
 
+// costBacklog is the replica's advertised admitted-cost backlog in
+// estimated tokens — the fine-grained headroom signal the least-load
+// router folds in. 0 before the first probe and from v2 replicas (the
+// field decodes zero), so mixed-version fleets degrade to count-based
+// routing rather than misrouting.
+func (b *Backend) costBacklog() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.haveStats {
+		return 0
+	}
+	return b.lastStats.CostBacklog
+}
+
+// brownoutLevel is the replica's advertised brownout level (classes
+// below it are rejected at its admission). 0 before the first probe and
+// from v2 replicas.
+func (b *Backend) brownoutLevel() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.haveStats {
+		return 0
+	}
+	return b.lastStats.BrownoutLevel
+}
+
 // relayed is one replica response the gateway can hand to a client:
 // status, body, and the headers the shed contract carries.
 type relayed struct {

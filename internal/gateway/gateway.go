@@ -56,6 +56,10 @@ type Config struct {
 	// DrainRetryAfter is the Retry-After advertised on gateway-draining
 	// and no-healthy-backend 503s (default 1s).
 	DrainRetryAfter time.Duration
+	// BrownoutRetryAfter is the Retry-After advertised on fleet-level
+	// brownout sheds (default 2s, matching the replica daemon's own
+	// brownout contract).
+	BrownoutRetryAfter time.Duration
 	// Now is the injectable wall clock for probe bookkeeping; nil uses
 	// time.Now.
 	Now func() time.Time
@@ -82,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainRetryAfter == 0 {
 		c.DrainRetryAfter = time.Second
+	}
+	if c.BrownoutRetryAfter == 0 {
+		c.BrownoutRetryAfter = 2 * time.Second
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -113,6 +120,9 @@ func (c Config) Validate() error {
 	}
 	if c.DrainRetryAfter < 0 {
 		return fmt.Errorf("gateway: negative drain retry-after %v", c.DrainRetryAfter)
+	}
+	if c.BrownoutRetryAfter < 0 {
+		return fmt.Errorf("gateway: negative brownout retry-after %v", c.BrownoutRetryAfter)
 	}
 	return c.Probe.Validate()
 }
@@ -153,7 +163,21 @@ type Gateway struct {
 	retriedFailover atomic.Int64
 	shedNoHealthy   atomic.Int64
 	shedDraining    atomic.Int64
+	shedBrownout    atomic.Int64
 	badRequests     atomic.Int64
+	// classes is the fleet's per-class ledger: one row per service
+	// class, conserved by the same shared predicate the replica rows
+	// satisfy. Rows count only classified arrivals — bad requests are
+	// rejected before a class is known.
+	classes [serve.NumClasses]fleetClassLedger
+}
+
+// fleetClassLedger is one class's fleet-level counters, mirroring
+// serve.ClassCounts bucket for bucket ("admitted" here means routed to
+// a replica that finalized the response — the replica's own ledger then
+// itemizes its verdict).
+type fleetClassLedger struct {
+	arrivals, admitted, shedBrownout, shedOther atomic.Int64
 }
 
 // New builds a gateway. ctx anchors every forward: cancelling it (or a
@@ -201,6 +225,30 @@ func (g *Gateway) Draining() bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.state != stateServing
+}
+
+// fleetBrownoutLevel is the fleet's overload verdict for class-aware
+// shedding at the gateway edge: the MINIMUM brownout level advertised
+// across eligible replicas. A class is shed here only when every
+// replica that could take the request would reject it anyway — shedding
+// at the edge then saves the forward, the failover sweep, and the
+// replica work, while a single replica with headroom keeps the class
+// alive. Replicas without a cost signal (pre-probe, v2) advertise 0, so
+// a mixed fleet never browns out at the edge.
+func (g *Gateway) fleetBrownoutLevel() int {
+	level := -1
+	for _, b := range g.backends {
+		if !b.eligible() {
+			continue
+		}
+		if l := b.brownoutLevel(); level < 0 || l < level {
+			level = l
+		}
+	}
+	if level < 0 {
+		return 0
+	}
+	return level
 }
 
 // candidates returns the replicas in rotation, excluding this request's
@@ -388,8 +436,10 @@ func (g *Gateway) DrainIn(name string) (wasOut bool, err error) {
 }
 
 // FleetSchemaVersion identifies the /fleetz JSON schema, on the same
-// contract as server.StatzSchemaVersion.
-const FleetSchemaVersion = 1
+// contract as server.StatzSchemaVersion. v2 adds the brownout shed
+// bucket and per-class rows — additive fields, but they extend the
+// conservation identity, so the version bumps.
+const FleetSchemaVersion = 2
 
 // BackendStats is one replica's slice of the /fleetz document.
 type BackendStats struct {
@@ -427,7 +477,12 @@ type FleetStats struct {
 	RetriedFailover      int64 `json:"retried_failover"`
 	ShedNoHealthyBackend int64 `json:"shed_no_healthy_backend"`
 	ShedDraining         int64 `json:"shed_draining"`
+	ShedBrownout         int64 `json:"shed_brownout"`
 	BadRequests          int64 `json:"bad_requests"`
+
+	// Classes is the fleet's per-class ledger: classified arrivals only
+	// (Σ rows' arrivals == Arrivals - BadRequests), each row conserved.
+	Classes []serve.ClassCounts `json:"classes"`
 
 	Backends []BackendStats `json:"backends"`
 }
@@ -445,9 +500,21 @@ func (fs FleetStats) Conserved() bool {
 		finals[i] = int(b.Finalized)
 		total += b.Finalized
 	}
-	return total == fs.Routed &&
-		serve.FleetConserved(int(fs.Arrivals), finals,
-			int(fs.ShedNoHealthyBackend), int(fs.ShedDraining), int(fs.BadRequests))
+	if total != fs.Routed ||
+		!serve.FleetConserved(int(fs.Arrivals), finals,
+			int(fs.ShedNoHealthyBackend), int(fs.ShedDraining), int(fs.ShedBrownout), int(fs.BadRequests)) {
+		return false
+	}
+	// The class rows must conserve individually and sum back to the
+	// classified arrival count (bad requests never reach a class row).
+	if !serve.ClassLedgerConserved(fs.Classes) {
+		return false
+	}
+	var classArrivals int64
+	for _, row := range fs.Classes {
+		classArrivals += row.Arrivals
+	}
+	return classArrivals == fs.Arrivals-fs.BadRequests
 }
 
 // Stats snapshots the gateway's counters and every replica's state.
@@ -471,7 +538,16 @@ func (g *Gateway) Stats() FleetStats {
 		RetriedFailover:      g.retriedFailover.Load(),
 		ShedNoHealthyBackend: g.shedNoHealthy.Load(),
 		ShedDraining:         g.shedDraining.Load(),
+		ShedBrownout:         g.shedBrownout.Load(),
 		BadRequests:          g.badRequests.Load(),
+		Classes:              serve.NewClassLedger(),
+	}
+	for c := range g.classes {
+		l := &g.classes[c]
+		fs.Classes[c].Arrivals = l.arrivals.Load()
+		fs.Classes[c].Admitted = l.admitted.Load()
+		fs.Classes[c].ShedBrownout = l.shedBrownout.Load()
+		fs.Classes[c].ShedOther = l.shedOther.Load()
 	}
 	for _, b := range g.backends {
 		b.mu.Lock()

@@ -25,10 +25,21 @@ type stubReplica struct {
 	genBody     string
 	readyStatus int
 	retryAfter  string
+	statz       server.Stats
 }
 
 func newStubReplica() *stubReplica {
-	return &stubReplica{genStatus: http.StatusOK, genBody: `{"tokens":[7]}`, readyStatus: http.StatusOK}
+	return &stubReplica{
+		genStatus: http.StatusOK, genBody: `{"tokens":[7]}`, readyStatus: http.StatusOK,
+		statz: server.Stats{SchemaVersion: server.StatzSchemaVersion},
+	}
+}
+
+// setStatz scripts the /statz document the stub serves.
+func (r *stubReplica) setStatz(st server.Stats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.statz = st
 }
 
 func (r *stubReplica) set(genStatus int, genBody string) {
@@ -66,7 +77,10 @@ func (r *stubReplica) handler() http.Handler {
 		w.WriteHeader(status)
 	})
 	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, req *http.Request) {
-		_ = json.NewEncoder(w).Encode(server.Stats{SchemaVersion: server.StatzSchemaVersion})
+		r.mu.Lock()
+		st := r.statz
+		r.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(st)
 	})
 	return mux
 }

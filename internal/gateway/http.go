@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"helmsim/internal/serve"
 )
 
 // errorResponse mirrors the replica daemon's non-2xx body shape, so a
@@ -68,7 +70,8 @@ func (g *Gateway) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var probe struct {
-		Prompt []int `json:"prompt"`
+		Prompt []int  `json:"prompt"`
+		Class  string `json:"class"`
 	}
 	if err := json.Unmarshal(body, &probe); err != nil {
 		g.badRequests.Add(1)
@@ -80,6 +83,13 @@ func (g *Gateway) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty prompt"})
 		return
 	}
+	class, err := serve.ParseClass(probe.Class)
+	if err != nil {
+		g.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	g.classes[class].arrivals.Add(1)
 
 	// Admission: the in-flight count may only grow while serving, so
 	// Drain's Wait cannot race a late arrival.
@@ -87,6 +97,7 @@ func (g *Gateway) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if g.state != stateServing {
 		g.mu.Unlock()
 		g.shedDraining.Add(1)
+		g.classes[class].shedOther.Add(1)
 		setRetryAfter(w, g.cfg.DrainRetryAfter)
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "gateway draining"})
 		return
@@ -95,14 +106,30 @@ func (g *Gateway) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	g.mu.Unlock()
 	defer g.reqWG.Done()
 
+	// Fleet-level brownout: when every eligible replica advertises it
+	// would reject this class anyway, shed at the edge — honest 503 with
+	// Retry-After, without burning a forward and a failover sweep on a
+	// foregone conclusion. A single replica with headroom keeps the
+	// class flowing (its own admission stays the authority).
+	if level := g.fleetBrownoutLevel(); int(class) < level {
+		g.shedBrownout.Add(1)
+		g.classes[class].shedBrownout.Add(1)
+		setRetryAfter(w, g.cfg.BrownoutRetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: fmt.Sprintf("fleet brownout: %s class shed under sustained overload", class)})
+		return
+	}
+
 	rl, b := g.route(r.Context(), body)
 	if rl == nil {
 		g.shedNoHealthy.Add(1)
+		g.classes[class].shedOther.Add(1)
 		setRetryAfter(w, g.cfg.DrainRetryAfter)
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no healthy replica"})
 		return
 	}
 	g.routed.Add(1)
+	g.classes[class].admitted.Add(1)
 	b.finalized.Add(1)
 	if rl.status == http.StatusOK {
 		b.served.Add(1)

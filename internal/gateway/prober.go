@@ -212,7 +212,11 @@ func (g *Gateway) probeStatz(ctx context.Context, b *Backend) *server.Stats {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRelayBody)).Decode(&st); err != nil {
 		return nil
 	}
-	if st.SchemaVersion != server.StatzSchemaVersion {
+	// Version-gated, not version-pinned: any schema in the supported
+	// window decodes — a v2 replica simply leaves the v3 cost/brownout
+	// fields zero, which every consumer treats as "no signal". Outside
+	// the window the snapshot is discarded rather than misread.
+	if st.SchemaVersion < server.StatzSchemaVersionMin || st.SchemaVersion > server.StatzSchemaVersion {
 		return nil
 	}
 	return &st

@@ -55,8 +55,10 @@ func (r *roundRobin) Pick(cands []*Backend) *Backend {
 // leastLoad picks the replica with the fewest outstanding requests:
 // the gateway's own in-flight count plus the queue depth from the last
 // /statz probe (the replica-side backlog the gateway cannot see from
-// its own accounting). Ties break toward configuration order, keeping
-// the decision deterministic.
+// its own accounting), refined by the replica's advertised cost backlog
+// in estimated tokens so two replicas with equal request counts but
+// unequal work are told apart. Ties break toward configuration order,
+// keeping the decision deterministic.
 type leastLoad struct{}
 
 func (leastLoad) Name() string { return RouteLeastLoad }
@@ -72,8 +74,13 @@ func (leastLoad) Pick(cands []*Backend) *Backend {
 	return best
 }
 
+// load scores a replica for least-load routing. The request count
+// dominates (scaled so one queued request outweighs any realistic
+// per-request token estimate) and the advertised cost backlog breaks
+// ties between equally-deep replicas; a replica that advertises no cost
+// signal (pre-probe, or a v2 replica) scores on counts alone.
 func load(b *Backend) int64 {
-	return b.inflight.Load() + int64(b.queueDepth())
+	return (b.inflight.Load()+int64(b.queueDepth()))<<10 + b.costBacklog()
 }
 
 // weighted is smooth weighted round-robin over the configured tier

@@ -44,6 +44,47 @@ func TestDefaultBackoffMonotoneCappedTotal(t *testing.T) {
 	}
 }
 
+// JitteredBackoff must stay inside [DefaultBackoff(n)/2,
+// DefaultBackoff(n)] for every attempt (so the monotone cap and
+// worst-case total of the bare schedule survive jittering), replay
+// identically for the same seed, and actually desynchronize distinct
+// seeds — the whole point is that N replicas retrying a shared-store
+// transient stop backing off in lockstep.
+func TestJitteredBackoffBoundedSeededDivergent(t *testing.T) {
+	attempts := []int{math.MinInt, -1, 0, 1, 2, 3, 6, 7, 64, 1000, math.MaxInt}
+	for _, seed := range []int64{0, 1, -1, 42, math.MaxInt64, math.MinInt64} {
+		b := JitteredBackoff(seed)
+		for _, a := range attempts {
+			d := b(a)
+			base := DefaultBackoff(a)
+			if d < base/2 || d > base {
+				t.Errorf("seed %d attempt %d: %v outside [%v, %v]", seed, a, d, base/2, base)
+			}
+		}
+	}
+	// Same seed, same schedule — byte-for-byte replayable.
+	x, y := JitteredBackoff(7), JitteredBackoff(7)
+	for a := 1; a <= 100; a++ {
+		if x(a) != y(a) {
+			t.Fatalf("seed 7 diverges from itself at attempt %d", a)
+		}
+	}
+	// Distinct seeds must disagree somewhere in the first few attempts;
+	// identical schedules would mean the jitter is not consuming the
+	// seed.
+	a, b := JitteredBackoff(1), JitteredBackoff(2)
+	same := true
+	for n := 1; n <= 10; n++ {
+		if a(n) != b(n) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical schedules")
+	}
+}
+
 // The batch path must not retry permanent errors either: a lockstep
 // wave over a ResilientStore whose backing store fails permanently
 // gives up after exactly one attempt — retrying corruption or missing

@@ -68,6 +68,36 @@ func DefaultBackoff(attempt int) time.Duration {
 	return d
 }
 
+// JitteredBackoff is DefaultBackoff with seeded deterministic jitter:
+// re-attempt n pauses for a duration in [DefaultBackoff(n)/2,
+// DefaultBackoff(n)]. A fleet of replicas retrying a shared-store
+// transient on the bare schedule backs off in lockstep and re-collides
+// every attempt; distinct per-replica seeds desynchronize the storm
+// while keeping every schedule reproducible — the same seed always
+// yields the same pauses, so tests and simulations replay exactly. The
+// jittered schedule stays within DefaultBackoff's cap and keeps its
+// worst-case total.
+func JitteredBackoff(seed int64) func(attempt int) time.Duration {
+	return func(attempt int) time.Duration {
+		base := DefaultBackoff(attempt)
+		if attempt < 1 {
+			attempt = 1
+		}
+		h := backoffMix(uint64(seed)*0x9e3779b97f4a7c15 + uint64(attempt))
+		half := uint64(base / 2)
+		return time.Duration(half + half*(h%1024)/1024 + 1)
+	}
+}
+
+// backoffMix is the SplitMix64 finalizer, a cheap well-mixed hash for
+// the jitter draw.
+func backoffMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // pause sleeps before re-attempt n using the policy's clock.
 func (r Retry) pause(attempt int) {
 	b := r.Backoff

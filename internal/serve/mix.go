@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"helmsim/internal/core"
+	"helmsim/internal/runcache"
+	"helmsim/internal/stats"
+	"helmsim/internal/units"
+)
+
+// ClassSpec describes one class's slice of a mixed workload.
+type ClassSpec struct {
+	// Class tags every request this spec generates.
+	Class Class
+	// ArrivalRate is this class's Poisson rate in prompts per second.
+	ArrivalRate float64
+	// PromptLen is the prompt length in tokens for this class.
+	PromptLen int
+	// MaxNew caps generation; the engine decodes the full cap, so the
+	// predictor's bucket (not MaxNew) is only the admission estimate.
+	MaxNew int
+	// SLO is the per-class end-to-end bound for attainment reporting
+	// (0 disables for this class).
+	SLO units.Duration
+	// Deadline is the drop-dead bound: a request not started by
+	// arrival+Deadline is shed at dispatch instead of served — work
+	// whose deadline has passed is never begun. 0 means none.
+	Deadline units.Duration
+}
+
+// MixConfig describes a mixed-class, cost-aware serving simulation: the
+// per-count admission of QueueConfig replaced by token-budget admission
+// with per-class priorities and brownout, mirroring exactly the
+// admission pipeline helmd runs live (same Brownout machine, same
+// Predictor, same shedding order).
+type MixConfig struct {
+	// Run is the engine configuration; Run.Batch is the wave-size cap.
+	Run core.RunConfig
+	// Classes lists the workload slices; at most one spec per class.
+	Classes []ClassSpec
+	// NumPrompts is the total arrivals across classes, split
+	// proportionally to the arrival rates.
+	NumPrompts int
+	// Seed drives the per-class arrival streams and the predictor.
+	Seed int64
+	// MaxQueue bounds the waiting line across classes (0 = unbounded).
+	MaxQueue int
+	// MaxWait bounds queueing delay; waiting past it reneges at
+	// dispatch (0 = unbounded patience).
+	MaxWait units.Duration
+	// TokenBudget caps the admitted-cost backlog in estimated tokens
+	// (0 = unbounded; brownout disabled too, as it is budget-relative).
+	TokenBudget int
+	// BrownoutHigh, BrownoutLow, and BrownoutSustain tune the Brownout
+	// machine (zero values take its documented defaults).
+	BrownoutHigh, BrownoutLow float64
+	BrownoutSustain           int
+}
+
+// MixMetrics aggregates a mixed-class simulation. Per-class latency
+// slices are indexed by Class, like the ledger rows.
+type MixMetrics struct {
+	// Waves and MeanBatch describe wave occupancy, as in QueueMetrics.
+	Waves     int
+	MeanBatch float64
+	// BrownoutEntries and BrownoutExits count level escalations and
+	// full recoveries over the run.
+	BrownoutEntries, BrownoutExits int64
+	// MaxBacklog is the peak admitted-cost backlog in estimated tokens.
+	MaxBacklog int
+	// Classes is the per-class conserved ledger (one row per Class,
+	// indexed by Class).
+	Classes []ClassCounts
+	// MeanE2E and P99E2E are per-class arrival-to-completion latency,
+	// admitted requests only (zero where a class had none).
+	MeanE2E, P99E2E []units.Duration
+	// SLOAttainment is the per-class fraction of admitted requests
+	// finishing within that class's SLO (NaN when unset for the class).
+	SLOAttainment []float64
+	// Utilization is the busy fraction over first arrival to last
+	// completion.
+	Utilization float64
+}
+
+// Conserved checks the mixed ledger: every per-class row conserves, and
+// the rows cross-foot — summed class arrivals, admissions, and sheds
+// are the whole story (there is no class-blind column to hide in).
+func (m *MixMetrics) Conserved() bool {
+	return ClassLedgerConserved(m.Classes)
+}
+
+// mixReq is one simulated arrival.
+type mixReq struct {
+	class   Class
+	arrival float64
+	est     int // admission estimate: prompt + predicted decode
+	actual  int // tokens actually processed: prompt + full MaxNew
+	sloSec  float64
+	dlSec   float64
+}
+
+// SimulateMix runs the mixed-class, cost-aware serving simulation.
+//
+// The shedding order it implements — and that helmd mirrors live — is:
+//
+//  1. Deadline sheds trump class: work whose deadline passed is never
+//     started, whatever its class (it is already worthless).
+//  2. Brownout rejects the lowest classes at admission, with headroom
+//     to spare, before any hard cap is hit.
+//  3. Hard caps (token budget, queue bound) reject whatever arrives
+//     while they bind, regardless of class.
+//
+// Within a class, reneges (deadline, MaxWait — processed at dispatch)
+// are preferred to rejections: a request already waiting has paid its
+// queueing cost, so fresh arrivals shed first when the line is full.
+func SimulateMix(mc MixConfig) (*MixMetrics, error) {
+	if mc.Run.Batch <= 0 {
+		return nil, fmt.Errorf("serve: non-positive wave cap %d", mc.Run.Batch)
+	}
+	if mc.NumPrompts <= 0 {
+		return nil, fmt.Errorf("serve: non-positive prompt count %d", mc.NumPrompts)
+	}
+	if len(mc.Classes) == 0 {
+		return nil, fmt.Errorf("serve: no class specs")
+	}
+	if mc.MaxQueue < 0 || mc.TokenBudget < 0 {
+		return nil, fmt.Errorf("serve: negative bound (queue %d, budget %d)", mc.MaxQueue, mc.TokenBudget)
+	}
+	if mc.MaxWait < 0 {
+		return nil, fmt.Errorf("serve: negative wait bound %v", mc.MaxWait)
+	}
+	var seen [NumClasses]bool
+	totalRate := 0.0
+	for _, cs := range mc.Classes {
+		if !cs.Class.Valid() {
+			return nil, fmt.Errorf("serve: invalid class %d", int(cs.Class))
+		}
+		if seen[cs.Class] {
+			return nil, fmt.Errorf("serve: duplicate spec for class %s", cs.Class)
+		}
+		seen[cs.Class] = true
+		if cs.ArrivalRate <= 0 {
+			return nil, fmt.Errorf("serve: non-positive arrival rate %v for class %s", cs.ArrivalRate, cs.Class)
+		}
+		if cs.PromptLen <= 0 || cs.MaxNew <= 0 {
+			return nil, fmt.Errorf("serve: non-positive prompt/gen length for class %s", cs.Class)
+		}
+		if cs.SLO < 0 || cs.Deadline < 0 {
+			return nil, fmt.Errorf("serve: negative SLO/deadline for class %s", cs.Class)
+		}
+		totalRate += cs.ArrivalRate
+	}
+
+	// Split the prompt count proportionally to rates (remainder to the
+	// first spec) and generate each class's Poisson stream from its own
+	// seeded source, so adding a class never perturbs another's stream.
+	pred := NewPredictor(mc.Seed)
+	var reqs []mixReq
+	assigned := 0
+	for i, cs := range mc.Classes {
+		n := int(math.Round(float64(mc.NumPrompts) * cs.ArrivalRate / totalRate))
+		if i == len(mc.Classes)-1 {
+			n = mc.NumPrompts - assigned
+		}
+		if n < 0 {
+			n = 0
+		}
+		assigned += n
+		rng := rand.New(rand.NewSource(mc.Seed + 7919*int64(cs.Class) + 1))
+		t := 0.0
+		for j := 0; j < n; j++ {
+			t += rng.ExpFloat64() / cs.ArrivalRate
+			reqs = append(reqs, mixReq{
+				class:   cs.Class,
+				arrival: t,
+				est:     pred.EstimateCost(cs.Class, cs.PromptLen, cs.MaxNew),
+				actual:  cs.PromptLen + cs.MaxNew,
+				sloSec:  cs.SLO.Seconds(),
+				dlSec:   cs.Deadline.Seconds(),
+			})
+		}
+	}
+	// Merge the class streams into one arrival order; ties break by
+	// class index so the order is fully deterministic.
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].arrival != reqs[j].arrival {
+			return reqs[i].arrival < reqs[j].arrival
+		}
+		return reqs[i].class < reqs[j].class
+	})
+
+	// The wave cost model is QueueConfig's (one run-cache solve per
+	// batch size), scaled by the wave's actual token volume relative to
+	// the canonical homogeneous wave: the engine is memory-bound, so
+	// wave time is near-linear in tokens processed.
+	rcCanon := mc.Run.Canonical()
+	nominalPerReq := rcCanon.PromptLen + rcCanon.GenLen
+	cost := func(batch, tokens int) (float64, error) {
+		rc := mc.Run
+		rc.Batch = batch
+		res, err := runcache.Run(rc)
+		if err != nil {
+			return 0, err
+		}
+		return res.TotalTime.Seconds() * float64(tokens) / float64(batch*nominalPerReq), nil
+	}
+
+	bo := (&Brownout{
+		Budget:  mc.TokenBudget,
+		High:    mc.BrownoutHigh,
+		Low:     mc.BrownoutLow,
+		Sustain: mc.BrownoutSustain,
+	}).Defaulted()
+
+	m := &MixMetrics{
+		Classes:       NewClassLedger(),
+		MeanE2E:       make([]units.Duration, NumClasses),
+		P99E2E:        make([]units.Duration, NumClasses),
+		SLOAttainment: make([]float64, NumClasses),
+	}
+	e2es := make([][]float64, NumClasses)
+	met := make([]int, NumClasses)
+	sloSet := make([]bool, NumClasses)
+
+	backlog := 0
+	busy := 0.0
+	clock := 0.0
+	queue := make([]int, 0, mc.Run.Batch)
+	next := 0
+	for next < len(reqs) || len(queue) > 0 {
+		if len(queue) == 0 && clock < reqs[next].arrival {
+			clock = reqs[next].arrival
+		}
+		// Admission: brownout observes the backlog per arrival, then the
+		// verdicts run in the documented order. An estimate larger than
+		// the whole budget can never be admitted, whatever the load — it
+		// sheds immediately (the class rows fold it into ShedOther, as
+		// helmd folds its class-blind reasons).
+		for next < len(reqs) && reqs[next].arrival <= clock {
+			r := reqs[next]
+			row := &m.Classes[r.class]
+			row.Arrivals++
+			level := bo.Observe(backlog)
+			switch {
+			case mc.TokenBudget > 0 && r.est > mc.TokenBudget:
+				row.ShedOther++
+			case int(r.class) < level:
+				row.ShedBrownout++
+			case mc.TokenBudget > 0 && backlog+r.est > mc.TokenBudget:
+				row.ShedCostBudget++
+			case mc.MaxQueue > 0 && len(queue) >= mc.MaxQueue:
+				row.ShedQueueFull++
+			default:
+				queue = append(queue, next)
+				backlog += r.est
+				if backlog > m.MaxBacklog {
+					m.MaxBacklog = backlog
+				}
+			}
+			next++
+		}
+		// Reneges at dispatch: deadline first (the work is hopeless),
+		// then patience.
+		kept := queue[:0]
+		for _, i := range queue {
+			r := reqs[i]
+			switch {
+			case r.dlSec > 0 && clock-r.arrival > r.dlSec:
+				m.Classes[r.class].ShedDeadline++
+				backlog -= r.est
+			case mc.MaxWait > 0 && clock-r.arrival > mc.MaxWait.Seconds():
+				m.Classes[r.class].ShedMaxWait++
+				backlog -= r.est
+			default:
+				kept = append(kept, i)
+			}
+		}
+		queue = kept
+		if len(queue) == 0 {
+			bo.Release(backlog)
+			continue
+		}
+		// Serve the head of the line FIFO across classes: priority acts
+		// at admission (who gets in), not dispatch (no overtaking), the
+		// same no-starvation discipline as the live batcher.
+		batch := len(queue)
+		if batch > mc.Run.Batch {
+			batch = mc.Run.Batch
+		}
+		tokens := 0
+		for _, i := range queue[:batch] {
+			tokens += reqs[i].actual
+		}
+		c, err := cost(batch, tokens)
+		if err != nil {
+			return nil, err
+		}
+		clock += c
+		busy += c
+		for _, i := range queue[:batch] {
+			r := reqs[i]
+			row := &m.Classes[r.class]
+			row.Admitted++
+			backlog -= r.est
+			e2e := clock - r.arrival
+			e2es[r.class] = append(e2es[r.class], e2e)
+			if r.sloSec > 0 {
+				sloSet[r.class] = true
+				if e2e <= r.sloSec {
+					met[r.class]++
+				}
+			}
+		}
+		bo.Release(backlog)
+		queue = queue[batch:]
+		m.Waves++
+		m.MeanBatch += float64(batch)
+	}
+	if m.Waves > 0 {
+		m.MeanBatch /= float64(m.Waves)
+	}
+	m.BrownoutEntries = bo.Entries()
+	m.BrownoutExits = bo.Exits()
+	for c := 0; c < NumClasses; c++ {
+		if len(e2es[c]) > 0 {
+			m.MeanE2E[c] = units.Duration(stats.Mean(e2es[c]))
+			m.P99E2E[c] = units.Duration(stats.Percentile(e2es[c], 99))
+		}
+		if sloSet[c] && len(e2es[c]) > 0 {
+			m.SLOAttainment[c] = float64(met[c]) / float64(len(e2es[c]))
+		} else {
+			m.SLOAttainment[c] = math.NaN()
+		}
+	}
+	if len(reqs) > 0 {
+		if makespan := clock - reqs[0].arrival; makespan > 0 {
+			m.Utilization = busy / makespan
+		}
+	}
+	return m, nil
+}

@@ -110,6 +110,9 @@ func (s *Server) newBatchState() (*batchState, error) {
 			// batcher's queue must never be the binding constraint, or a
 			// request the server admitted would bounce with ErrBusy.
 			MaxQueue: s.cfg.MaxQueue + s.cfg.Workers,
+			// Share the admission predictor so the batcher's page gate
+			// prices requests the same way admission did.
+			Predictor: s.pred,
 		}),
 		se:      se,
 		gen:     gen,
@@ -153,7 +156,7 @@ func (s *Server) currentBatch() *batchState {
 func (s *Server) serveJobBatch(j *job) {
 	j.queued = time.Since(j.arrived)
 	if j.ctx.Err() != nil {
-		s.shedClientGone.Add(1)
+		s.shedClass(j.class, &s.shedClientGone)
 		if j.probe {
 			s.breaker.ProbeAbort()
 		}
@@ -161,8 +164,13 @@ func (s *Server) serveJobBatch(j *job) {
 		j.err = fmt.Errorf("server: client disconnected after queueing %v", j.queued.Round(time.Millisecond))
 		return
 	}
+	if s.deadlinePassed(j) {
+		s.shedDeadlineJob(j)
+		return
+	}
 	if s.cfg.MaxWait > 0 && j.queued > s.cfg.MaxWait {
 		s.shedMaxWait.Add(1)
+		s.classes[j.class].shedMaxWait.Add(1)
 		if j.probe {
 			s.breaker.ProbeAbort()
 		}
@@ -172,6 +180,7 @@ func (s *Server) serveJobBatch(j *job) {
 		return
 	}
 	s.admitted.Add(1)
+	s.classes[j.class].admitted.Add(1)
 
 	ctx, cancel := s.requestContext(j)
 	stop := context.AfterFunc(s.genCtx, cancel)
@@ -189,7 +198,7 @@ func (s *Server) serveJobBatch(j *job) {
 	for attempt := 0; ; attempt++ {
 		bs := s.currentBatch()
 		gen = bs.gen
-		tokens, err = bs.b.Submit(ctx, j.prompt, j.maxTokens)
+		tokens, err = bs.b.SubmitClass(ctx, j.prompt, j.maxTokens, j.class)
 		if !errors.Is(err, batch.ErrStopped) || attempt >= 2 {
 			break
 		}

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"helmsim/internal/serve"
 )
 
 // GenerateRequest is the POST /v1/generate body.
@@ -18,6 +20,9 @@ type GenerateRequest struct {
 	MaxTokens int `json:"max_tokens"`
 	// TimeoutMS optionally tightens the server-side deadline.
 	TimeoutMS int `json:"timeout_ms"`
+	// Class is the request's service class: "interactive" (default),
+	// "rag", or "batch". Lower classes are shed first under overload.
+	Class string `json:"class,omitempty"`
 }
 
 // GenerateResponse is the success body.
@@ -114,7 +119,14 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, status, retryAfter, reason := s.admit(r.Context(), req.Prompt, maxTokens, time.Duration(req.TimeoutMS)*time.Millisecond)
+	class, err := serve.ParseClass(req.Class)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	j, status, retryAfter, reason := s.admit(r.Context(), req.Prompt, maxTokens, time.Duration(req.TimeoutMS)*time.Millisecond, class)
 	if j == nil {
 		s.shed(w, status, retryAfter, reason)
 		return

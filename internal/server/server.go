@@ -51,6 +51,10 @@ type Config struct {
 	// paged KV cache: workers feed one shared batcher instead of each
 	// owning a whole-request engine.
 	Batch BatchConfig
+	// Cost tunes token-budget admission, per-class budgets, and
+	// brownout overload control (zero value: count-only admission, no
+	// brownout).
+	Cost CostConfig
 	// DrainRetryAfter is the Retry-After advertised on drain-mode 503s —
 	// the /readyz readiness refusal and queue-closed admission sheds —
 	// so probers and clients back off from a draining replica on the
@@ -79,6 +83,7 @@ func (c Config) withDefaults() Config {
 	if c.DrainRetryAfter == 0 {
 		c.DrainRetryAfter = time.Second
 	}
+	c.Cost = c.Cost.withDefaults()
 	return c
 }
 
@@ -115,6 +120,9 @@ func (c Config) Validate() error {
 	if err := c.Batch.Validate(); err != nil {
 		return err
 	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
 	return c.Breaker.Validate()
 }
 
@@ -135,6 +143,8 @@ type job struct {
 	timeout   time.Duration // client-requested, already clamped
 	probe     bool          // breaker half-open probe
 	arrived   time.Time
+	class     serve.Class
+	est       int // admission cost estimate in tokens (released once settled)
 
 	tokens     []int
 	err        error
@@ -190,6 +200,16 @@ type Server struct {
 	shedBreakerOpen  atomic.Int64
 	shedDraining     atomic.Int64
 	shedPagePressure atomic.Int64
+	shedDeadline     atomic.Int64
+	shedBrownout     atomic.Int64
+	shedCostBudget   atomic.Int64
+
+	// Per-class ledger rows (indexed by serve.Class) and the cost/
+	// brownout state behind the token-budget admission pipeline.
+	classes     [serve.NumClasses]classLedger
+	cost        costState // guarded by mu
+	classBudget [serve.NumClasses]int64
+	pred        *serve.Predictor
 
 	served         atomic.Int64
 	failed         atomic.Int64
@@ -318,7 +338,15 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		queue:       make(chan *job, cfg.MaxQueue),
 		workersDone: make(chan struct{}),
 		drainDone:   make(chan struct{}),
+		classBudget: resolveClassBudgets(cfg.Cost.ClassBudgets),
+		pred:        serve.NewPredictor(cfg.Cost.PredictorSeed),
 	}
+	s.cost.brown = (&serve.Brownout{
+		Budget:  cfg.Cost.TokenBudget,
+		High:    cfg.Cost.BrownoutHigh,
+		Low:     cfg.Cost.BrownoutLow,
+		Sustain: cfg.Cost.BrownoutSustain,
+	}).Defaulted()
 	s.genCtx, s.forceCancel = context.WithCancel(ctx)
 	if cfg.Batch.Enabled {
 		bs, err := s.newBatchState()
@@ -340,42 +368,76 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// admit runs the admission pipeline under the lock: drain state, queue
-// bound, breaker — in that order, so a full queue sheds before a probe
-// slot is consumed. It returns the job on success, or (status,
+// admit runs the admission pipeline under the lock, in the documented
+// shedding order: drain state and page pressure (request-size and
+// lifecycle verdicts), then brownout (class-aware early rejection with
+// headroom to spare), then the cost budgets, then the queue bound, then
+// the breaker — so a shed request never consumes a probe slot. Every
+// verdict lands in one global bucket and one per-class bucket; both
+// ledgers conserve. It returns the job on success, or (status,
 // retryAfter, reason) on shed.
-func (s *Server) admit(ctx context.Context, prompt []int, maxTokens int, timeout time.Duration) (*job, int, time.Duration, string) {
+func (s *Server) admit(ctx context.Context, prompt []int, maxTokens int, timeout time.Duration, class serve.Class) (*job, int, time.Duration, string) {
+	est := s.pred.EstimateCost(class, len(prompt), maxTokens)
 	s.arrivals.Add(1)
+	s.classes[class].arrivals.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != stateServing {
 		// Queue-closed sheds carry the same Retry-After contract as
 		// breaker-open ones: a prober or client that sees the header backs
 		// off uniformly, whatever the daemon's reason for refusing.
-		s.shedDraining.Add(1)
+		s.shedClass(class, &s.shedDraining)
 		return nil, http.StatusServiceUnavailable, s.cfg.DrainRetryAfter, "draining"
 	}
 	// Page pressure is a request-size verdict, not a load verdict: a
 	// context too large for the whole paged pool can never be served, no
 	// matter how long it waits, so it sheds before the queue bound.
 	if s.cfg.Batch.Enabled && s.cfg.Batch.pagesForContext(len(prompt)+maxTokens) > s.cfg.Batch.withDefaults().KVPages {
-		s.shedPagePressure.Add(1)
+		s.shedClass(class, &s.shedPagePressure)
 		return nil, http.StatusServiceUnavailable, 0, "context exceeds the paged KV budget"
+	}
+	// Brownout observes every arrival and rejects classes below its
+	// level before any hard cap binds: degrade by class, with an honest
+	// Retry-After, instead of saturating and shedding blindly.
+	if level := s.cost.brown.Observe(int(s.cost.backlog)); int(class) < level {
+		s.shedBrownout.Add(1)
+		s.classes[class].shedBrownout.Add(1)
+		return nil, http.StatusServiceUnavailable, s.cfg.Cost.BrownoutRetryAfter,
+			fmt.Sprintf("brownout: %s class shed under sustained overload", class)
+	}
+	// Token budgets price admission in estimated tokens: the total
+	// backlog cap first, then the class's own share when configured.
+	if s.cfg.Cost.TokenBudget > 0 && s.cost.backlog+int64(est) > int64(s.cfg.Cost.TokenBudget) {
+		s.shedCostBudget.Add(1)
+		s.classes[class].shedCostBudget.Add(1)
+		return nil, http.StatusTooManyRequests, time.Second,
+			fmt.Sprintf("estimated cost %d tokens exceeds remaining budget", est)
+	}
+	if cb := s.classBudget[class]; cb > 0 && s.cost.classBacklog[class]+int64(est) > cb {
+		s.shedCostBudget.Add(1)
+		s.classes[class].shedCostBudget.Add(1)
+		return nil, http.StatusTooManyRequests, time.Second,
+			fmt.Sprintf("estimated cost %d tokens exceeds the %s class budget", est, class)
 	}
 	if s.waiting >= s.cfg.MaxQueue {
 		s.shedQueueFull.Add(1)
+		s.classes[class].shedQueueFull.Add(1)
 		return nil, http.StatusTooManyRequests, time.Second, "queue full"
 	}
 	probe, ok := s.breaker.Allow()
 	if !ok {
-		s.shedBreakerOpen.Add(1)
+		s.shedClass(class, &s.shedBreakerOpen)
 		return nil, http.StatusServiceUnavailable, s.breaker.RetryAfter(), "storage circuit breaker open"
 	}
 	j := &job{
 		ctx: ctx, prompt: prompt, maxTokens: maxTokens, timeout: timeout,
 		probe: probe, arrived: time.Now(), done: make(chan struct{}),
+		class: class, est: est,
 	}
 	s.waiting++
+	s.cost.classWaiting[class]++
+	s.cost.backlog += int64(est)
+	s.cost.classBacklog[class] += int64(est)
 	// Channel capacity equals the queue bound and waiting is tracked
 	// under the same lock, so this send cannot block.
 	s.queue <- j
@@ -422,12 +484,16 @@ func (s *Server) worker() {
 	for j := range s.queue {
 		s.mu.Lock()
 		s.waiting--
+		s.cost.classWaiting[j.class]--
 		s.mu.Unlock()
 		if s.cfg.Batch.Enabled {
 			s.serveJobBatch(j)
 		} else {
 			s.serveJob(&ws, j)
 		}
+		// The job settled one way or another: its admitted cost leaves
+		// the backlog, and the brownout machine sees the drain.
+		s.releaseCost(j)
 		close(j.done)
 	}
 }
@@ -440,7 +506,7 @@ func (s *Server) serveJob(ws *workerState, j *job) {
 	// — that mechanism may be disabled entirely (MaxWait 0 = unbounded
 	// patience) while clients still disconnect.
 	if j.ctx.Err() != nil {
-		s.shedClientGone.Add(1)
+		s.shedClass(j.class, &s.shedClientGone)
 		if j.probe {
 			s.breaker.ProbeAbort()
 		}
@@ -448,10 +514,18 @@ func (s *Server) serveJob(ws *workerState, j *job) {
 		j.err = fmt.Errorf("server: client disconnected after queueing %v", j.queued.Round(time.Millisecond))
 		return
 	}
+	// Deadline-aware early shed: work whose effective deadline already
+	// passed while it queued is never started — serving it would burn
+	// capacity on an answer nobody is waiting for.
+	if s.deadlinePassed(j) {
+		s.shedDeadlineJob(j)
+		return
+	}
 	// Renege: the request waited past its patience — the simulator's
 	// MaxWait semantics live.
 	if s.cfg.MaxWait > 0 && j.queued > s.cfg.MaxWait {
 		s.shedMaxWait.Add(1)
+		s.classes[j.class].shedMaxWait.Add(1)
 		if j.probe {
 			s.breaker.ProbeAbort()
 		}
@@ -461,6 +535,7 @@ func (s *Server) serveJob(ws *workerState, j *job) {
 		return
 	}
 	s.admitted.Add(1)
+	s.classes[j.class].admitted.Add(1)
 
 	// Pin the serving generation for the whole request: every fetch the
 	// engine or its prefetcher issues below reads this generation, so a
@@ -711,7 +786,19 @@ func (s *Server) Draining() bool {
 // whenever a field is renamed, removed, or changes meaning — additive
 // fields do not bump it — so a prober can refuse a replica speaking an
 // incompatible schema instead of misreading it.
-const StatzSchemaVersion = 2
+//
+// v3 adds the cost-admission fields (cost backlog, brownout state, the
+// deadline/brownout/cost-budget shed buckets, and per-class ledger
+// rows). That is additive on the wire, but it changes the meaning of
+// the conservation identity — a v2 reader summing the v2 shed buckets
+// against arrivals would conclude a healthy v3 replica leaks requests —
+// so the version bumps. Probers accept the window
+// [StatzSchemaVersionMin, StatzSchemaVersion] and must simply treat the
+// v3 fields as zero on a v2 document.
+const (
+	StatzSchemaVersion    = 3
+	StatzSchemaVersionMin = 2
+)
 
 // Stats is the /statz document. The machine-readable fields a fleet
 // prober keys on — schema version, lifecycle state, checkpoint
@@ -745,11 +832,28 @@ type Stats struct {
 	ShedBreakerOpen  int64 `json:"shed_breaker_open"`
 	ShedDraining     int64 `json:"shed_draining"`
 	ShedPagePressure int64 `json:"shed_page_pressure"`
+	ShedDeadline     int64 `json:"shed_deadline"`
+	ShedBrownout     int64 `json:"shed_brownout"`
+	ShedCostBudget   int64 `json:"shed_cost_budget"`
 	BadRequests      int64 `json:"bad_requests"`
 	Panics           int64 `json:"panics"`
 	ForceCancelled   int64 `json:"force_cancelled"`
 	Reloads          int64 `json:"reloads"`
 	ReloadFailures   int64 `json:"reload_failures"`
+
+	// CostBacklog is the admitted-but-unsettled estimated-token backlog
+	// against TokenBudget; BrownoutLevel is the number of classes
+	// currently rejected at admission (0 = no brownout). Together they
+	// are the backpressure signal a fleet gateway routes and sheds on.
+	CostBacklog     int64 `json:"cost_backlog"`
+	TokenBudget     int   `json:"token_budget"`
+	BrownoutLevel   int   `json:"brownout_level"`
+	BrownoutEntries int64 `json:"brownout_entries"`
+	BrownoutExits   int64 `json:"brownout_exits"`
+	// Classes is the per-class admission ledger, one row per service
+	// class, each row conserved by the same predicate the mixed-class
+	// simulator satisfies (serve.ClassLedgerConserved).
+	Classes []serve.ClassCounts `json:"classes"`
 
 	StoreAccesses   int64 `json:"store_accesses"`
 	StoreTransients int64 `json:"store_transients"`
@@ -765,11 +869,24 @@ type Stats struct {
 
 // Conserved checks the live ledger against the exact predicate the
 // queueing simulator's metrics satisfy: every arrival is admitted or
-// lands in exactly one shed bucket.
+// lands in exactly one shed bucket — globally, and again within every
+// class row, with the class rows' arrivals summing back to the global
+// arrival count (no request changes class between ledgers).
 func (st Stats) Conserved() bool {
-	return serve.Conserved(int(st.Arrivals), int(st.Admitted),
+	if !serve.Conserved(int(st.Arrivals), int(st.Admitted),
 		int(st.ShedQueueFull), int(st.ShedMaxWait), int(st.ShedClientGone),
-		int(st.ShedBreakerOpen), int(st.ShedDraining), int(st.ShedPagePressure))
+		int(st.ShedBreakerOpen), int(st.ShedDraining), int(st.ShedPagePressure),
+		int(st.ShedDeadline), int(st.ShedBrownout), int(st.ShedCostBudget)) {
+		return false
+	}
+	if !serve.ClassLedgerConserved(st.Classes) {
+		return false
+	}
+	var classArrivals int64
+	for _, row := range st.Classes {
+		classArrivals += row.Arrivals
+	}
+	return classArrivals == st.Arrivals
 }
 
 // Stats snapshots the daemon's counters. Note the snapshot is not
@@ -780,6 +897,10 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	state := s.state
 	depth := s.waiting
+	costBacklog := s.cost.backlog
+	brownLevel := s.cost.brown.Level()
+	brownEntries := s.cost.brown.Entries()
+	brownExits := s.cost.brown.Exits()
 	s.mu.Unlock()
 	name := "serving"
 	switch state {
@@ -818,6 +939,15 @@ func (s *Server) Stats() Stats {
 		ShedBreakerOpen:    s.shedBreakerOpen.Load(),
 		ShedDraining:       s.shedDraining.Load(),
 		ShedPagePressure:   s.shedPagePressure.Load(),
+		ShedDeadline:       s.shedDeadline.Load(),
+		ShedBrownout:       s.shedBrownout.Load(),
+		ShedCostBudget:     s.shedCostBudget.Load(),
+		CostBacklog:        costBacklog,
+		TokenBudget:        s.cfg.Cost.TokenBudget,
+		BrownoutLevel:      brownLevel,
+		BrownoutEntries:    brownEntries,
+		BrownoutExits:      brownExits,
+		Classes:            s.classRows(),
 		BadRequests:        s.badRequests.Load(),
 		Panics:             s.panics.Load(),
 		ForceCancelled:     s.forceCancelled.Load(),

@@ -16,6 +16,7 @@ import (
 
 	"helmsim/internal/infer"
 	"helmsim/internal/model"
+	"helmsim/internal/serve"
 )
 
 // tinyModel is a laptop-scale OPT-shaped config the engine can serve in
@@ -638,13 +639,13 @@ func TestClientGoneWhileQueuedShedsSeparately(t *testing.T) {
 	})
 
 	// First job occupies the lone worker, blocked in storage.
-	j1, status, _, _ := s.admit(context.Background(), []int{1}, 2, 0)
+	j1, status, _, _ := s.admit(context.Background(), []int{1}, 2, 0, serve.ClassInteractive)
 	if j1 == nil {
 		t.Fatalf("first admit shed with %d", status)
 	}
 	// Second job queues behind it, then its client hangs up.
 	ctx2, cancel2 := context.WithCancel(context.Background())
-	j2, status, _, _ := s.admit(ctx2, []int{1}, 2, 0)
+	j2, status, _, _ := s.admit(ctx2, []int{1}, 2, 0, serve.ClassInteractive)
 	if j2 == nil {
 		t.Fatalf("second admit shed with %d", status)
 	}
